@@ -1,0 +1,29 @@
+//! Criterion benches for whole closed-loop missions (scaled-down scenarios):
+//! the end-to-end cost of one benchmark run per application class.
+use criterion::{criterion_group, criterion_main, Criterion};
+use mav_compute::ApplicationId;
+use mav_core::{run_mission, MissionConfig};
+
+fn bench_missions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("closed_loop_mission");
+    group.sample_size(10);
+    group.bench_function("scanning_quick", |b| {
+        b.iter(|| {
+            let mut cfg = MissionConfig::fast_test(ApplicationId::Scanning).with_seed(3);
+            cfg.environment.extent = 25.0;
+            run_mission(cfg).mission_time_secs
+        })
+    });
+    group.bench_function("package_delivery_quick", |b| {
+        b.iter(|| {
+            let mut cfg = MissionConfig::fast_test(ApplicationId::PackageDelivery).with_seed(9);
+            cfg.environment.extent = 25.0;
+            cfg.environment.obstacle_density = 1.0;
+            run_mission(cfg).mission_time_secs
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_missions);
+criterion_main!(benches);

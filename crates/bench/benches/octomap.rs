@@ -1,0 +1,53 @@
+//! Criterion benches for the OctoMap kernel: insertion cost vs resolution
+//! (the measured counterpart of Fig. 18) and query cost.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mav_env::EnvironmentConfig;
+use mav_perception::{OctoMap, OctoMapConfig, PointCloud};
+use mav_sensors::{DepthCamera, DepthCameraConfig};
+use mav_types::{Pose, Vec3};
+
+fn capture_clouds() -> Vec<PointCloud> {
+    let world = EnvironmentConfig::urban_outdoor().with_seed(3).generate();
+    let camera = DepthCamera::new(DepthCameraConfig::default());
+    (0..3)
+        .map(|i| {
+            let pose = Pose::new(Vec3::new(i as f64 * 8.0 - 8.0, 0.0, 2.5), i as f64);
+            PointCloud::from_depth_image(&camera.capture(&world, &pose))
+        })
+        .collect()
+}
+
+fn bench_octomap_insertion(c: &mut Criterion) {
+    let clouds = capture_clouds();
+    let mut group = c.benchmark_group("octomap_insert_vs_resolution");
+    group.sample_size(10);
+    for resolution in [0.15, 0.3, 0.5, 0.8, 1.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(resolution), &resolution, |b, &res| {
+            b.iter(|| {
+                let mut map = OctoMap::new(OctoMapConfig::with_resolution(res), 96.0);
+                for cloud in &clouds {
+                    map.insert_point_cloud(cloud);
+                }
+                map.known_voxel_count()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_octomap_queries(c: &mut Criterion) {
+    let clouds = capture_clouds();
+    let mut map = OctoMap::new(OctoMapConfig::with_resolution(0.5), 96.0);
+    for cloud in &clouds {
+        map.insert_point_cloud(cloud);
+    }
+    c.bench_function("octomap_segment_free_20m", |b| {
+        b.iter(|| map.segment_free(&Vec3::new(0.0, -10.0, 2.0), &Vec3::new(0.0, 10.0, 2.0), 0.33))
+    });
+    c.bench_function("octomap_point_query", |b| {
+        b.iter(|| map.query(&Vec3::new(5.0, 3.0, 2.0)))
+    });
+}
+
+criterion_group!(benches, bench_octomap_insertion, bench_octomap_queries);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Criterion benches for the motion-planning kernels: RRT, PRM+A*, shortcut
+//! smoothing and lawnmower coverage.
+use criterion::{criterion_group, criterion_main, Criterion};
+use mav_perception::{OctoMap, OctoMapConfig};
+use mav_planning::{
+    plan_lawnmower, CollisionChecker, LawnmowerConfig, PathSmoother, PlannerConfig, PlannerKind,
+    ShortestPathPlanner, SmootherConfig,
+};
+use mav_types::{Aabb, SimTime, Vec3};
+
+fn wall_map() -> OctoMap {
+    let mut map = OctoMap::new(OctoMapConfig::with_resolution(0.5), 32.0);
+    let origin = Vec3::new(0.0, 0.0, 1.0);
+    for i in -20..=20 {
+        for z in [0.5, 1.5, 2.5, 3.5] {
+            map.insert_ray(&origin, &Vec3::new(8.0, i as f64 * 0.5, z));
+        }
+    }
+    map
+}
+
+fn bench_planners(c: &mut Criterion) {
+    let map = wall_map();
+    let checker = CollisionChecker::new(0.33);
+    let bounds = Aabb::new(Vec3::new(-25.0, -25.0, 0.5), Vec3::new(25.0, 25.0, 6.0));
+    let start = Vec3::new(0.0, 0.0, 2.0);
+    let goal = Vec3::new(16.0, 2.0, 2.0);
+    let mut group = c.benchmark_group("shortest_path");
+    group.sample_size(10);
+    for kind in [PlannerKind::Rrt, PlannerKind::PrmAstar] {
+        group.bench_function(format!("{kind:?}"), |b| {
+            let planner = ShortestPathPlanner::new(PlannerConfig::new(kind, bounds));
+            b.iter(|| planner.plan(&map, &checker, start, goal).unwrap().length())
+        });
+    }
+    group.finish();
+}
+
+fn bench_smoothing_and_lawnmower(c: &mut Criterion) {
+    let map = wall_map();
+    let checker = CollisionChecker::new(0.33);
+    let bounds = Aabb::new(Vec3::new(-25.0, -25.0, 0.5), Vec3::new(25.0, 25.0, 6.0));
+    let planner = ShortestPathPlanner::new(PlannerConfig::new(PlannerKind::Rrt, bounds));
+    let path = planner
+        .plan(&map, &checker, Vec3::new(0.0, 0.0, 2.0), Vec3::new(16.0, 2.0, 2.0))
+        .unwrap();
+    c.bench_function("shortcut_pass", |b| b.iter(|| path.shortcut(&map, &checker).length()));
+    let smoother = PathSmoother::new(SmootherConfig::new(8.0, 5.0));
+    c.bench_function("trajectory_smoothing", |b| {
+        b.iter(|| smoother.smooth(&path.waypoints, SimTime::ZERO).unwrap().duration_secs())
+    });
+    c.bench_function("lawnmower_plan_100x100", |b| {
+        b.iter(|| plan_lawnmower(&LawnmowerConfig::default()).unwrap().len())
+    });
+}
+
+criterion_group!(benches, bench_planners, bench_smoothing_and_lawnmower);
+criterion_main!(benches);

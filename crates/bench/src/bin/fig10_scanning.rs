@@ -1,0 +1,7 @@
+//! Fig. 10 — Scanning heat maps (velocity, mission time, energy) over the TX2 sweep.
+use mav_bench::{quick_mode, run_and_print_heatmaps};
+use mav_compute::ApplicationId;
+
+fn main() {
+    run_and_print_heatmaps(ApplicationId::Scanning, quick_mode(), 11);
+}

@@ -1,0 +1,107 @@
+//! Companion-computer operating points (core count × clock frequency).
+//!
+//! The paper sweeps the NVIDIA TX2 across 2/3/4 ARM A57 cores and 0.8 / 1.5 /
+//! 2.2 GHz and reports every metric as a 3×3 heat map. The same grid is
+//! provided here.
+
+use mav_types::Frequency;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One (cores, frequency) operating point of the companion computer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OperatingPoint {
+    /// Number of enabled CPU cores.
+    pub cores: u32,
+    /// Clock frequency.
+    pub frequency: Frequency,
+}
+
+impl OperatingPoint {
+    /// Creates an operating point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero.
+    pub fn new(cores: u32, frequency: Frequency) -> Self {
+        assert!(cores > 0, "an operating point needs at least one core");
+        OperatingPoint { cores, frequency }
+    }
+
+    /// The paper's reference point: 4 cores at 2.2 GHz (where Table I was
+    /// profiled).
+    pub fn reference() -> Self {
+        OperatingPoint::new(4, Frequency::from_ghz(2.2))
+    }
+
+    /// The slowest point of the sweep: 2 cores at 0.8 GHz.
+    pub fn slowest() -> Self {
+        OperatingPoint::new(2, Frequency::from_ghz(0.8))
+    }
+
+    /// The full 3×3 sweep used by Figs. 10–15: cores ∈ {2, 3, 4} ×
+    /// frequency ∈ {0.8, 1.5, 2.2} GHz.
+    pub fn tx2_sweep() -> Vec<OperatingPoint> {
+        let mut out = Vec::with_capacity(9);
+        for &cores in &[4u32, 3, 2] {
+            for &f in &[0.8, 1.5, 2.2] {
+                out.push(OperatingPoint::new(cores, Frequency::from_ghz(f)));
+            }
+        }
+        out
+    }
+
+    /// A short label such as `"4c@2.2GHz"` for table headers.
+    pub fn label(&self) -> String {
+        format!("{}c@{:.1}GHz", self.cores, self.frequency.as_ghz())
+    }
+}
+
+impl Default for OperatingPoint {
+    fn default() -> Self {
+        OperatingPoint::reference()
+    }
+}
+
+impl fmt::Display for OperatingPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} cores @ {}", self.cores, self.frequency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_covers_nine_points() {
+        let sweep = OperatingPoint::tx2_sweep();
+        assert_eq!(sweep.len(), 9);
+        assert!(sweep.contains(&OperatingPoint::reference()));
+        assert!(sweep.contains(&OperatingPoint::slowest()));
+        // All cores × frequency combinations are distinct.
+        let labels: std::collections::HashSet<String> =
+            sweep.iter().map(|p| p.label()).collect();
+        assert_eq!(labels.len(), 9);
+    }
+
+    #[test]
+    fn reference_point_is_fastest() {
+        let r = OperatingPoint::reference();
+        assert_eq!(r.cores, 4);
+        assert_eq!(r.frequency.as_ghz(), 2.2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_cores_rejected() {
+        let _ = OperatingPoint::new(0, Frequency::from_ghz(1.0));
+    }
+
+    #[test]
+    fn labels_and_display() {
+        let p = OperatingPoint::new(3, Frequency::from_ghz(1.5));
+        assert_eq!(p.label(), "3c@1.5GHz");
+        assert!(!format!("{p}").is_empty());
+    }
+}

@@ -1,0 +1,322 @@
+//! The companion-computer platform model and cloud offload.
+//!
+//! A [`ComputePlatform`] answers one question for the closed-loop simulator:
+//! *how long does kernel X take right now?* For the on-board TX2 the answer
+//! comes from the Table I profile scaled to the current operating point. For
+//! the sensor-cloud configuration of the paper's performance case study, some
+//! kernels execute on a much faster cloud machine but pay a network round
+//! trip, which is exactly how the paper's 3X planning speed-up (and the
+//! resulting ~50 % mission-time reduction) arises.
+
+use crate::kernel::{KernelId, KernelProfile};
+use crate::operating_point::OperatingPoint;
+use crate::profiles::{table1_profile, ApplicationId, ApplicationProfile};
+use mav_types::SimDuration;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// A network link between the MAV and a cloud/edge server.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkLink {
+    /// Link bandwidth in megabits per second.
+    pub bandwidth_mbps: f64,
+    /// One-way latency in milliseconds.
+    pub latency_ms: f64,
+}
+
+impl NetworkLink {
+    /// The 1 Gb/s LAN used by the paper to mimic a future 5G deployment.
+    pub fn gigabit_lan() -> Self {
+        NetworkLink { bandwidth_mbps: 1000.0, latency_ms: 1.0 }
+    }
+
+    /// A contemporary LTE link (for sensitivity studies).
+    pub fn lte() -> Self {
+        NetworkLink { bandwidth_mbps: 50.0, latency_ms: 30.0 }
+    }
+
+    /// Time to move `megabytes` of data across the link plus one round trip.
+    pub fn transfer_time(&self, megabytes: f64) -> SimDuration {
+        let bits = megabytes * 8.0 * 1e6;
+        let seconds = bits / (self.bandwidth_mbps * 1e6);
+        SimDuration::from_secs(seconds + 2.0 * self.latency_ms / 1000.0)
+    }
+}
+
+/// Where a kernel executes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Placement {
+    /// On the companion computer.
+    Edge,
+    /// On the cloud server, paying network costs.
+    Cloud,
+}
+
+/// Cloud offload configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CloudConfig {
+    /// Speed-up of the cloud server over the TX2 reference point for any
+    /// offloaded kernel (the paper's i7-4790K + GTX 1080 runs the planning
+    /// stage ≈3X faster).
+    pub speedup: f64,
+    /// The network link.
+    pub link: NetworkLink,
+    /// Data shipped per offloaded kernel invocation, megabytes (point cloud /
+    /// map updates).
+    pub payload_megabytes: f64,
+    /// Which kernels are offloaded.
+    pub offloaded: BTreeSet<KernelId>,
+}
+
+impl CloudConfig {
+    /// The paper's sensor-cloud case study: the planning stage of 3D Mapping
+    /// is offloaded over a gigabit link to a machine ~3X faster.
+    pub fn planning_offload() -> Self {
+        let mut offloaded = BTreeSet::new();
+        offloaded.insert(KernelId::FrontierExploration);
+        offloaded.insert(KernelId::MotionPlanning);
+        offloaded.insert(KernelId::PathSmoothing);
+        CloudConfig {
+            speedup: 3.0,
+            link: NetworkLink::gigabit_lan(),
+            payload_megabytes: 0.5,
+            offloaded,
+        }
+    }
+
+    /// Returns `true` when the kernel runs in the cloud.
+    pub fn offloads(&self, kernel: KernelId) -> bool {
+        self.offloaded.contains(&kernel)
+    }
+}
+
+/// The companion-computer model used by the closed-loop simulator.
+///
+/// # Example
+///
+/// ```
+/// use mav_compute::{ApplicationId, ComputePlatform, KernelId, OperatingPoint};
+///
+/// let fast = ComputePlatform::tx2(ApplicationId::PackageDelivery, OperatingPoint::reference());
+/// let slow = ComputePlatform::tx2(ApplicationId::PackageDelivery, OperatingPoint::slowest());
+/// let k = KernelId::OctomapGeneration;
+/// assert!(slow.kernel_latency(k) > fast.kernel_latency(k));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComputePlatform {
+    application: ApplicationId,
+    profile: ApplicationProfile,
+    operating_point: OperatingPoint,
+    cloud: Option<CloudConfig>,
+}
+
+impl ComputePlatform {
+    /// An on-board TX2 running `application` at `operating_point`, calibrated
+    /// from Table I.
+    pub fn tx2(application: ApplicationId, operating_point: OperatingPoint) -> Self {
+        ComputePlatform {
+            application,
+            profile: table1_profile(application),
+            operating_point,
+            cloud: None,
+        }
+    }
+
+    /// A TX2 with a cloud offload configuration attached.
+    pub fn tx2_with_cloud(
+        application: ApplicationId,
+        operating_point: OperatingPoint,
+        cloud: CloudConfig,
+    ) -> Self {
+        ComputePlatform { cloud: Some(cloud), ..ComputePlatform::tx2(application, operating_point) }
+    }
+
+    /// Replaces the kernel profile table (used to plug in custom kernels).
+    pub fn with_profile(mut self, profile: ApplicationProfile) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// The application this platform is configured for.
+    pub fn application(&self) -> ApplicationId {
+        self.application
+    }
+
+    /// The current operating point.
+    pub fn operating_point(&self) -> &OperatingPoint {
+        &self.operating_point
+    }
+
+    /// The cloud configuration, if any.
+    pub fn cloud(&self) -> Option<&CloudConfig> {
+        self.cloud.as_ref()
+    }
+
+    /// The kernel profile table.
+    pub fn profile(&self) -> &ApplicationProfile {
+        &self.profile
+    }
+
+    /// Where the given kernel executes.
+    pub fn placement(&self, kernel: KernelId) -> Placement {
+        match &self.cloud {
+            Some(c) if c.offloads(kernel) => Placement::Cloud,
+            _ => Placement::Edge,
+        }
+    }
+
+    /// Latency of one invocation of `kernel` on this platform.
+    ///
+    /// Kernels the application does not use take zero time. Offloaded kernels
+    /// run `speedup` times faster than the TX2 *reference* point but pay the
+    /// network transfer.
+    pub fn kernel_latency(&self, kernel: KernelId) -> SimDuration {
+        let Some(profile) = self.profile.kernel(kernel) else {
+            return SimDuration::ZERO;
+        };
+        match self.placement(kernel) {
+            Placement::Edge => profile.latency(&self.operating_point),
+            Placement::Cloud => {
+                let cloud = self.cloud.as_ref().expect("cloud placement requires cloud config");
+                let compute = profile.reference_latency() / cloud.speedup.max(1e-9);
+                compute + cloud.link.transfer_time(cloud.payload_megabytes)
+            }
+        }
+    }
+
+    /// Scaled profile of a kernel at the current operating point (edge
+    /// latency), if the application uses it.
+    pub fn kernel_profile(&self, kernel: KernelId) -> Option<KernelProfile> {
+        self.profile.kernel(kernel).copied()
+    }
+
+    /// Perception-to-actuation latency δt used by the paper's Eq. 2: the sum
+    /// of the latencies of every kernel on the reactive path (perception +
+    /// collision check + tracking/command issue). Planning kernels are *not*
+    /// included — they determine hover time, not the reaction time that bounds
+    /// velocity.
+    pub fn reaction_latency(&self) -> SimDuration {
+        let reactive = [
+            KernelId::PointCloudGeneration,
+            KernelId::OctomapGeneration,
+            KernelId::CollisionCheck,
+            KernelId::Localization,
+            KernelId::ObjectDetection,
+            KernelId::TrackingRealTime,
+            KernelId::PidControl,
+            KernelId::PathTracking,
+        ];
+        reactive.iter().map(|k| self.kernel_latency(*k)).sum()
+    }
+
+    /// Total latency of one planning episode (all planning-stage kernels the
+    /// application uses). This is the time the MAV hovers waiting for a plan.
+    pub fn planning_latency(&self) -> SimDuration {
+        let planning = [
+            KernelId::MotionPlanning,
+            KernelId::FrontierExploration,
+            KernelId::LawnmowerPlanning,
+            KernelId::PathSmoothing,
+        ];
+        planning.iter().map(|k| self.kernel_latency(*k)).sum()
+    }
+}
+
+impl fmt::Display for ComputePlatform {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "platform[{} @ {}{}]",
+            self.application,
+            self.operating_point,
+            if self.cloud.is_some() { " + cloud" } else { "" }
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unused_kernels_cost_nothing() {
+        let p = ComputePlatform::tx2(ApplicationId::Scanning, OperatingPoint::reference());
+        assert!(p.kernel_latency(KernelId::OctomapGeneration).is_zero());
+        assert!(p.kernel_latency(KernelId::ObjectDetection).is_zero());
+        assert!(!p.kernel_latency(KernelId::LawnmowerPlanning).is_zero());
+    }
+
+    #[test]
+    fn slower_operating_points_have_longer_latencies() {
+        for &app in ApplicationId::all() {
+            let fast = ComputePlatform::tx2(app, OperatingPoint::reference());
+            let slow = ComputePlatform::tx2(app, OperatingPoint::slowest());
+            assert!(slow.reaction_latency() >= fast.reaction_latency());
+            assert!(slow.planning_latency() >= fast.planning_latency());
+        }
+    }
+
+    #[test]
+    fn reaction_latency_excludes_planning() {
+        let p = ComputePlatform::tx2(ApplicationId::Mapping3D, OperatingPoint::reference());
+        // Frontier exploration takes ~2.6 s; the reaction path must be much
+        // shorter than that.
+        assert!(p.reaction_latency().as_secs() < 1.0);
+        assert!(p.planning_latency().as_secs() > 2.0);
+    }
+
+    #[test]
+    fn cloud_offload_speeds_up_planning() {
+        let edge = ComputePlatform::tx2(ApplicationId::Mapping3D, OperatingPoint::reference());
+        let cloud = ComputePlatform::tx2_with_cloud(
+            ApplicationId::Mapping3D,
+            OperatingPoint::reference(),
+            CloudConfig::planning_offload(),
+        );
+        let edge_planning = edge.planning_latency().as_secs();
+        let cloud_planning = cloud.planning_latency().as_secs();
+        assert!(
+            cloud_planning < edge_planning / 2.0,
+            "cloud planning {cloud_planning} vs edge {edge_planning}"
+        );
+        // The reactive path (not offloaded) is unchanged.
+        assert_eq!(edge.reaction_latency(), cloud.reaction_latency());
+        assert_eq!(cloud.placement(KernelId::FrontierExploration), Placement::Cloud);
+        assert_eq!(cloud.placement(KernelId::OctomapGeneration), Placement::Edge);
+    }
+
+    #[test]
+    fn slow_network_erodes_offload_benefit() {
+        let mut cfg = CloudConfig::planning_offload();
+        cfg.link = NetworkLink::lte();
+        cfg.payload_megabytes = 20.0;
+        let lan = ComputePlatform::tx2_with_cloud(
+            ApplicationId::Mapping3D,
+            OperatingPoint::reference(),
+            CloudConfig::planning_offload(),
+        );
+        let lte = ComputePlatform::tx2_with_cloud(
+            ApplicationId::Mapping3D,
+            OperatingPoint::reference(),
+            cfg,
+        );
+        assert!(lte.planning_latency() > lan.planning_latency());
+    }
+
+    #[test]
+    fn network_transfer_time_model() {
+        let lan = NetworkLink::gigabit_lan();
+        // 1 MB over 1 Gb/s ≈ 8 ms + 2 ms RTT.
+        let t = lan.transfer_time(1.0).as_millis();
+        assert!((t - 10.0).abs() < 0.5, "transfer time {t} ms");
+        let lte = NetworkLink::lte();
+        assert!(lte.transfer_time(1.0) > lan.transfer_time(1.0));
+    }
+
+    #[test]
+    fn display_nonempty() {
+        let p = ComputePlatform::tx2(ApplicationId::PackageDelivery, OperatingPoint::reference());
+        assert!(!format!("{p}").is_empty());
+    }
+}

@@ -1,0 +1,162 @@
+//! The Aerial Photography application.
+//!
+//! The MAV follows a moving subject: an object detector finds the subject, a
+//! correlation-style tracker keeps the estimate fresh between detections, and
+//! a PID controller steers the vehicle to keep the subject centred in frame at
+//! a fixed stand-off distance. The mission lasts as long as the subject can be
+//! tracked; unlike the other workloads a *longer* mission time is better, and
+//! the QoF error metric is the mean framing error.
+
+use crate::context::MissionContext;
+use crate::qof::{MissionFailure, MissionReport};
+use mav_compute::KernelId;
+use mav_control::{Pid, PidConfig};
+use mav_env::ObstacleClass;
+use mav_perception::{DetectorConfig, ObjectDetector, TargetTracker, TrackerConfig};
+use mav_types::{SimDuration, Vec3};
+
+/// Stand-off distance behind the subject, metres.
+const STANDOFF: f64 = 6.0;
+/// Filming altitude, metres.
+const FILM_ALTITUDE: f64 = 4.0;
+/// The detector runs once every this many control ticks; the (cheaper)
+/// real-time tracker runs every tick.
+const DETECTION_PERIOD: u32 = 3;
+/// Consecutive ticks without a live track before the subject is declared lost.
+const MAX_LOST_TICKS: u32 = 12;
+/// Upper bound on the filming session, seconds of mission time.
+const MAX_SESSION_SECS: f64 = 150.0;
+
+/// Runs the Aerial Photography mission.
+pub fn run(mut ctx: MissionContext) -> MissionReport {
+    let mut detector =
+        ObjectDetector::new(DetectorConfig { seed: ctx.config.seed, ..Default::default() });
+    let mut tracker = TargetTracker::new(TrackerConfig::default());
+    let mut pid_x = Pid::new(PidConfig::new(0.9, 0.05, 0.2).with_output_limit(8.0));
+    let mut pid_y = Pid::new(PidConfig::new(0.9, 0.05, 0.2).with_output_limit(8.0));
+    let mut pid_z = Pid::new(PidConfig::new(1.0, 0.0, 0.1).with_output_limit(3.0));
+
+    if ctx.world.dynamic_obstacle_of_class(ObstacleClass::PhotographySubject).is_none() {
+        return ctx.finish(Some(MissionFailure::Other(
+            "no photography subject in the environment".to_string(),
+        )));
+    }
+
+    let mut tick_index = 0u32;
+    let mut lost_ticks = 0u32;
+    let session_budget = MAX_SESSION_SECS.min(ctx.config.time_budget_secs);
+    loop {
+        if let Some(failure) = ctx.budget_failure() {
+            return ctx.finish(Some(failure));
+        }
+        if ctx.clock.now().as_secs() >= session_budget {
+            // Tracked the subject for the whole session: full success.
+            return ctx.finish(None);
+        }
+        // Perception: detection every few ticks, real-time tracking every tick.
+        let mut kernels = vec![KernelId::TrackingRealTime, KernelId::PidControl, KernelId::PathTracking];
+        let run_detector = tick_index % DETECTION_PERIOD == 0;
+        if run_detector {
+            kernels.push(KernelId::ObjectDetection);
+            kernels.push(KernelId::TrackingBuffered);
+        }
+        let tick = ctx.charge_kernels(&kernels).max(SimDuration::from_millis(50.0));
+        tick_index += 1;
+
+        let pose = ctx.pose();
+        let detection = if run_detector {
+            detector.detect_class(&ctx.world, &pose, ObstacleClass::PhotographySubject)
+        } else {
+            None
+        };
+        if detection.is_some() {
+            ctx.note_detection();
+        }
+        if let Some(d) = &detection {
+            ctx.note_tracking_error(d.image_offset.abs());
+        }
+        let track = if run_detector {
+            tracker.update(detection.as_ref(), tick)
+        } else {
+            tracker.predict(tick)
+        };
+
+        let Some(track) = track else {
+            lost_ticks += 1;
+            if lost_ticks > MAX_LOST_TICKS {
+                // The subject escaped: the session ends here. This is not a
+                // failure — the mission time *is* the metric — but shorter
+                // sessions indicate weaker compute.
+                return ctx.finish(None);
+            }
+            // Hover while trying to re-acquire.
+            ctx.advance(Vec3::ZERO, tick);
+            continue;
+        };
+        lost_ticks = 0;
+
+        // Planning/control: PID towards the stand-off point behind the subject,
+        // kept inside the world bounds (the subject may hug the boundary).
+        let raw_desired = follow_point(&track.position, &track.velocity);
+        let b = ctx.world.bounds();
+        let desired = raw_desired.clamp(
+            &(b.min + Vec3::splat(2.0)),
+            &(b.max - Vec3::splat(2.0)),
+        );
+        let error = desired - pose.position;
+        let dt = tick.as_secs().max(1e-3);
+        let command = Vec3::new(
+            pid_x.update(error.x, dt),
+            pid_y.update(error.y, dt),
+            pid_z.update(error.z, dt),
+        );
+        let cap = ctx.velocity_cap();
+        ctx.advance(command.clamp_norm(cap), tick);
+    }
+}
+
+/// The camera position that keeps the subject framed: a stand-off behind the
+/// subject's direction of motion at the filming altitude.
+fn follow_point(subject: &Vec3, subject_velocity: &Vec3) -> Vec3 {
+    let behind = if subject_velocity.norm_xy() > 0.2 {
+        -subject_velocity.horizontal().normalized()
+    } else {
+        Vec3::new(-1.0, 0.0, 0.0)
+    };
+    Vec3::new(
+        subject.x + behind.x * STANDOFF,
+        subject.y + behind.y * STANDOFF,
+        FILM_ALTITUDE,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MissionConfig;
+    use mav_compute::ApplicationId;
+
+    #[test]
+    fn follow_point_sits_behind_the_subject() {
+        let p = follow_point(&Vec3::new(10.0, 0.0, 1.0), &Vec3::new(2.0, 0.0, 0.0));
+        assert!(p.x < 10.0);
+        assert_eq!(p.z, FILM_ALTITUDE);
+        // A stationary subject still gets a well-defined stand-off point.
+        let q = follow_point(&Vec3::new(5.0, 5.0, 1.0), &Vec3::ZERO);
+        assert!((q.distance(&Vec3::new(5.0 - STANDOFF, 5.0, FILM_ALTITUDE))) < 1e-9);
+    }
+
+    #[test]
+    fn photography_tracks_the_subject_for_a_while() {
+        let mut cfg = MissionConfig::fast_test(ApplicationId::AerialPhotography).with_seed(8);
+        cfg.environment.extent = 40.0;
+        cfg.environment.obstacle_density = 0.2;
+        cfg.time_budget_secs = 60.0;
+        let report = crate::apps::run_mission(cfg);
+        assert!(report.success(), "photography failed: {:?}", report.failure);
+        assert!(report.detections >= 1, "subject never detected");
+        assert!(report.kernel_timer.invocations(KernelId::TrackingRealTime) >= 5);
+        assert!(report.mission_time_secs > 5.0);
+        assert!(report.tracking_error >= 0.0);
+    }
+}

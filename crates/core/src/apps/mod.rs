@@ -1,0 +1,82 @@
+//! The five MAVBench benchmark applications.
+//!
+//! Each application composes the perception / planning / control kernels into
+//! the end-to-end closed-loop dataflow of the paper's Fig. 7 and runs it on
+//! the [`crate::MissionContext`] engine, producing a [`crate::MissionReport`].
+
+pub mod aerial_photography;
+pub mod mapping;
+pub mod package_delivery;
+pub mod scanning;
+pub mod search_rescue;
+
+use crate::config::MissionConfig;
+use crate::context::MissionContext;
+use crate::qof::{MissionFailure, MissionReport};
+use mav_compute::ApplicationId;
+
+/// Runs the benchmark application selected by `config.application` and returns
+/// its mission report.
+///
+/// This is the single entry point used by the examples, the integration tests
+/// and every experiment harness.
+///
+/// # Example
+///
+/// ```no_run
+/// use mav_compute::ApplicationId;
+/// use mav_core::{run_mission, MissionConfig};
+///
+/// let report = run_mission(MissionConfig::fast_test(ApplicationId::Scanning));
+/// println!("{report}");
+/// ```
+pub fn run_mission(config: MissionConfig) -> MissionReport {
+    let application = config.application;
+    match MissionContext::new(config) {
+        Ok(ctx) => match application {
+            ApplicationId::Scanning => scanning::run(ctx),
+            ApplicationId::AerialPhotography => aerial_photography::run(ctx),
+            ApplicationId::PackageDelivery => package_delivery::run(ctx),
+            ApplicationId::Mapping3D => mapping::run(ctx),
+            ApplicationId::SearchAndRescue => search_rescue::run(ctx),
+        },
+        Err(reason) => invalid_config_report(application, reason),
+    }
+}
+
+fn invalid_config_report(application: ApplicationId, reason: String) -> MissionReport {
+    use mav_compute::OperatingPoint;
+    use mav_energy::EnergyAccount;
+    use mav_runtime::KernelTimer;
+    use mav_types::SimDuration;
+    MissionReport::from_counters(
+        application,
+        OperatingPoint::reference(),
+        Some(MissionFailure::Other(format!("invalid configuration: {reason}"))),
+        SimDuration::ZERO,
+        SimDuration::ZERO,
+        0.0,
+        0.0,
+        &EnergyAccount::new(),
+        100.0,
+        0,
+        0,
+        0.0,
+        0.0,
+        KernelTimer::new(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn invalid_configuration_yields_a_failed_report() {
+        let mut cfg = MissionConfig::fast_test(ApplicationId::Scanning);
+        cfg.physics_dt = -1.0;
+        let report = run_mission(cfg);
+        assert!(!report.success());
+        assert_eq!(report.application, ApplicationId::Scanning);
+    }
+}

@@ -1,0 +1,124 @@
+//! The Scanning application: lawnmower coverage of a rectangular area.
+//!
+//! The MAV locates itself with GPS, plans an energy-efficient lawnmower path
+//! over the coverage area once, and then follows it closely while collecting
+//! ground data. Planning is done a single time, so (as the paper observes in
+//! Fig. 10) compute scaling barely changes this workload's mission metrics.
+
+use crate::context::MissionContext;
+use crate::qof::{MissionFailure, MissionReport};
+use mav_compute::KernelId;
+use mav_control::{PathTracker, PathTrackerConfig};
+use mav_planning::{plan_lawnmower, LawnmowerConfig, PathSmoother, SmootherConfig};
+use mav_types::{SimDuration, Vec3};
+
+/// Scan-area side length as a fraction of the world extent.
+const AREA_FRACTION: f64 = 0.55;
+/// Lane spacing of the sweep, metres.
+const LANE_SPACING: f64 = 12.0;
+/// Scanning altitude, metres (high enough that obstacles are irrelevant).
+const SCAN_ALTITUDE: f64 = 14.0;
+/// Nominal scanning speed, m/s (the paper's Fig. 10 reports 7.5 m/s).
+const SCAN_SPEED: f64 = 7.5;
+
+/// Runs the Scanning mission to completion.
+pub fn run(mut ctx: MissionContext) -> MissionReport {
+    // Perception: a GPS fix locates the vehicle (charged, but sub-millisecond).
+    ctx.hover_while_running(&[KernelId::Localization]);
+
+    // Planning: one lawnmower plan over the coverage area, computed while the
+    // vehicle hovers.
+    let half = ctx.config.environment.extent * AREA_FRACTION;
+    let area = LawnmowerConfig {
+        origin: Vec3::new(-half, -half, 0.0),
+        width: 2.0 * half,
+        length: 2.0 * half,
+        lane_spacing: LANE_SPACING,
+        altitude: SCAN_ALTITUDE,
+    };
+    ctx.hover_while_running(&[KernelId::LawnmowerPlanning]);
+    let waypoints = match plan_lawnmower(&area) {
+        Ok(w) => w,
+        Err(e) => return ctx.finish(Some(MissionFailure::PlanningFailed(e.to_string()))),
+    };
+
+    // Climb to the scanning altitude first, then sweep. The waypoint chain is
+    // smoothed into a dynamically feasible trajectory (corner slow-down and a
+    // trapezoidal velocity profile) so the sweep can actually be tracked.
+    let climb_target = Vec3::new(waypoints[0].x, waypoints[0].y, SCAN_ALTITUDE);
+    let speed = SCAN_SPEED.min(ctx.config.quadrotor.max_velocity);
+    let mut full_path = vec![ctx.pose().position, climb_target];
+    full_path.extend_from_slice(&waypoints[1..].as_ref());
+    let smoother = PathSmoother::new(SmootherConfig::new(
+        speed,
+        ctx.config.quadrotor.max_acceleration,
+    ));
+    let trajectory = match smoother.smooth(&full_path, ctx.clock.now()) {
+        Ok(t) => t,
+        Err(e) => return ctx.finish(Some(MissionFailure::PlanningFailed(e.to_string()))),
+    };
+
+    // Control: follow the sweep. Scanning flies over open ground, so the loop
+    // only charges localization and path tracking each tick — no occupancy
+    // map is maintained (matching the application's Table I kernel set).
+    let tracker = PathTracker::new(PathTrackerConfig::default());
+    loop {
+        if let Some(failure) = ctx.budget_failure() {
+            return ctx.finish(Some(failure));
+        }
+        let tick = ctx
+            .charge_kernels(&[KernelId::Localization, KernelId::PathTracking])
+            .max(SimDuration::from_millis(100.0));
+        let state = *ctx.quad.state();
+        let cmd = tracker.command(&trajectory, &state, ctx.clock.now());
+        if cmd.completed {
+            break;
+        }
+        let velocity = cmd.velocity.clamp_norm(speed);
+        ctx.advance(velocity, tick);
+    }
+    ctx.finish(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MissionConfig;
+    use mav_compute::{ApplicationId, OperatingPoint};
+
+    fn run_fast(point: OperatingPoint) -> MissionReport {
+        let mut cfg = MissionConfig::fast_test(ApplicationId::Scanning)
+            .with_operating_point(point)
+            .with_seed(3);
+        // Keep the test sweep small.
+        cfg.environment.extent = 30.0;
+        crate::apps::run_mission(cfg)
+    }
+
+    #[test]
+    fn scanning_completes_and_covers_the_area() {
+        let report = run_fast(OperatingPoint::reference());
+        assert!(report.success(), "scanning failed: {:?}", report.failure);
+        assert!(report.distance_m > 100.0, "swept only {} m", report.distance_m);
+        assert!(report.average_velocity > 2.0);
+        assert!(report.total_energy.as_joules() > 0.0);
+        assert!(report.kernel_timer.invocations(KernelId::LawnmowerPlanning) >= 1);
+        assert_eq!(report.kernel_timer.invocations(KernelId::OctomapGeneration), 0);
+    }
+
+    #[test]
+    fn compute_scaling_barely_affects_scanning() {
+        // Fig. 10: velocity, mission time and energy are essentially flat
+        // across operating points because planning is amortised.
+        let fast = run_fast(OperatingPoint::reference());
+        let slow = run_fast(OperatingPoint::slowest());
+        assert!(fast.success() && slow.success());
+        let time_ratio = slow.mission_time_secs / fast.mission_time_secs;
+        assert!(
+            time_ratio < 1.15,
+            "scanning mission time changed {time_ratio:.2}X across operating points"
+        );
+        let energy_ratio = slow.energy_kj() / fast.energy_kj();
+        assert!(energy_ratio < 1.2, "energy changed {energy_ratio:.2}X");
+    }
+}

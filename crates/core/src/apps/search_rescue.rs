@@ -1,0 +1,73 @@
+//! The Search and Rescue application.
+//!
+//! The MAV explores an unknown disaster area exactly like 3D Mapping, but the
+//! perception stage additionally runs an object-detection kernel every
+//! iteration; the mission ends successfully as soon as a person has been
+//! found (or unsuccessfully when exploration is exhausted without a find).
+
+use crate::apps::mapping::{explore, MappingGoal};
+use crate::context::MissionContext;
+use crate::qof::{MissionFailure, MissionReport};
+use mav_compute::KernelId;
+use mav_env::ObstacleClass;
+use mav_perception::{DetectorConfig, ObjectDetector};
+
+/// Sentinel used to break out of the exploration loop when a person is found.
+/// Exploration's hook reports "failures" to stop; a successful find is mapped
+/// back to success by [`run`].
+const FOUND_SENTINEL: &str = "__person_found__";
+
+/// Runs the Search and Rescue mission.
+pub fn run(mut ctx: MissionContext) -> MissionReport {
+    let mut detector = ObjectDetector::new(DetectorConfig { seed: ctx.config.seed, ..Default::default() });
+    let goal = MappingGoal { target_volume: f64::INFINITY, max_iterations: 16 };
+    let failure = explore(&mut ctx, goal, |ctx| {
+        // Perception hook: charge and run object detection on this iteration's
+        // viewpoint; a positive person detection ends the mission.
+        let latency = ctx.charge_kernel(KernelId::ObjectDetection);
+        ctx.hover(latency);
+        let pose = ctx.pose();
+        if let Some(_detection) = detector.detect_class(&ctx.world, &pose, ObstacleClass::Person) {
+            ctx.note_detection();
+            return Some(MissionFailure::Other(FOUND_SENTINEL.to_string()));
+        }
+        None
+    });
+    let failure = match failure {
+        Some(MissionFailure::Other(s)) if s == FOUND_SENTINEL => None,
+        Some(other) => Some(other),
+        // Exploration exhausted without finding anyone.
+        None => Some(MissionFailure::Other("search exhausted without finding a person".to_string())),
+    };
+    ctx.finish(failure)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MissionConfig;
+    use mav_compute::ApplicationId;
+
+    #[test]
+    fn search_and_rescue_runs_detection_and_exploration() {
+        let mut cfg = MissionConfig::fast_test(ApplicationId::SearchAndRescue).with_seed(6);
+        cfg.environment.extent = 25.0;
+        cfg.environment.people = 6; // plenty of targets in a small area
+        let report = crate::apps::run_mission(cfg);
+        // The mission must exercise both detection and frontier exploration.
+        assert!(report.kernel_timer.invocations(KernelId::ObjectDetection) >= 1);
+        assert!(report.kernel_timer.invocations(KernelId::OctomapGeneration) >= 1);
+        // With six people scattered in a 50 m square the search normally
+        // succeeds; if it does not, the failure must be the explicit
+        // "exhausted" outcome rather than a crash/collision.
+        if !report.success() {
+            match report.failure.as_ref().unwrap() {
+                MissionFailure::Other(msg) => assert!(msg.contains("exhausted")),
+                MissionFailure::Timeout | MissionFailure::BatteryExhausted => {}
+                other => panic!("unexpected failure {other:?}"),
+            }
+        } else {
+            assert!(report.detections >= 1);
+        }
+    }
+}

@@ -1,0 +1,525 @@
+//! The closed-loop mission engine shared by every benchmark application.
+//!
+//! [`MissionContext`] owns the whole simulated system — environment, vehicle,
+//! battery, energy accounting, compute platform, sensors and occupancy map —
+//! and exposes the operations the five applications compose: charge a kernel's
+//! latency to the mission clock, hover while planning, fly a trajectory under
+//! the Eq. 2 velocity cap with continuous perception and collision checking,
+//! and produce the final QoF report.
+
+use crate::config::{MissionConfig, ResolutionPolicy};
+use crate::qof::{MissionFailure, MissionReport};
+use crate::velocity::max_safe_velocity;
+use mav_compute::{ComputePlatform, KernelId};
+use mav_control::{PathTracker, PathTrackerConfig};
+use mav_dynamics::Quadrotor;
+use mav_energy::{
+    Battery, ComputePowerModel, EnergyAccount, FlightPhaseLabel, RotorPowerModel,
+};
+use mav_env::World;
+use mav_perception::{OctoMap, OctoMapConfig, PointCloud};
+use mav_planning::{CollisionChecker, PlannerConfig, PlannerKind, ShortestPathPlanner};
+use mav_runtime::{KernelTimer, SimClock};
+use mav_sensors::{DepthCamera, DepthImage, DepthNoiseModel};
+use mav_types::{Aabb, Pose, SimDuration, Trajectory, Vec3};
+
+/// Why a trajectory-following episode ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlightOutcome {
+    /// The end of the trajectory was reached.
+    Completed,
+    /// The continuously updated map shows the remaining plan in collision;
+    /// the caller should re-plan.
+    NeedsReplan,
+    /// The mission-level budget (time, battery, collision) was blown.
+    Aborted,
+}
+
+/// The closed-loop mission engine.
+pub struct MissionContext {
+    /// The mission configuration.
+    pub config: MissionConfig,
+    /// Ground-truth world.
+    pub world: World,
+    /// The vehicle.
+    pub quad: Quadrotor,
+    /// The battery pack being drained.
+    pub battery: Battery,
+    /// Per-subsystem energy account.
+    pub energy: EnergyAccount,
+    /// Companion-computer model.
+    pub platform: ComputePlatform,
+    /// Per-kernel simulated-time totals.
+    pub timer: KernelTimer,
+    /// Mission clock.
+    pub clock: SimClock,
+    /// The occupancy map being built.
+    pub map: OctoMap,
+    rotor_power: RotorPowerModel,
+    compute_power: ComputePowerModel,
+    camera: DepthCamera,
+    depth_noise: DepthNoiseModel,
+    tracker: PathTracker,
+    current_resolution: f64,
+    hover_time: SimDuration,
+    distance: f64,
+    collided: bool,
+    replans: u32,
+    detections: u32,
+    tracking_error_sum: f64,
+    tracking_error_samples: u32,
+    mapped_volume: f64,
+}
+
+impl MissionContext {
+    /// Builds a mission from its configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive message when the configuration is invalid.
+    pub fn new(config: MissionConfig) -> Result<Self, String> {
+        config.validate()?;
+        let world = config.environment.generate();
+        let start = Pose::new(Vec3::new(0.0, 0.0, config.quadrotor.cruise_altitude), 0.0);
+        let quad = Quadrotor::new(config.quadrotor.clone(), start);
+        let battery = Battery::new(config.battery);
+        let rotor_power = RotorPowerModel::new(Default::default(), config.quadrotor.mass);
+        let platform = match &config.cloud {
+            Some(cloud) => mav_compute::ComputePlatform::tx2_with_cloud(
+                config.application,
+                config.operating_point,
+                cloud.clone(),
+            ),
+            None => mav_compute::ComputePlatform::tx2(config.application, config.operating_point),
+        };
+        let resolution = config.resolution_policy.initial_resolution();
+        let half_extent = config.environment.extent.max(config.environment.height) + 5.0;
+        let map = OctoMap::new(OctoMapConfig::with_resolution(resolution), half_extent);
+        let camera = DepthCamera::new(config.camera);
+        let depth_noise = DepthNoiseModel::new(config.depth_noise_std, config.seed);
+        Ok(MissionContext {
+            world,
+            quad,
+            battery,
+            energy: EnergyAccount::new(),
+            platform,
+            timer: KernelTimer::new(),
+            clock: SimClock::new(),
+            map,
+            rotor_power,
+            compute_power: ComputePowerModel::tx2(),
+            camera,
+            depth_noise,
+            tracker: PathTracker::new(PathTrackerConfig::default()),
+            current_resolution: resolution,
+            hover_time: SimDuration::ZERO,
+            distance: 0.0,
+            collided: false,
+            replans: 0,
+            detections: 0,
+            tracking_error_sum: 0.0,
+            tracking_error_samples: 0,
+            mapped_volume: 0.0,
+            config,
+        })
+    }
+
+    /// The vehicle's current pose.
+    pub fn pose(&self) -> Pose {
+        self.quad.state().pose
+    }
+
+    /// Total hover time so far.
+    pub fn hover_time(&self) -> SimDuration {
+        self.hover_time
+    }
+
+    /// Distance travelled so far, metres.
+    pub fn distance(&self) -> f64 {
+        self.distance
+    }
+
+    /// Number of re-planning episodes recorded so far.
+    pub fn replans(&self) -> u32 {
+        self.replans
+    }
+
+    /// Records a re-planning episode.
+    pub fn note_replan(&mut self) {
+        self.replans += 1;
+    }
+
+    /// Records a target detection.
+    pub fn note_detection(&mut self) {
+        self.detections += 1;
+    }
+
+    /// Records one framing-error sample (aerial photography).
+    pub fn note_tracking_error(&mut self, error: f64) {
+        self.tracking_error_sum += error.abs();
+        self.tracking_error_samples += 1;
+    }
+
+    /// The current OctoMap resolution in metres.
+    pub fn current_resolution(&self) -> f64 {
+        self.current_resolution
+    }
+
+    /// The collision checker matched to the vehicle.
+    pub fn collision_checker(&self) -> CollisionChecker {
+        CollisionChecker::new(self.config.quadrotor.radius.max(0.05) + 0.05)
+    }
+
+    /// A shortest-path planner over the world bounds.
+    pub fn shortest_path_planner(&self, kind: PlannerKind) -> ShortestPathPlanner {
+        let b = self.world.bounds();
+        let bounds = Aabb::new(
+            Vec3::new(b.min.x + 1.0, b.min.y + 1.0, 0.5),
+            Vec3::new(b.max.x - 1.0, b.max.y - 1.0, (b.max.z - 1.0).min(12.0)),
+        );
+        ShortestPathPlanner::new(
+            PlannerConfig::new(kind, bounds).with_seed(self.config.seed ^ 0x51ed),
+        )
+    }
+
+    /// Compute power at the configured operating point.
+    fn compute_power_now(&self) -> mav_types::Power {
+        self.compute_power.power(
+            self.config.operating_point.cores,
+            self.config.operating_point.frequency.as_ghz(),
+        )
+    }
+
+    /// Latency of one invocation of `kernel`, with the OctoMap-resolution cost
+    /// multiplier applied to the map-update kernel, charged to the kernel
+    /// timer. The caller decides whether the vehicle hovers or flies while the
+    /// kernel runs.
+    pub fn charge_kernel(&mut self, kernel: KernelId) -> SimDuration {
+        let mut latency = self.platform.kernel_latency(kernel);
+        if kernel == KernelId::OctomapGeneration {
+            latency = latency * ResolutionPolicy::octomap_cost_multiplier(self.current_resolution);
+        }
+        self.timer.record(kernel, latency);
+        latency
+    }
+
+    /// Total latency of a set of kernels, each charged to the timer.
+    pub fn charge_kernels(&mut self, kernels: &[KernelId]) -> SimDuration {
+        kernels.iter().map(|k| self.charge_kernel(*k)).sum()
+    }
+
+    /// The perception-to-actuation latency δt of the reactive path at the
+    /// current operating point and map resolution.
+    pub fn reaction_latency(&mut self) -> SimDuration {
+        let base = self.platform.reaction_latency();
+        let octo = self.platform.kernel_latency(KernelId::OctomapGeneration);
+        let scaled_octo =
+            octo * ResolutionPolicy::octomap_cost_multiplier(self.current_resolution);
+        base - octo + scaled_octo
+    }
+
+    /// The Eq. 2 velocity cap the mission currently flies under: the minimum
+    /// of the application cruise limit, the airframe limit and the
+    /// compute-bounded maximum safe velocity.
+    pub fn velocity_cap(&mut self) -> f64 {
+        let dt = self.reaction_latency();
+        let safe = max_safe_velocity(
+            dt,
+            self.config.stopping_distance,
+            self.config.quadrotor.max_acceleration,
+        );
+        safe.min(self.config.cruise_velocity).min(self.config.quadrotor.max_velocity)
+    }
+
+    /// Advances the whole simulation by `duration` while the vehicle tracks
+    /// `velocity_cmd`. Physics, dynamic obstacles, collision detection, energy
+    /// and battery are all integrated.
+    pub fn advance(&mut self, velocity_cmd: Vec3, duration: SimDuration) {
+        let mut remaining = duration.as_secs();
+        let dt = self.config.physics_dt;
+        let hovering = velocity_cmd.norm() < 0.05;
+        while remaining > 1e-9 {
+            let step = remaining.min(dt);
+            self.quad.step(velocity_cmd, step);
+            self.world.step_dynamics(step);
+            let state = *self.quad.state();
+            // Ground-truth collision check.
+            if self.world.collides_sphere(&state.pose.position, self.config.quadrotor.radius) {
+                self.collided = true;
+            }
+            let rotor = self.rotor_power.power(
+                &state.twist.linear,
+                &state.acceleration,
+                &Vec3::ZERO,
+            );
+            let compute = self.compute_power_now();
+            let phase = if hovering { FlightPhaseLabel::Hovering } else { FlightPhaseLabel::Flying };
+            let step_d = SimDuration::from_secs(step);
+            self.energy.record(self.clock.now(), step_d, rotor, compute, phase);
+            self.battery.discharge(rotor + compute + mav_types::Power::from_watts(2.0), step_d);
+            self.distance += state.twist.linear.norm() * step;
+            if hovering {
+                self.hover_time += step_d;
+            }
+            self.clock.advance(step_d);
+            remaining -= step;
+        }
+    }
+
+    /// Hovers in place for `duration` (e.g. while a planning kernel runs).
+    pub fn hover(&mut self, duration: SimDuration) {
+        self.advance(Vec3::ZERO, duration);
+    }
+
+    /// Charges the given kernels and hovers for their combined latency — the
+    /// "drone waits for its mission planner" behaviour whose cost the paper
+    /// attributes to slow compute.
+    pub fn hover_while_running(&mut self, kernels: &[KernelId]) -> SimDuration {
+        let latency = self.charge_kernels(kernels);
+        self.hover(latency);
+        latency
+    }
+
+    /// Captures a depth frame from the current pose (with the configured
+    /// noise model applied).
+    pub fn capture_depth(&mut self) -> DepthImage {
+        let pose = self.pose();
+        let mut frame = self.camera.capture(&self.world, &pose);
+        self.depth_noise.apply(&mut frame);
+        frame
+    }
+
+    /// Integrates a depth frame into the occupancy map: point-cloud
+    /// generation, optional dynamic-resolution switch, and the OctoMap update.
+    /// Returns the combined simulated latency of the perception kernels
+    /// (charged to the timer, not yet to the clock).
+    pub fn update_map(&mut self, frame: &DepthImage) -> SimDuration {
+        // Dynamic resolution policy: sample the local obstacle density and
+        // switch the map resolution when the policy asks for it.
+        let density = self.world.obstacle_density_near(&self.pose().position, 8.0);
+        let wanted = self.config.resolution_policy.resolution_for_density(density);
+        if (wanted - self.current_resolution).abs() > 1e-9 {
+            self.map = self.map.reresolved(wanted);
+            self.current_resolution = wanted;
+        }
+        let latency = self.charge_kernels(&[
+            KernelId::PointCloudGeneration,
+            KernelId::OctomapGeneration,
+            KernelId::CollisionCheck,
+            KernelId::Localization,
+        ]);
+        let cloud = PointCloud::from_depth_image(frame).downsample(self.current_resolution);
+        self.map.insert_point_cloud(&cloud);
+        self.mapped_volume = self.map.mapped_volume();
+        latency
+    }
+
+    /// Checks the mission-level budgets. Returns the failure that ends the
+    /// mission, if any.
+    pub fn budget_failure(&self) -> Option<MissionFailure> {
+        if self.collided {
+            return Some(MissionFailure::Collision);
+        }
+        if self.battery.is_exhausted() {
+            return Some(MissionFailure::BatteryExhausted);
+        }
+        if self.clock.now().as_secs() > self.config.time_budget_secs {
+            return Some(MissionFailure::Timeout);
+        }
+        None
+    }
+
+    /// Flies a planned trajectory under the Eq. 2 velocity cap with continuous
+    /// perception: every control tick the reactive kernels are charged, the
+    /// map is refreshed from a new depth frame, and the remainder of the plan
+    /// is collision-checked. Returns why the episode ended.
+    pub fn fly_trajectory(&mut self, trajectory: &Trajectory) -> FlightOutcome {
+        if trajectory.is_empty() {
+            return FlightOutcome::Completed;
+        }
+        let cap = self.velocity_cap();
+        let checker = self.collision_checker();
+        let start_time = self.clock.now();
+        let Some(first) = trajectory.first() else { return FlightOutcome::Completed };
+        let traj_start = first.time;
+        // Guard against pathological plans: bound the episode duration.
+        let max_episode = trajectory.duration_secs() * 4.0 + 60.0;
+        loop {
+            if self.budget_failure().is_some() {
+                return FlightOutcome::Aborted;
+            }
+            if self.clock.now().since(start_time).as_secs() > max_episode {
+                return FlightOutcome::Aborted;
+            }
+            // One perception/control tick: reactive kernels set the tick
+            // length, and therefore how long the vehicle flies "blind".
+            let frame = self.capture_depth();
+            let mut tick = self.update_map(&frame);
+            tick += self.charge_kernel(KernelId::PathTracking);
+            let tick = tick.max(SimDuration::from_millis(50.0));
+            // Sample the plan at the trajectory-relative time.
+            let plan_time = traj_start + self.clock.now().since(start_time);
+            let state = *self.quad.state();
+            let cmd = self.tracker.command(trajectory, &state, plan_time);
+            if cmd.completed {
+                return FlightOutcome::Completed;
+            }
+            // Collision-check the remainder of the plan against the fresh map.
+            let from_index = trajectory
+                .points()
+                .iter()
+                .position(|p| p.time >= plan_time)
+                .unwrap_or(0);
+            if checker.first_collision(&self.map, trajectory, from_index).is_some() {
+                return FlightOutcome::NeedsReplan;
+            }
+            let velocity = cmd.velocity.clamp_norm(cap);
+            self.advance(velocity, tick);
+        }
+    }
+
+    /// Finalises the mission into a report.
+    pub fn finish(mut self, failure: Option<MissionFailure>) -> MissionReport {
+        let velocity_cap = self.velocity_cap();
+        let tracking_error = if self.tracking_error_samples > 0 {
+            self.tracking_error_sum / self.tracking_error_samples as f64
+        } else {
+            0.0
+        };
+        MissionReport::from_counters(
+            self.config.application,
+            self.config.operating_point,
+            failure,
+            self.clock.now().since(mav_types::SimTime::ZERO),
+            self.hover_time,
+            self.distance,
+            velocity_cap,
+            &self.energy,
+            self.battery.percentage(),
+            self.replans,
+            self.detections,
+            self.mapped_volume,
+            tracking_error,
+            self.timer.clone(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mav_compute::{ApplicationId, OperatingPoint};
+    use mav_types::SimTime;
+
+    fn ctx(app: ApplicationId) -> MissionContext {
+        MissionContext::new(MissionConfig::fast_test(app)).unwrap()
+    }
+
+    #[test]
+    fn construction_succeeds_for_every_application() {
+        for &app in ApplicationId::all() {
+            let c = ctx(app);
+            assert_eq!(c.pose().position.z, c.config.quadrotor.cruise_altitude);
+            assert_eq!(c.battery.percentage(), 100.0);
+        }
+    }
+
+    #[test]
+    fn invalid_config_is_rejected() {
+        let mut cfg = MissionConfig::fast_test(ApplicationId::Scanning);
+        cfg.physics_dt = 0.0;
+        assert!(MissionContext::new(cfg).is_err());
+    }
+
+    #[test]
+    fn advancing_burns_energy_and_moves_the_clock() {
+        let mut c = ctx(ApplicationId::Scanning);
+        c.advance(Vec3::new(4.0, 0.0, 0.0), SimDuration::from_secs(5.0));
+        assert!(c.clock.now().as_secs() >= 5.0 - 1e-9);
+        assert!(c.distance() > 5.0);
+        assert!(c.energy.total_energy().as_joules() > 0.0);
+        assert!(c.battery.percentage() < 100.0);
+        assert!(c.energy.rotor_fraction() > 0.9);
+    }
+
+    #[test]
+    fn hovering_accumulates_hover_time() {
+        let mut c = ctx(ApplicationId::Scanning);
+        c.hover(SimDuration::from_secs(3.0));
+        assert!((c.hover_time().as_secs() - 3.0).abs() < 0.1);
+        assert!(c.distance() < 0.5);
+    }
+
+    #[test]
+    fn kernel_charging_scales_with_operating_point() {
+        let mut fast = ctx(ApplicationId::PackageDelivery);
+        let mut slow = MissionContext::new(
+            MissionConfig::fast_test(ApplicationId::PackageDelivery)
+                .with_operating_point(OperatingPoint::slowest()),
+        )
+        .unwrap();
+        let lf = fast.charge_kernel(KernelId::OctomapGeneration);
+        let ls = slow.charge_kernel(KernelId::OctomapGeneration);
+        assert!(ls > lf);
+        assert_eq!(fast.timer.invocations(KernelId::OctomapGeneration), 1);
+    }
+
+    #[test]
+    fn velocity_cap_improves_with_compute() {
+        let mut fast = ctx(ApplicationId::PackageDelivery);
+        let mut slow = MissionContext::new(
+            MissionConfig::fast_test(ApplicationId::PackageDelivery)
+                .with_operating_point(OperatingPoint::slowest()),
+        )
+        .unwrap();
+        assert!(fast.velocity_cap() > slow.velocity_cap());
+        // Scanning has almost no reactive kernels, so its cap equals the
+        // application cruise limit at every operating point.
+        let mut scan = ctx(ApplicationId::Scanning);
+        assert!((scan.velocity_cap() - scan.config.cruise_velocity.min(scan.config.quadrotor.max_velocity)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn depth_capture_and_map_update_populate_the_map() {
+        let mut c = ctx(ApplicationId::PackageDelivery);
+        let frame = c.capture_depth();
+        let latency = c.update_map(&frame);
+        assert!(!latency.is_zero());
+        assert!(c.map.known_voxel_count() > 0);
+        assert!(c.timer.invocations(KernelId::OctomapGeneration) == 1);
+    }
+
+    #[test]
+    fn budget_failure_detects_timeout() {
+        let mut cfg = MissionConfig::fast_test(ApplicationId::Scanning);
+        cfg.time_budget_secs = 1.0;
+        let mut c = MissionContext::new(cfg).unwrap();
+        assert!(c.budget_failure().is_none());
+        c.hover(SimDuration::from_secs(2.0));
+        assert_eq!(c.budget_failure(), Some(MissionFailure::Timeout));
+    }
+
+    #[test]
+    fn fly_trajectory_reaches_an_open_space_goal() {
+        let mut c = ctx(ApplicationId::Scanning);
+        let start = c.pose().position;
+        let goal = start + Vec3::new(20.0, -15.0, 0.0);
+        let traj = Trajectory::from_waypoints(&[start, goal], 4.0, SimTime::ZERO);
+        let outcome = c.fly_trajectory(&traj);
+        assert_eq!(outcome, FlightOutcome::Completed);
+        assert!(c.pose().position.distance(&goal) < 2.0);
+        assert!(c.distance() > 15.0);
+    }
+
+    #[test]
+    fn finish_produces_a_consistent_report() {
+        let mut c = ctx(ApplicationId::Scanning);
+        c.advance(Vec3::new(3.0, 0.0, 0.0), SimDuration::from_secs(10.0));
+        let report = c.finish(None);
+        assert!(report.success());
+        assert!(report.mission_time_secs >= 10.0 - 1e-6);
+        assert!(report.distance_m > 20.0);
+        assert!(report.average_velocity > 1.0);
+        assert!(report.total_energy.as_joules() > 0.0);
+    }
+}

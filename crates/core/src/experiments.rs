@@ -1,0 +1,231 @@
+//! Experiment drivers: the parameter sweeps behind every table and figure of
+//! the paper's evaluation.
+//!
+//! Each function here is called both by the `mav-bench` harness binaries
+//! (which print the tables) and by the integration tests (which assert the
+//! qualitative shape of the results: who wins, in which direction, by roughly
+//! what factor).
+
+use crate::apps::run_mission;
+use crate::config::{MissionConfig, ResolutionPolicy};
+use crate::qof::MissionReport;
+use mav_compute::{ApplicationId, CloudConfig, KernelId, OperatingPoint};
+use serde::{Deserialize, Serialize};
+
+/// One cell of an operating-point heat map (Figs. 10–14).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HeatmapCell {
+    /// Core count of the operating point.
+    pub cores: u32,
+    /// Clock frequency in GHz.
+    pub frequency_ghz: f64,
+    /// The mission report produced at this operating point.
+    pub report: MissionReport,
+}
+
+/// Runs the 3×3 TX2 operating-point sweep for one application.
+///
+/// `configure` receives the default configuration for the application and may
+/// adjust it (seed, environment size, …) before each run.
+pub fn operating_point_sweep(
+    application: ApplicationId,
+    configure: impl Fn(MissionConfig) -> MissionConfig,
+) -> Vec<HeatmapCell> {
+    OperatingPoint::tx2_sweep()
+        .into_iter()
+        .map(|point| {
+            let config = configure(MissionConfig::new(application)).with_operating_point(point);
+            let report = run_mission(config);
+            HeatmapCell { cores: point.cores, frequency_ghz: point.frequency.as_ghz(), report }
+        })
+        .collect()
+}
+
+/// Finds the heat-map cell for a specific operating point.
+pub fn cell<'a>(cells: &'a [HeatmapCell], cores: u32, frequency_ghz: f64) -> Option<&'a HeatmapCell> {
+    cells
+        .iter()
+        .find(|c| c.cores == cores && (c.frequency_ghz - frequency_ghz).abs() < 1e-9)
+}
+
+/// Renders a 3×3 heat map as a text table of the selected metric.
+pub fn format_heatmap(cells: &[HeatmapCell], metric_name: &str, metric: impl Fn(&MissionReport) -> f64) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{metric_name:<18} |   0.8 GHz |   1.5 GHz |   2.2 GHz\n"));
+    out.push_str(&format!("{}\n", "-".repeat(60)));
+    for cores in [4u32, 3, 2] {
+        out.push_str(&format!("{cores} cores            |"));
+        for f in [0.8, 1.5, 2.2] {
+            match cell(cells, cores, f) {
+                Some(c) => out.push_str(&format!(" {:>9.2} |", metric(&c.report))),
+                None => out.push_str("       n/a |"),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// The edge-vs-cloud comparison of the performance case study (Fig. 16).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CloudComparison {
+    /// Fully-on-edge run.
+    pub edge: MissionReport,
+    /// Sensor-cloud run (planning offloaded over a gigabit link).
+    pub cloud: MissionReport,
+}
+
+impl CloudComparison {
+    /// Ratio of edge to cloud mission time (>1 means the cloud run is faster).
+    pub fn speedup(&self) -> f64 {
+        if self.cloud.mission_time_secs <= 0.0 {
+            return 1.0;
+        }
+        self.edge.mission_time_secs / self.cloud.mission_time_secs
+    }
+
+    /// Planning time (frontier exploration + motion planning + smoothing) of a
+    /// report, seconds.
+    pub fn planning_time(report: &MissionReport) -> f64 {
+        [
+            KernelId::FrontierExploration,
+            KernelId::MotionPlanning,
+            KernelId::PathSmoothing,
+        ]
+        .iter()
+        .map(|k| report.kernel_timer.total(*k).as_secs())
+        .sum()
+    }
+}
+
+/// Runs the sensor-cloud case study on 3D Mapping.
+pub fn cloud_offload_study(
+    configure: impl Fn(MissionConfig) -> MissionConfig,
+) -> CloudComparison {
+    let edge_cfg = configure(MissionConfig::new(ApplicationId::Mapping3D));
+    let cloud_cfg = configure(MissionConfig::new(ApplicationId::Mapping3D))
+        .with_cloud(CloudConfig::planning_offload());
+    CloudComparison { edge: run_mission(edge_cfg), cloud: run_mission(cloud_cfg) }
+}
+
+/// One row of the OctoMap-resolution study (Fig. 19).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResolutionRow {
+    /// Human-readable policy label.
+    pub policy: String,
+    /// The application it ran on.
+    pub application: ApplicationId,
+    /// The mission report.
+    pub report: MissionReport,
+}
+
+/// Runs the static-fine / static-coarse / dynamic resolution study for one
+/// application.
+pub fn resolution_study(
+    application: ApplicationId,
+    configure: impl Fn(MissionConfig) -> MissionConfig,
+) -> Vec<ResolutionRow> {
+    let policies = [
+        ("static 0.15 m", ResolutionPolicy::static_fine()),
+        ("static 0.80 m", ResolutionPolicy::static_coarse()),
+        ("dynamic 0.15/0.80 m", ResolutionPolicy::dynamic_default()),
+    ];
+    policies
+        .iter()
+        .map(|(label, policy)| {
+            let config = configure(MissionConfig::new(application)).with_resolution_policy(*policy);
+            ResolutionRow {
+                policy: (*label).to_string(),
+                application,
+                report: run_mission(config),
+            }
+        })
+        .collect()
+}
+
+/// One row of the depth-noise reliability study (Table II).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NoiseRow {
+    /// Injected noise standard deviation, metres.
+    pub noise_std: f64,
+    /// Fraction of runs that failed.
+    pub failure_rate: f64,
+    /// Mean number of re-planning episodes over the successful runs.
+    pub mean_replans: f64,
+    /// Mean mission time over the successful runs, seconds.
+    pub mean_mission_time: f64,
+}
+
+/// Runs the Table II reliability study: Package Delivery under increasing
+/// depth-image noise, `runs` repetitions per noise level.
+pub fn noise_reliability_study(
+    noise_levels: &[f64],
+    runs: u32,
+    configure: impl Fn(MissionConfig) -> MissionConfig,
+) -> Vec<NoiseRow> {
+    noise_levels
+        .iter()
+        .map(|&std| {
+            let mut failures = 0u32;
+            let mut replans = 0.0;
+            let mut times = 0.0;
+            let mut successes = 0u32;
+            for run in 0..runs {
+                let config = configure(MissionConfig::new(ApplicationId::PackageDelivery))
+                    .with_depth_noise(std)
+                    .with_seed(1000 + run as u64 * 17);
+                let report = run_mission(config);
+                if report.success() {
+                    successes += 1;
+                    replans += report.replans as f64;
+                    times += report.mission_time_secs;
+                } else {
+                    failures += 1;
+                }
+            }
+            NoiseRow {
+                noise_std: std,
+                failure_rate: failures as f64 / runs.max(1) as f64,
+                mean_replans: if successes > 0 { replans / successes as f64 } else { 0.0 },
+                mean_mission_time: if successes > 0 { times / successes as f64 } else { 0.0 },
+            }
+        })
+        .collect()
+}
+
+/// Scales a default configuration down so the full experiment sweeps finish
+/// quickly (used by tests and the harness `--quick` mode).
+pub fn quick_config(config: MissionConfig) -> MissionConfig {
+    let mut cfg = config;
+    cfg.environment.extent = cfg.environment.extent.min(32.0);
+    cfg.environment.obstacle_density = cfg.environment.obstacle_density.min(1.5);
+    cfg.camera = mav_sensors::DepthCameraConfig { width: 16, height: 12, ..Default::default() };
+    cfg.time_budget_secs = 900.0;
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn heatmap_formatting_contains_all_cells() {
+        // Use the cheap Scanning application for a smoke test of the sweep
+        // plumbing itself; the shape assertions on the heavier applications
+        // live in the integration tests.
+        let cells = operating_point_sweep(ApplicationId::Scanning, |cfg| {
+            let mut c = quick_config(cfg).with_seed(2);
+            c.environment.extent = 20.0;
+            c
+        });
+        assert_eq!(cells.len(), 9);
+        assert!(cell(&cells, 4, 2.2).is_some());
+        assert!(cell(&cells, 2, 0.8).is_some());
+        assert!(cell(&cells, 5, 1.0).is_none());
+        let table = format_heatmap(&cells, "mission time (s)", |r| r.mission_time_secs);
+        assert!(table.contains("4 cores"));
+        assert!(table.contains("2.2 GHz"));
+        // Every scanning run succeeds.
+        assert!(cells.iter().all(|c| c.report.success()));
+    }
+}

@@ -1,0 +1,113 @@
+//! The compute-bounded maximum safe velocity (the paper's Eq. 2).
+//!
+//! For a guaranteed collision-free flight, the drone must be able to come to
+//! a stop within its sensing horizon even though it only reacts after the
+//! perception-to-actuation latency δt has elapsed:
+//!
+//! `v_max = a_max · (sqrt(δt² + 2 d / a_max) − δt)`
+//!
+//! where `d` is the stopping distance budget and `a_max` the maximum
+//! deceleration. Faster compute (smaller δt) therefore directly raises the
+//! safe velocity — the central mechanism linking compute to mission time and
+//! energy in MAVBench.
+
+use mav_types::SimDuration;
+
+/// Maximum safe velocity given the perception-to-actuation latency, the
+/// available stopping distance and the maximum deceleration (Eq. 2).
+///
+/// # Panics
+///
+/// Panics if `stopping_distance` or `max_acceleration` is not strictly
+/// positive.
+///
+/// # Example
+///
+/// ```
+/// use mav_core::velocity::max_safe_velocity;
+/// use mav_types::SimDuration;
+///
+/// let fast = max_safe_velocity(SimDuration::from_millis(100.0), 10.0, 5.0);
+/// let slow = max_safe_velocity(SimDuration::from_secs(2.0), 10.0, 5.0);
+/// assert!(fast > slow);
+/// ```
+pub fn max_safe_velocity(
+    process_time: SimDuration,
+    stopping_distance: f64,
+    max_acceleration: f64,
+) -> f64 {
+    assert!(stopping_distance > 0.0, "stopping distance must be positive");
+    assert!(max_acceleration > 0.0, "max acceleration must be positive");
+    let dt = process_time.as_secs();
+    max_acceleration * ((dt * dt + 2.0 * stopping_distance / max_acceleration).sqrt() - dt)
+}
+
+/// Sweeps Eq. 2 over a range of process times (used by the Fig. 8a
+/// reproduction). Returns `(process_time_s, v_max)` pairs.
+pub fn velocity_vs_process_time(
+    max_process_time_s: f64,
+    steps: usize,
+    stopping_distance: f64,
+    max_acceleration: f64,
+) -> Vec<(f64, f64)> {
+    let steps = steps.max(2);
+    (0..=steps)
+        .map(|i| {
+            let t = max_process_time_s * i as f64 / steps as f64;
+            (
+                t,
+                max_safe_velocity(SimDuration::from_secs(t), stopping_distance, max_acceleration),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_latency_gives_kinematic_limit() {
+        // With δt = 0 the bound is sqrt(2 a d).
+        let v = max_safe_velocity(SimDuration::ZERO, 10.0, 5.0);
+        assert!((v - (2.0f64 * 5.0 * 10.0).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn velocity_is_monotone_decreasing_in_latency() {
+        let mut last = f64::INFINITY;
+        for ms in [0.0, 50.0, 200.0, 500.0, 1000.0, 2000.0, 4000.0] {
+            let v = max_safe_velocity(SimDuration::from_millis(ms), 10.0, 5.0);
+            assert!(v < last);
+            assert!(v > 0.0);
+            last = v;
+        }
+    }
+
+    #[test]
+    fn paper_figure_8a_range_is_reproduced() {
+        // Fig. 8a: the simulated drone's theoretical max velocity falls from
+        // ~8.83 m/s to ~1.57 m/s as the process time grows from 0 to 4 s.
+        // With d = 7.8 m and a = 5 m/s² the same envelope appears.
+        let fast = max_safe_velocity(SimDuration::ZERO, 7.8, 5.0);
+        let slow = max_safe_velocity(SimDuration::from_secs(4.0), 7.8, 5.0);
+        assert!((fast - 8.83).abs() < 0.1, "fast bound {fast}");
+        assert!((slow - 1.57).abs() < 0.4, "slow bound {slow}");
+    }
+
+    #[test]
+    fn sweep_has_expected_shape() {
+        let sweep = velocity_vs_process_time(4.0, 40, 7.8, 5.0);
+        assert_eq!(sweep.len(), 41);
+        assert!(sweep.first().unwrap().1 > sweep.last().unwrap().1);
+        for w in sweep.windows(2) {
+            assert!(w[1].1 <= w[0].1 + 1e-9);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_parameters_rejected() {
+        let _ = max_safe_velocity(SimDuration::ZERO, 0.0, 5.0);
+    }
+}

@@ -1,0 +1,28 @@
+//! Procedural 3D environments for MAVBench-RS.
+//!
+//! This crate is the substitute for the Unreal Engine geometry oracle used by
+//! the original MAVBench: it provides worlds made of axis-aligned obstacles,
+//! deterministic procedural generation with density knobs, collision queries
+//! and ray casting. All perception and planning kernels in the workspace query
+//! the environment exclusively through [`World`].
+//!
+//! # Example
+//!
+//! ```
+//! use mav_env::EnvironmentConfig;
+//! use mav_types::Vec3;
+//!
+//! let world = EnvironmentConfig::urban_outdoor().with_seed(1).generate();
+//! // The spawn area is guaranteed to be free.
+//! assert!(!world.collides_sphere(&Vec3::new(0.0, 0.0, 1.0), 0.5));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod generator;
+pub mod obstacle;
+pub mod world;
+
+pub use generator::EnvironmentConfig;
+pub use obstacle::{Obstacle, ObstacleClass, ObstacleId, ObstacleKind};
+pub use world::{RayHit, World};

@@ -1,0 +1,96 @@
+//! Property-based tests for the environment substrate.
+
+use mav_env::{EnvironmentConfig, World};
+use mav_types::{Aabb, Vec3};
+use proptest::prelude::*;
+
+fn arb_point(extent: f64, height: f64) -> impl Strategy<Value = Vec3> {
+    (
+        -extent..extent,
+        -extent..extent,
+        0.0..height,
+    )
+        .prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+fn small_world(seed: u64) -> World {
+    EnvironmentConfig::urban_outdoor().with_seed(seed).generate()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A point inside any obstacle must be reported as occupied, and an
+    /// occupied point must have zero clearance.
+    #[test]
+    fn occupied_points_have_zero_clearance(seed in 0u64..32, idx in 0usize..64) {
+        let world = small_world(seed);
+        let obstacles = world.obstacles();
+        prop_assume!(!obstacles.is_empty());
+        let o = &obstacles[idx % obstacles.len()];
+        let c = o.center();
+        prop_assert!(world.is_occupied(&c));
+        prop_assert_eq!(world.clearance(&c), 0.0);
+    }
+
+    /// Ray casting never reports a hit farther than the requested range and
+    /// never reports a hit behind the origin.
+    #[test]
+    fn raycast_respects_range(seed in 0u64..16, p in arb_point(70.0, 25.0), yaw in 0.0..std::f64::consts::TAU, range in 1.0f64..80.0) {
+        let world = small_world(seed);
+        prop_assume!(world.in_bounds(&p));
+        let dir = Vec3::new(yaw.cos(), yaw.sin(), 0.0);
+        if let Some(hit) = world.raycast(&p, &dir, range) {
+            prop_assert!(hit.distance >= 0.0);
+            prop_assert!(hit.distance <= range + 1e-9);
+            // The reported point is consistent with origin + dir * distance.
+            let expected = p + dir * hit.distance;
+            prop_assert!(expected.distance(&hit.point) < 1e-6);
+        }
+    }
+
+    /// A segment reported free never passes through an obstacle centre cell.
+    #[test]
+    fn free_segments_avoid_obstacle_centres(seed in 0u64..16, a in arb_point(60.0, 20.0), b in arb_point(60.0, 20.0)) {
+        let world = small_world(seed);
+        prop_assume!(world.in_bounds(&a) && world.in_bounds(&b));
+        if world.segment_free(&a, &b, 0.3) {
+            // Sample the segment densely: none of the samples may be occupied.
+            for i in 0..=50 {
+                let t = i as f64 / 50.0;
+                let p = a.lerp(&b, t);
+                prop_assert!(!world.is_occupied(&p), "free segment passes through an obstacle at {p}");
+            }
+        }
+    }
+
+    /// Obstacle density is always within [0, 1] and monotone in the sense that
+    /// a probe entirely inside an obstacle reports a strictly positive value.
+    #[test]
+    fn density_probe_is_bounded(seed in 0u64..16, p in arb_point(60.0, 20.0), radius in 0.5f64..10.0) {
+        let world = small_world(seed);
+        let d = world.obstacle_density_near(&p, radius);
+        prop_assert!((0.0..=1.0).contains(&d));
+    }
+
+    /// Stepping dynamics never moves obstacles outside the world bounds.
+    #[test]
+    fn dynamics_stay_in_bounds(seed in 0u64..16, steps in 1usize..60) {
+        let mut world = EnvironmentConfig::default()
+            .with_dynamic_obstacles(5, 3.0)
+            .with_seed(seed)
+            .generate();
+        let bounds: Aabb = *world.bounds();
+        for _ in 0..steps {
+            world.step_dynamics(0.5);
+        }
+        for o in world.obstacles() {
+            if o.is_dynamic() {
+                prop_assert!(o.bounds.min.x >= bounds.min.x - 1e-6);
+                prop_assert!(o.bounds.max.x <= bounds.max.x + 1e-6);
+                prop_assert!(o.bounds.min.y >= bounds.min.y - 1e-6);
+                prop_assert!(o.bounds.max.y <= bounds.max.y + 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,295 @@
+//! Frontier-exploration planning (next-best-view substitute).
+//!
+//! 3D Mapping and Search and Rescue do not fly to a fixed goal: they sample
+//! the occupancy map for *frontiers* — free voxels adjacent to unknown space —
+//! and repeatedly fly towards the most promising one until no frontiers
+//! remain (the area is mapped) or the mission goal (a detected person) is
+//! reached. The selection heuristic mirrors the paper's description: prefer
+//! short paths with high exploratory promise.
+
+use crate::collision::CollisionChecker;
+use crate::shortest_path::{PlannedPath, ShortestPathPlanner};
+use mav_perception::OctoMap;
+use mav_types::{MavError, Result, Vec3};
+use serde::{Deserialize, Serialize};
+
+/// A cluster of frontier voxels.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Frontier {
+    /// Representative point of the cluster (centroid snapped to a member).
+    pub center: Vec3,
+    /// Number of frontier voxels in the cluster — the exploratory promise.
+    pub size: usize,
+}
+
+/// Configuration of the frontier explorer.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FrontierConfig {
+    /// Voxels whose centres are closer than this are clustered together.
+    pub cluster_radius: f64,
+    /// Frontiers below this size are ignored (sensor noise).
+    pub min_cluster_size: usize,
+    /// Weight of distance in the utility function (higher = prefer closer
+    /// frontiers more strongly).
+    pub distance_weight: f64,
+    /// Minimum altitude of considered frontiers (keeps the explorer off the
+    /// floor).
+    pub min_altitude: f64,
+    /// Maximum altitude of considered frontiers.
+    pub max_altitude: f64,
+}
+
+impl Default for FrontierConfig {
+    fn default() -> Self {
+        FrontierConfig {
+            cluster_radius: 3.0,
+            min_cluster_size: 2,
+            distance_weight: 1.0,
+            min_altitude: 0.5,
+            max_altitude: 8.0,
+        }
+    }
+}
+
+/// The frontier-exploration planner.
+///
+/// # Example
+///
+/// ```
+/// use mav_perception::{OctoMap, OctoMapConfig, PointCloud};
+/// use mav_planning::{FrontierConfig, FrontierExplorer};
+/// use mav_types::Vec3;
+///
+/// let mut map = OctoMap::new(OctoMapConfig::with_resolution(0.5), 32.0);
+/// let cloud = PointCloud::new(
+///     Vec3::new(0.0, 0.0, 2.0),
+///     vec![Vec3::new(8.0, 0.0, 2.0), Vec3::new(8.0, 2.0, 2.0)],
+/// );
+/// map.insert_point_cloud(&cloud);
+/// let explorer = FrontierExplorer::new(FrontierConfig::default());
+/// assert!(!explorer.find_frontiers(&map).is_empty());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FrontierExplorer {
+    config: FrontierConfig,
+}
+
+impl FrontierExplorer {
+    /// Creates an explorer.
+    pub fn new(config: FrontierConfig) -> Self {
+        FrontierExplorer { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &FrontierConfig {
+        &self.config
+    }
+
+    /// Finds and clusters the frontiers of the map: free voxels with at least
+    /// one unknown 6-neighbour, grouped by proximity.
+    pub fn find_frontiers(&self, map: &OctoMap) -> Vec<Frontier> {
+        let resolution = map.resolution();
+        let mut frontier_points: Vec<Vec3> = Vec::new();
+        for center in map.free_voxel_centers() {
+            if center.z < self.config.min_altitude || center.z > self.config.max_altitude {
+                continue;
+            }
+            let neighbours = [
+                Vec3::new(resolution, 0.0, 0.0),
+                Vec3::new(-resolution, 0.0, 0.0),
+                Vec3::new(0.0, resolution, 0.0),
+                Vec3::new(0.0, -resolution, 0.0),
+                Vec3::new(0.0, 0.0, resolution),
+                Vec3::new(0.0, 0.0, -resolution),
+            ];
+            if neighbours.iter().any(|d| map.is_unknown(&(center + *d))) {
+                frontier_points.push(center);
+            }
+        }
+        // Bound the clustering cost on very large maps: a uniform stride keeps
+        // a representative subset (frontier clusters are spatially extended,
+        // so subsampling preserves them).
+        const MAX_FRONTIER_POINTS: usize = 1200;
+        if frontier_points.len() > MAX_FRONTIER_POINTS {
+            let stride = frontier_points.len() / MAX_FRONTIER_POINTS + 1;
+            frontier_points = frontier_points.into_iter().step_by(stride).collect();
+        }
+        // Greedy clustering by proximity.
+        let mut clusters: Vec<Vec<Vec3>> = Vec::new();
+        for p in frontier_points {
+            match clusters.iter_mut().find(|c| {
+                c.iter().any(|q| q.distance(&p) <= self.config.cluster_radius)
+            }) {
+                Some(cluster) => cluster.push(p),
+                None => clusters.push(vec![p]),
+            }
+        }
+        let mut frontiers: Vec<Frontier> = clusters
+            .into_iter()
+            .filter(|c| c.len() >= self.config.min_cluster_size)
+            .map(|c| {
+                let centroid = c.iter().fold(Vec3::ZERO, |acc, p| acc + *p) / c.len() as f64;
+                // Snap the representative to the member nearest the centroid so
+                // it is guaranteed to be a free voxel centre.
+                let center = c
+                    .iter()
+                    .copied()
+                    .min_by(|a, b| {
+                        a.distance_squared(&centroid)
+                            .partial_cmp(&b.distance_squared(&centroid))
+                            .expect("finite")
+                    })
+                    .expect("cluster non-empty");
+                Frontier { center, size: c.len() }
+            })
+            .collect();
+        frontiers.sort_by(|a, b| b.size.cmp(&a.size));
+        frontiers
+    }
+
+    /// Picks the best frontier from `position` using the utility
+    /// `size / (1 + w · distance)` — high exploratory promise, short path.
+    pub fn select_frontier(&self, map: &OctoMap, position: &Vec3) -> Option<Frontier> {
+        self.find_frontiers(map)
+            .into_iter()
+            .max_by(|a, b| {
+                let ua = a.size as f64 / (1.0 + self.config.distance_weight * a.center.distance(position));
+                let ub = b.size as f64 / (1.0 + self.config.distance_weight * b.center.distance(position));
+                ua.partial_cmp(&ub).expect("finite utility")
+            })
+    }
+
+    /// Plans a path from `position` to the best frontier using the given
+    /// shortest-path planner.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MavError::PlanningFailed`] when no frontier exists (the map
+    /// is complete) or no frontier is reachable.
+    pub fn plan_exploration(
+        &self,
+        map: &OctoMap,
+        checker: &CollisionChecker,
+        planner: &ShortestPathPlanner,
+        position: Vec3,
+    ) -> Result<(Frontier, PlannedPath)> {
+        let frontiers = self.find_frontiers(map);
+        if frontiers.is_empty() {
+            return Err(MavError::planning_failed("frontier", "no frontiers remain"));
+        }
+        // Try frontiers in descending utility order until one is reachable.
+        let mut ranked = frontiers;
+        ranked.sort_by(|a, b| {
+            let ua = a.size as f64 / (1.0 + self.config.distance_weight * a.center.distance(&position));
+            let ub = b.size as f64 / (1.0 + self.config.distance_weight * b.center.distance(&position));
+            ub.partial_cmp(&ua).expect("finite utility")
+        });
+        for frontier in ranked {
+            if let Ok(path) = planner.plan(map, checker, position, frontier.center) {
+                return Ok((frontier, path));
+            }
+        }
+        Err(MavError::planning_failed("frontier", "no reachable frontier"))
+    }
+}
+
+impl Default for FrontierExplorer {
+    fn default() -> Self {
+        FrontierExplorer::new(FrontierConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shortest_path::{PlannerConfig, PlannerKind};
+    use mav_perception::{OctoMapConfig, PointCloud};
+    use mav_types::Aabb;
+
+    /// Builds a partially observed map by scanning from the origin towards +x.
+    fn partial_map() -> OctoMap {
+        let mut map = OctoMap::new(OctoMapConfig::with_resolution(0.5), 32.0);
+        let origin = Vec3::new(0.0, 0.0, 2.0);
+        let mut points = Vec::new();
+        for i in -10..=10 {
+            points.push(Vec3::new(12.0, i as f64 * 0.5, 2.0));
+        }
+        map.insert_point_cloud(&PointCloud::new(origin, points));
+        map
+    }
+
+    #[test]
+    fn frontiers_exist_at_the_edge_of_known_space() {
+        let map = partial_map();
+        let explorer = FrontierExplorer::default();
+        let frontiers = explorer.find_frontiers(&map);
+        assert!(!frontiers.is_empty());
+        // Every reported frontier centre is a known-free voxel.
+        for f in &frontiers {
+            assert!(!map.is_unknown(&f.center));
+            assert!(f.size >= explorer.config().min_cluster_size);
+        }
+    }
+
+    #[test]
+    fn empty_map_has_no_frontiers() {
+        let map = OctoMap::new(OctoMapConfig::default(), 32.0);
+        let explorer = FrontierExplorer::default();
+        assert!(explorer.find_frontiers(&map).is_empty());
+        assert!(explorer.select_frontier(&map, &Vec3::ZERO).is_none());
+    }
+
+    #[test]
+    fn selection_prefers_nearby_large_clusters() {
+        let map = partial_map();
+        let explorer = FrontierExplorer::default();
+        let selected = explorer.select_frontier(&map, &Vec3::new(0.0, 0.0, 2.0)).unwrap();
+        // The selected frontier must not be the farthest-away tiny cluster:
+        // its utility must be at least that of every other frontier.
+        let all = explorer.find_frontiers(&map);
+        let utility = |f: &Frontier| f.size as f64 / (1.0 + f.center.distance(&Vec3::new(0.0, 0.0, 2.0)));
+        for f in &all {
+            assert!(utility(&selected) >= utility(f) - 1e-9);
+        }
+    }
+
+    #[test]
+    fn exploration_planning_returns_a_reachable_path() {
+        let map = partial_map();
+        let explorer = FrontierExplorer::default();
+        let checker = CollisionChecker::new(0.33);
+        let bounds = Aabb::new(Vec3::new(-30.0, -30.0, 0.5), Vec3::new(30.0, 30.0, 8.0));
+        let planner = ShortestPathPlanner::new(PlannerConfig::new(PlannerKind::Rrt, bounds));
+        let (frontier, path) = explorer
+            .plan_exploration(&map, &checker, &planner, Vec3::new(0.0, 0.0, 2.0))
+            .unwrap();
+        assert!(frontier.size >= 2);
+        assert!(path.waypoints.len() >= 2);
+        assert!(path.waypoints.last().unwrap().distance(&frontier.center) < 1e-9);
+    }
+
+    #[test]
+    fn exploration_fails_on_a_fully_unknown_map() {
+        let map = OctoMap::new(OctoMapConfig::default(), 32.0);
+        let explorer = FrontierExplorer::default();
+        let checker = CollisionChecker::new(0.33);
+        let bounds = Aabb::new(Vec3::new(-30.0, -30.0, 0.5), Vec3::new(30.0, 30.0, 8.0));
+        let planner = ShortestPathPlanner::new(PlannerConfig::new(PlannerKind::Rrt, bounds));
+        assert!(matches!(
+            explorer.plan_exploration(&map, &checker, &planner, Vec3::ZERO),
+            Err(MavError::PlanningFailed { .. })
+        ));
+    }
+
+    #[test]
+    fn altitude_band_filters_frontiers() {
+        let map = partial_map();
+        let low_ceiling = FrontierExplorer::new(FrontierConfig {
+            max_altitude: 0.4,
+            min_altitude: 0.0,
+            ..Default::default()
+        });
+        // All observed space is at z ≈ 2 m, so a 0.4 m ceiling removes it all.
+        assert!(low_ceiling.find_frontiers(&map).is_empty());
+    }
+}

@@ -1,0 +1,280 @@
+//! A deterministic closed-loop node executor.
+//!
+//! The executor mirrors the structure of a ROS application: a set of named
+//! nodes, each with an invocation period, run round-robin against the
+//! simulated clock. Each invocation reports the simulated compute latency it
+//! consumed; the executor charges that latency to the clock and to the
+//! [`KernelTimer`], which is exactly how compute speed turns into mission time
+//! in MAVBench.
+
+use crate::clock::SimClock;
+use crate::kernel_timer::KernelTimer;
+use mav_compute::KernelId;
+use mav_types::{Result, SimDuration, SimTime};
+use std::fmt;
+
+/// Outcome of one node invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NodeOutput {
+    /// Simulated compute time consumed, attributed per kernel.
+    pub kernel_time: Vec<(KernelId, SimDuration)>,
+}
+
+impl NodeOutput {
+    /// An invocation that consumed no modelled compute time.
+    pub fn idle() -> Self {
+        NodeOutput { kernel_time: Vec::new() }
+    }
+
+    /// An invocation that consumed `duration` in `kernel`.
+    pub fn kernel(kernel: KernelId, duration: SimDuration) -> Self {
+        NodeOutput { kernel_time: vec![(kernel, duration)] }
+    }
+
+    /// Total compute time of this invocation.
+    pub fn total(&self) -> SimDuration {
+        self.kernel_time.iter().map(|(_, d)| *d).sum()
+    }
+}
+
+/// A node in the application graph.
+pub trait Node {
+    /// The node's name (unique within an executor).
+    fn name(&self) -> &str;
+
+    /// How often the node wants to run.
+    fn period(&self) -> SimDuration;
+
+    /// Runs the node once at simulated time `now`.
+    ///
+    /// # Errors
+    ///
+    /// Nodes may fail (e.g. a planner that cannot find a path); the executor
+    /// surfaces the first error to its caller.
+    fn tick(&mut self, now: SimTime) -> Result<NodeOutput>;
+}
+
+struct Registration {
+    node: Box<dyn Node>,
+    next_due: SimTime,
+}
+
+/// The closed-loop executor.
+///
+/// # Example
+///
+/// ```
+/// use mav_compute::KernelId;
+/// use mav_runtime::{Executor, Node, NodeOutput};
+/// use mav_types::{Result, SimDuration, SimTime};
+///
+/// struct Heartbeat(u32);
+/// impl Node for Heartbeat {
+///     fn name(&self) -> &str { "heartbeat" }
+///     fn period(&self) -> SimDuration { SimDuration::from_millis(100.0) }
+///     fn tick(&mut self, _now: SimTime) -> Result<NodeOutput> {
+///         self.0 += 1;
+///         Ok(NodeOutput::kernel(KernelId::PathTracking, SimDuration::from_millis(1.0)))
+///     }
+/// }
+///
+/// let mut exec = Executor::new();
+/// exec.add_node(Heartbeat(0));
+/// exec.run_for(SimDuration::from_secs(1.0)).unwrap();
+/// assert!(exec.timer().invocations(KernelId::PathTracking) >= 9);
+/// ```
+pub struct Executor {
+    clock: SimClock,
+    nodes: Vec<Registration>,
+    timer: KernelTimer,
+    /// The physics/step granularity the executor advances by when no node is
+    /// due. Defaults to 50 ms.
+    pub idle_step: SimDuration,
+}
+
+impl Executor {
+    /// Creates an empty executor at mission time zero.
+    pub fn new() -> Self {
+        Executor {
+            clock: SimClock::new(),
+            nodes: Vec::new(),
+            timer: KernelTimer::new(),
+            idle_step: SimDuration::from_millis(50.0),
+        }
+    }
+
+    /// Registers a node. Nodes run in registration order when due at the same
+    /// instant, which keeps runs reproducible.
+    pub fn add_node<N: Node + 'static>(&mut self, node: N) {
+        self.nodes.push(Registration { node: Box::new(node), next_due: SimTime::ZERO });
+    }
+
+    /// The mission clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// The accumulated per-kernel timing.
+    pub fn timer(&self) -> &KernelTimer {
+        &self.timer
+    }
+
+    /// Number of registered nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Runs every due node once and advances the clock.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first node error.
+    pub fn step(&mut self) -> Result<()> {
+        let now = self.clock.now();
+        let mut consumed = SimDuration::ZERO;
+        let mut any_ran = false;
+        for reg in &mut self.nodes {
+            if reg.next_due <= now {
+                let output = reg.node.tick(now)?;
+                for (kernel, duration) in &output.kernel_time {
+                    self.timer.record(*kernel, *duration);
+                }
+                consumed += output.total();
+                reg.next_due = now + reg.node.period();
+                any_ran = true;
+            }
+        }
+        // The serialized compute time of this round plus (if nothing ran) an
+        // idle step moves the clock forward.
+        if consumed.is_zero() && !any_ran {
+            self.clock.advance(self.idle_step);
+        } else if consumed.is_zero() {
+            self.clock.advance(self.idle_step);
+        } else {
+            self.clock.advance(consumed);
+        }
+        Ok(())
+    }
+
+    /// Runs until the mission clock has advanced by `duration`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first node error.
+    pub fn run_for(&mut self, duration: SimDuration) -> Result<()> {
+        let deadline = self.clock.now() + duration;
+        while self.clock.now() < deadline {
+            self.step()?;
+        }
+        Ok(())
+    }
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Executor::new()
+    }
+}
+
+impl fmt::Debug for Executor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Executor")
+            .field("now", &self.clock.now())
+            .field("nodes", &self.nodes.len())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mav_types::MavError;
+
+    struct Counter {
+        name: String,
+        period: SimDuration,
+        cost: SimDuration,
+        kernel: KernelId,
+        count: u32,
+        fail_at: Option<u32>,
+    }
+
+    impl Counter {
+        fn new(name: &str, period_ms: f64, cost_ms: f64, kernel: KernelId) -> Self {
+            Counter {
+                name: name.to_string(),
+                period: SimDuration::from_millis(period_ms),
+                cost: SimDuration::from_millis(cost_ms),
+                kernel,
+                count: 0,
+                fail_at: None,
+            }
+        }
+    }
+
+    impl Node for Counter {
+        fn name(&self) -> &str {
+            &self.name
+        }
+        fn period(&self) -> SimDuration {
+            self.period
+        }
+        fn tick(&mut self, _now: SimTime) -> Result<NodeOutput> {
+            self.count += 1;
+            if Some(self.count) == self.fail_at {
+                return Err(MavError::runtime("node failed"));
+            }
+            Ok(NodeOutput::kernel(self.kernel, self.cost))
+        }
+    }
+
+    #[test]
+    fn nodes_run_at_their_period() {
+        let mut exec = Executor::new();
+        exec.add_node(Counter::new("fast", 100.0, 10.0, KernelId::PathTracking));
+        exec.add_node(Counter::new("slow", 1000.0, 200.0, KernelId::MotionPlanning));
+        exec.run_for(SimDuration::from_secs(5.0)).unwrap();
+        let fast = exec.timer().invocations(KernelId::PathTracking);
+        let slow = exec.timer().invocations(KernelId::MotionPlanning);
+        assert!(fast > slow, "fast node should run more often ({fast} vs {slow})");
+        assert!(slow >= 3);
+        assert_eq!(exec.node_count(), 2);
+    }
+
+    #[test]
+    fn compute_time_advances_the_clock() {
+        let mut exec = Executor::new();
+        exec.add_node(Counter::new("heavy", 100.0, 500.0, KernelId::OctomapGeneration));
+        exec.run_for(SimDuration::from_secs(2.0)).unwrap();
+        // The kernel's simulated time must be accounted on the clock: at
+        // least 2 s / 0.5 s = 4 invocations happened, but not many more since
+        // each invocation costs 0.5 s of mission time.
+        let n = exec.timer().invocations(KernelId::OctomapGeneration);
+        assert!((4..=6).contains(&n), "unexpected invocation count {n}");
+    }
+
+    #[test]
+    fn idle_executor_still_advances() {
+        let mut exec = Executor::new();
+        exec.run_for(SimDuration::from_secs(1.0)).unwrap();
+        assert!(exec.clock().now().as_secs() >= 1.0);
+    }
+
+    #[test]
+    fn node_errors_propagate() {
+        let mut exec = Executor::new();
+        let mut failing = Counter::new("flaky", 100.0, 1.0, KernelId::PidControl);
+        failing.fail_at = Some(3);
+        exec.add_node(failing);
+        let err = exec.run_for(SimDuration::from_secs(10.0)).unwrap_err();
+        assert!(matches!(err, MavError::Runtime { .. }));
+    }
+
+    #[test]
+    fn node_output_helpers() {
+        assert!(NodeOutput::idle().total().is_zero());
+        let o = NodeOutput::kernel(KernelId::PathSmoothing, SimDuration::from_millis(55.0));
+        assert!((o.total().as_millis() - 55.0).abs() < 1e-9);
+        assert!(!format!("{:?}", Executor::new()).is_empty());
+    }
+}

@@ -1,0 +1,39 @@
+//! Package delivery under sensor noise: the reliability case study of the
+//! paper (Table II) as a runnable scenario. Gaussian noise injected into the
+//! depth camera inflates obstacles, forces extra re-planning and stretches the
+//! mission.
+//!
+//! ```bash
+//! cargo run --release --example delivery_reliability
+//! ```
+
+use mavbench::compute::ApplicationId;
+use mavbench::core::{run_mission, MissionConfig};
+
+fn main() {
+    println!("package delivery with increasing depth-image noise\n");
+    println!(
+        "{:<16} {:>10} {:>12} {:>14} {:>10}",
+        "noise std (m)", "outcome", "re-plans", "mission (s)", "energy (kJ)"
+    );
+    for noise in [0.0, 0.5, 1.0, 1.5] {
+        let mut config = MissionConfig::fast_test(ApplicationId::PackageDelivery)
+            .with_seed(21)
+            .with_depth_noise(noise);
+        config.environment.extent = 30.0;
+        config.environment.obstacle_density = 1.2;
+        let report = run_mission(config);
+        println!(
+            "{:<16.1} {:>10} {:>12} {:>14.1} {:>10.1}",
+            noise,
+            if report.success() { "success" } else { "FAIL" },
+            report.replans,
+            report.mission_time_secs,
+            report.energy_kj()
+        );
+    }
+    println!(
+        "\nthe paper's Table II reports the same trend: more noise, more re-planning, longer \
+         missions, and outright failures at 1.5 m."
+    );
+}

@@ -1,0 +1,33 @@
+//! Search and rescue in a disaster site: frontier exploration plus object
+//! detection until a person is found.
+//!
+//! ```bash
+//! cargo run --release --example search_and_rescue
+//! ```
+
+use mavbench::compute::{ApplicationId, KernelId, OperatingPoint};
+use mavbench::core::{run_mission, MissionConfig};
+
+fn main() {
+    println!("searching a rubble field for people at two operating points\n");
+    for point in [OperatingPoint::reference(), OperatingPoint::slowest()] {
+        let mut config = MissionConfig::fast_test(ApplicationId::SearchAndRescue)
+            .with_operating_point(point)
+            .with_seed(6);
+        config.environment.extent = 28.0;
+        config.environment.people = 5;
+        let report = run_mission(config);
+        println!("operating point {}", point);
+        println!("  outcome:        {}", if report.success() { "person found" } else { "not found" });
+        println!("  mission time:   {:.1} s", report.mission_time_secs);
+        println!("  hover time:     {:.1} s", report.hover_time_secs);
+        println!("  energy:         {:.1} kJ", report.energy_kj());
+        println!("  detections run: {}", report.kernel_timer.invocations(KernelId::ObjectDetection));
+        println!("  area mapped:    {:.0} m^3", report.mapped_volume);
+        println!();
+    }
+    println!(
+        "more compute shortens hovering between exploration hops and raises the safe velocity, \
+         which is exactly the Fig. 13 trend in the paper."
+    );
+}

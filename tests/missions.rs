@@ -1,0 +1,81 @@
+//! Integration tests: every benchmark application runs a full closed-loop
+//! mission through the public facade crate.
+
+use mavbench::compute::{ApplicationId, KernelId};
+use mavbench::core::{run_mission, MissionConfig, MissionReport};
+
+fn quick(app: ApplicationId, seed: u64) -> MissionConfig {
+    let mut cfg = MissionConfig::fast_test(app).with_seed(seed);
+    cfg.environment.extent = 28.0;
+    cfg.environment.obstacle_density = cfg.environment.obstacle_density.min(1.2);
+    cfg
+}
+
+fn sanity(report: &MissionReport) {
+    assert!(report.mission_time_secs > 0.0);
+    assert!(report.total_energy.as_joules() > 0.0);
+    assert!(report.rotor_energy >= report.compute_energy);
+    assert!(report.battery_remaining_pct <= 100.0 && report.battery_remaining_pct >= 0.0);
+    assert!(report.average_velocity >= 0.0);
+    assert!(report.kernel_timer.grand_total().as_secs() >= 0.0);
+}
+
+#[test]
+fn scanning_mission_end_to_end() {
+    let report = run_mission(quick(ApplicationId::Scanning, 11));
+    sanity(&report);
+    assert!(report.success(), "{:?}", report.failure);
+    assert!(report.distance_m > 80.0);
+    assert!(report.kernel_timer.invocations(KernelId::LawnmowerPlanning) >= 1);
+}
+
+#[test]
+fn package_delivery_mission_end_to_end() {
+    let report = run_mission(quick(ApplicationId::PackageDelivery, 9));
+    sanity(&report);
+    assert!(report.success(), "{:?}", report.failure);
+    assert!(report.kernel_timer.invocations(KernelId::MotionPlanning) >= 2);
+    assert!(report.kernel_timer.invocations(KernelId::OctomapGeneration) >= 2);
+    assert!(report.hover_time_secs > 0.0, "delivery must hover while planning");
+}
+
+#[test]
+fn mapping_mission_end_to_end() {
+    let report = run_mission(quick(ApplicationId::Mapping3D, 4));
+    sanity(&report);
+    assert!(report.success(), "{:?}", report.failure);
+    assert!(report.mapped_volume > 50.0);
+    assert!(report.kernel_timer.invocations(KernelId::FrontierExploration) >= 1);
+}
+
+#[test]
+fn search_and_rescue_mission_end_to_end() {
+    let mut cfg = quick(ApplicationId::SearchAndRescue, 6);
+    cfg.environment.people = 5;
+    let report = run_mission(cfg);
+    sanity(&report);
+    assert!(report.kernel_timer.invocations(KernelId::ObjectDetection) >= 1);
+    assert!(report.kernel_timer.invocations(KernelId::OctomapGeneration) >= 1);
+}
+
+#[test]
+fn aerial_photography_mission_end_to_end() {
+    let mut cfg = quick(ApplicationId::AerialPhotography, 8);
+    cfg.environment.obstacle_density = 0.2;
+    cfg.time_budget_secs = 60.0;
+    let report = run_mission(cfg);
+    sanity(&report);
+    assert!(report.success(), "{:?}", report.failure);
+    assert!(report.detections >= 1);
+    assert!(report.kernel_timer.invocations(KernelId::TrackingRealTime) >= 5);
+}
+
+#[test]
+fn missions_are_reproducible_for_a_fixed_seed() {
+    let a = run_mission(quick(ApplicationId::PackageDelivery, 33));
+    let b = run_mission(quick(ApplicationId::PackageDelivery, 33));
+    assert_eq!(a.mission_time_secs, b.mission_time_secs);
+    assert_eq!(a.distance_m, b.distance_m);
+    assert_eq!(a.replans, b.replans);
+    assert_eq!(a.total_energy, b.total_energy);
+}
