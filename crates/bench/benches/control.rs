@@ -14,14 +14,22 @@ fn bench_control(c: &mut Criterion) {
         })
     });
     let trajectory = Trajectory::from_waypoints(
-        &[Vec3::new(0.0, 0.0, 2.0), Vec3::new(40.0, 0.0, 2.0), Vec3::new(40.0, 40.0, 2.0)],
+        &[
+            Vec3::new(0.0, 0.0, 2.0),
+            Vec3::new(40.0, 0.0, 2.0),
+            Vec3::new(40.0, 40.0, 2.0),
+        ],
         5.0,
         SimTime::ZERO,
     );
     let tracker = PathTracker::new(PathTrackerConfig::default());
     let state = MavState::at_rest(Pose::new(Vec3::new(3.0, 1.0, 2.0), 0.0));
     c.bench_function("path_tracking_command", |b| {
-        b.iter(|| tracker.command(&trajectory, &state, SimTime::from_secs(2.0)).velocity)
+        b.iter(|| {
+            tracker
+                .command(&trajectory, &state, SimTime::from_secs(2.0))
+                .velocity
+        })
     });
     c.bench_function("quadrotor_physics_step", |b| {
         let mut quad = Quadrotor::new(QuadrotorConfig::dji_matrice_100(), Pose::origin());

@@ -1,7 +1,9 @@
 //! Criterion benches for the energy substrate: Eq. 1 evaluation, battery
 //! coulomb counting and mission energy accounting.
 use criterion::{criterion_group, criterion_main, Criterion};
-use mav_energy::{Battery, BatteryConfig, ComputePowerModel, EnergyAccount, FlightPhaseLabel, RotorPowerModel};
+use mav_energy::{
+    Battery, BatteryConfig, ComputePowerModel, EnergyAccount, FlightPhaseLabel, RotorPowerModel,
+};
 use mav_types::{Power, SimDuration, SimTime, Vec3};
 
 fn bench_energy(c: &mut Criterion) {
@@ -9,7 +11,11 @@ fn bench_energy(c: &mut Criterion) {
     c.bench_function("rotor_power_eq1", |b| {
         b.iter(|| {
             rotor
-                .power(&Vec3::new(6.0, 1.0, 0.5), &Vec3::new(1.0, 0.0, 0.0), &Vec3::new(0.5, 0.0, 0.0))
+                .power(
+                    &Vec3::new(6.0, 1.0, 0.5),
+                    &Vec3::new(1.0, 0.0, 0.0),
+                    &Vec3::new(0.5, 0.0, 0.0),
+                )
                 .as_watts()
         })
     });

@@ -22,15 +22,19 @@ fn bench_octomap_insertion(c: &mut Criterion) {
     let mut group = c.benchmark_group("octomap_insert_vs_resolution");
     group.sample_size(10);
     for resolution in [0.15, 0.3, 0.5, 0.8, 1.0] {
-        group.bench_with_input(BenchmarkId::from_parameter(resolution), &resolution, |b, &res| {
-            b.iter(|| {
-                let mut map = OctoMap::new(OctoMapConfig::with_resolution(res), 96.0);
-                for cloud in &clouds {
-                    map.insert_point_cloud(cloud);
-                }
-                map.known_voxel_count()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(resolution),
+            &resolution,
+            |b, &res| {
+                b.iter(|| {
+                    let mut map = OctoMap::new(OctoMapConfig::with_resolution(res), 96.0);
+                    for cloud in &clouds {
+                        map.insert_point_cloud(cloud);
+                    }
+                    map.known_voxel_count()
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -42,7 +46,13 @@ fn bench_octomap_queries(c: &mut Criterion) {
         map.insert_point_cloud(cloud);
     }
     c.bench_function("octomap_segment_free_20m", |b| {
-        b.iter(|| map.segment_free(&Vec3::new(0.0, -10.0, 2.0), &Vec3::new(0.0, 10.0, 2.0), 0.33))
+        b.iter(|| {
+            map.segment_free(
+                &Vec3::new(0.0, -10.0, 2.0),
+                &Vec3::new(0.0, 10.0, 2.0),
+                0.33,
+            )
+        })
     });
     c.bench_function("octomap_point_query", |b| {
         b.iter(|| map.query(&Vec3::new(5.0, 3.0, 2.0)))

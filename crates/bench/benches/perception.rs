@@ -12,13 +12,17 @@ fn bench_depth_and_pointcloud(c: &mut Criterion) {
     let world = EnvironmentConfig::urban_outdoor().with_seed(3).generate();
     let camera = DepthCamera::new(DepthCameraConfig::default());
     let pose = Pose::new(Vec3::new(0.0, 0.0, 2.5), 0.0);
-    c.bench_function("depth_capture_32x24", |b| b.iter(|| camera.capture(&world, &pose).coverage()));
+    c.bench_function("depth_capture_32x24", |b| {
+        b.iter(|| camera.capture(&world, &pose).coverage())
+    });
     let frame = camera.capture(&world, &pose);
     c.bench_function("pointcloud_generation", |b| {
         b.iter(|| PointCloud::from_depth_image(&frame).len())
     });
     let cloud = PointCloud::from_depth_image(&frame);
-    c.bench_function("pointcloud_downsample_0.5m", |b| b.iter(|| cloud.downsample(0.5).len()));
+    c.bench_function("pointcloud_downsample_0.5m", |b| {
+        b.iter(|| cloud.downsample(0.5).len())
+    });
     let mut noise = DepthNoiseModel::new(1.0, 7);
     c.bench_function("depth_noise_injection", |b| {
         b.iter(|| {
@@ -34,13 +38,24 @@ fn bench_detection_and_slam(c: &mut Criterion) {
     let pose = Pose::new(Vec3::new(0.0, 0.0, 2.0), 0.0);
     c.bench_function("object_detection_scene_query", |b| {
         let mut detector = ObjectDetector::new(DetectorConfig::default());
-        b.iter(|| detector.detect_class(&world, &pose, ObstacleClass::Person).is_some())
+        b.iter(|| {
+            detector
+                .detect_class(&world, &pose, ObstacleClass::Person)
+                .is_some()
+        })
     });
     c.bench_function("visual_slam_frame", |b| {
         let mut slam = VisualSlam::new(SlamConfig::with_fps(5.0));
-        b.iter(|| slam.localize(&pose, &Vec3::new(3.0, 0.0, 0.0), SimTime::ZERO).healthy)
+        b.iter(|| {
+            slam.localize(&pose, &Vec3::new(3.0, 0.0, 0.0), SimTime::ZERO)
+                .healthy
+        })
     });
 }
 
-criterion_group!(benches, bench_depth_and_pointcloud, bench_detection_and_slam);
+criterion_group!(
+    benches,
+    bench_depth_and_pointcloud,
+    bench_detection_and_slam
+);
 criterion_main!(benches);

@@ -42,12 +42,24 @@ fn bench_smoothing_and_lawnmower(c: &mut Criterion) {
     let bounds = Aabb::new(Vec3::new(-25.0, -25.0, 0.5), Vec3::new(25.0, 25.0, 6.0));
     let planner = ShortestPathPlanner::new(PlannerConfig::new(PlannerKind::Rrt, bounds));
     let path = planner
-        .plan(&map, &checker, Vec3::new(0.0, 0.0, 2.0), Vec3::new(16.0, 2.0, 2.0))
+        .plan(
+            &map,
+            &checker,
+            Vec3::new(0.0, 0.0, 2.0),
+            Vec3::new(16.0, 2.0, 2.0),
+        )
         .unwrap();
-    c.bench_function("shortcut_pass", |b| b.iter(|| path.shortcut(&map, &checker).length()));
+    c.bench_function("shortcut_pass", |b| {
+        b.iter(|| path.shortcut(&map, &checker).length())
+    });
     let smoother = PathSmoother::new(SmootherConfig::new(8.0, 5.0));
     c.bench_function("trajectory_smoothing", |b| {
-        b.iter(|| smoother.smooth(&path.waypoints, SimTime::ZERO).unwrap().duration_secs())
+        b.iter(|| {
+            smoother
+                .smooth(&path.waypoints, SimTime::ZERO)
+                .unwrap()
+                .duration_secs()
+        })
     });
     c.bench_function("lawnmower_plan_100x100", |b| {
         b.iter(|| plan_lawnmower(&LawnmowerConfig::default()).unwrap().len())

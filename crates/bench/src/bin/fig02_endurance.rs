@@ -1,43 +1,10 @@
 //! Fig. 2 — endurance and size vs battery capacity for commercial MAVs.
-use mav_bench::print_table;
-use mav_core::microbench::hover_endurance_minutes;
-use mav_energy::{commercial_mav_catalog, WingType};
+use mav_bench::{figures, run_figure};
 
 fn main() {
-    println!("== Fig. 2a: flight endurance vs battery capacity ==");
-    let rows: Vec<Vec<String>> = commercial_mav_catalog()
-        .iter()
-        .map(|m| {
-            vec![
-                m.name.to_string(),
-                format!("{:?}", m.wing),
-                format!("{:.0}", m.battery_mah),
-                format!("{:.2}", m.endurance_hours()),
-                format!("{:.2}", m.endurance_per_ah()),
-            ]
-        })
-        .collect();
-    print_table(&["model", "wing", "battery (mAh)", "endurance (h)", "h per Ah"], &rows);
-
-    println!();
-    println!("== Fig. 2b: size vs battery capacity ==");
-    let rows: Vec<Vec<String>> = commercial_mav_catalog()
-        .iter()
-        .map(|m| {
-            vec![m.name.to_string(), m.segment.to_string(), format!("{:.0}", m.battery_mah), format!("{:.0}", m.size_mm)]
-        })
-        .collect();
-    print_table(&["model", "segment", "battery (mAh)", "size (mm)"], &rows);
-
-    println!();
-    println!("== model cross-check: hover endurance from the energy model ==");
-    let rows: Vec<Vec<String>> = commercial_mav_catalog()
-        .iter()
-        .filter(|m| m.wing == WingType::Rotor)
-        .map(|m| {
-            let est = hover_endurance_minutes(m.battery_mah, 14.8, 287.0);
-            vec![m.name.to_string(), format!("{:.1}", m.endurance_minutes), format!("{:.1}", est)]
-        })
-        .collect();
-    print_table(&["model", "quoted endurance (min)", "modelled hover endurance (min)"], &rows);
+    run_figure(
+        "fig02_endurance",
+        "endurance and size vs battery capacity for commercial MAVs (Fig. 2)",
+        figures::fig02_endurance,
+    );
 }

@@ -1,19 +1,10 @@
 //! Fig. 8a — theoretical maximum velocity vs perception-to-actuation latency (Eq. 2).
-use mav_bench::print_table;
-use mav_core::velocity::velocity_vs_process_time;
+use mav_bench::{figures, run_figure};
 
 fn main() {
-    println!("== Fig. 8a: max safe velocity vs process time (Eq. 2, d = 7.8 m, a = 5 m/s^2) ==");
-    let sweep = velocity_vs_process_time(4.0, 16, 7.8, 5.0);
-    let rows: Vec<Vec<String>> = sweep
-        .iter()
-        .map(|(t, v)| vec![format!("{t:.2}"), format!("{v:.2}")])
-        .collect();
-    print_table(&["process time (s)", "max velocity (m/s)"], &rows);
-    println!();
-    println!(
-        "paper envelope: 8.83 m/s at 0 s .. 1.57 m/s at 4 s; measured: {:.2} .. {:.2}",
-        sweep.first().unwrap().1,
-        sweep.last().unwrap().1
+    run_figure(
+        "fig08a_max_velocity",
+        "theoretical maximum velocity vs perception-to-actuation latency, Eq. 2 (Fig. 8a)",
+        figures::fig08a_max_velocity,
     );
 }

@@ -1,33 +1,10 @@
 //! Fig. 8b — SLAM throughput vs maximum velocity and energy (circular-path microbenchmark).
-use mav_bench::print_table;
-use mav_core::microbench::{slam_fps_sweep, SlamMicrobenchConfig};
+use mav_bench::{figures, run_figure};
 
 fn main() {
-    println!("== Fig. 8b: SLAM FPS vs max velocity and energy (r = 25 m, failure budget 20%) ==");
-    let sweep = slam_fps_sweep(&[0.5, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0], SlamMicrobenchConfig::default());
-    let rows: Vec<Vec<String>> = sweep
-        .iter()
-        .map(|p| {
-            vec![
-                format!("{:.1}", p.fps),
-                format!("{:.2}", p.max_velocity),
-                format!("{:.1}", p.mission_time_secs),
-                format!("{:.1}", p.energy_kj),
-                format!("{:.2}", p.observed_failure_rate),
-            ]
-        })
-        .collect();
-    print_table(
-        &["SLAM FPS", "max velocity (m/s)", "lap time (s)", "energy (kJ)", "observed failure rate"],
-        &rows,
-    );
-    let first = sweep.first().unwrap();
-    let last = sweep.last().unwrap();
-    println!();
-    println!(
-        "energy reduction from {:.1} to {:.1} FPS: {:.2}X (paper: ~4X for a 5X FPS increase)",
-        first.fps,
-        last.fps,
-        first.energy_kj / last.energy_kj
+    run_figure(
+        "fig08b_slam_fps",
+        "SLAM throughput vs maximum velocity and energy, circular-path microbenchmark (Fig. 8b)",
+        figures::fig08b_slam_fps,
     );
 }

@@ -1,66 +1,10 @@
 //! Fig. 9 — measured power breakdown and mission power trace for a 3DR-Solo-class MAV.
-use mav_bench::print_table;
-use mav_energy::{ComputePowerModel, EnergyAccount, FlightPhaseLabel, RotorPowerModel};
-use mav_types::{Power, SimDuration, SimTime, Vec3};
-
-fn trace(cruise: f64) -> EnergyAccount {
-    let rotor = RotorPowerModel::solo_3dr();
-    let compute = ComputePowerModel::tx2().power(4, 2.2);
-    let mut acc = EnergyAccount::new();
-    let dt = SimDuration::from_millis(200.0);
-    let mut t = SimTime::ZERO;
-    let phases: &[(f64, FlightPhaseLabel, Vec3)] = &[
-        (5.0, FlightPhaseLabel::Arming, Vec3::ZERO),
-        (10.0, FlightPhaseLabel::Hovering, Vec3::ZERO),
-        (30.0, FlightPhaseLabel::Flying, Vec3::new(cruise, 0.0, 0.0)),
-        (5.0, FlightPhaseLabel::Landing, Vec3::new(0.0, 0.0, -1.0)),
-    ];
-    for (duration, phase, velocity) in phases {
-        let steps = (duration / dt.as_secs()) as usize;
-        for _ in 0..steps {
-            let rotor_p = if *phase == FlightPhaseLabel::Arming {
-                Power::from_watts(80.0)
-            } else {
-                rotor.power(velocity, &Vec3::ZERO, &Vec3::ZERO)
-            };
-            acc.record(t, dt, rotor_p, compute, *phase);
-            t += dt;
-        }
-    }
-    acc
-}
+use mav_bench::{figures, run_figure};
 
 fn main() {
-    println!("== Fig. 9a: power breakdown while flying (3DR Solo class) ==");
-    let acc = trace(5.0);
-    let rows = vec![
-        vec!["quad rotors".to_string(), format!("{:.1}", RotorPowerModel::solo_3dr().hover_power().as_watts())],
-        vec!["compute platform (TX2)".to_string(), format!("{:.1}", ComputePowerModel::tx2().power(4, 2.2).as_watts())],
-        vec!["other electronics".to_string(), format!("{:.1}", 2.0)],
-    ];
-    print_table(&["subsystem", "power (W)"], &rows);
-    println!(
-        "rotor share of total energy over a mission: {:.1}% (compute {:.1}%)",
-        acc.rotor_fraction() * 100.0,
-        acc.compute_fraction() * 100.0
+    run_figure(
+        "fig09_power_breakdown",
+        "measured power breakdown and mission power trace for a 3DR-Solo-class MAV (Fig. 9)",
+        figures::fig09_power_breakdown,
     );
-
-    for cruise in [5.0, 10.0] {
-        println!();
-        println!("== Fig. 9b: mission power trace at {cruise} m/s ==");
-        let acc = trace(cruise);
-        let rows: Vec<Vec<String>> = [
-            FlightPhaseLabel::Arming,
-            FlightPhaseLabel::Hovering,
-            FlightPhaseLabel::Flying,
-            FlightPhaseLabel::Landing,
-        ]
-        .iter()
-        .map(|phase| {
-            let p = acc.average_power_in_phase(*phase).map(|p| p.as_watts()).unwrap_or(0.0);
-            vec![format!("{phase}"), format!("{p:.1}")]
-        })
-        .collect();
-        print_table(&["phase", "avg total power (W)"], &rows);
-    }
 }

@@ -1,7 +1,10 @@
 //! Fig. 10 — Scanning heat maps (velocity, mission time, energy) over the TX2 sweep.
-use mav_bench::{quick_mode, run_and_print_heatmaps};
-use mav_compute::ApplicationId;
+use mav_bench::{figures, run_figure};
 
 fn main() {
-    run_and_print_heatmaps(ApplicationId::Scanning, quick_mode(), 11);
+    run_figure(
+        "fig10_scanning",
+        "Scanning heat maps (velocity, mission time, energy) over the TX2 sweep (Fig. 10)",
+        figures::fig10_scanning,
+    );
 }

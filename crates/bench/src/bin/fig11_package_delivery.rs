@@ -1,7 +1,10 @@
 //! Fig. 11 — Package Delivery heat maps (velocity, mission time, energy) over the TX2 sweep.
-use mav_bench::{quick_mode, run_and_print_heatmaps};
-use mav_compute::ApplicationId;
+use mav_bench::{figures, run_figure};
 
 fn main() {
-    run_and_print_heatmaps(ApplicationId::PackageDelivery, quick_mode(), 9);
+    run_figure(
+        "fig11_package_delivery",
+        "Package Delivery heat maps (velocity, mission time, energy) over the TX2 sweep (Fig. 11)",
+        figures::fig11_package_delivery,
+    );
 }

@@ -1,7 +1,10 @@
 //! Fig. 12 — 3D Mapping heat maps (velocity, mission time, energy) over the TX2 sweep.
-use mav_bench::{quick_mode, run_and_print_heatmaps};
-use mav_compute::ApplicationId;
+use mav_bench::{figures, run_figure};
 
 fn main() {
-    run_and_print_heatmaps(ApplicationId::Mapping3D, quick_mode(), 4);
+    run_figure(
+        "fig12_mapping",
+        "3D Mapping heat maps (velocity, mission time, energy) over the TX2 sweep (Fig. 12)",
+        figures::fig12_mapping,
+    );
 }

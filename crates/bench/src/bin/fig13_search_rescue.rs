@@ -1,7 +1,10 @@
 //! Fig. 13 — Search and Rescue heat maps (velocity, mission time, energy) over the TX2 sweep.
-use mav_bench::{quick_mode, run_and_print_heatmaps};
-use mav_compute::ApplicationId;
+use mav_bench::{figures, run_figure};
 
 fn main() {
-    run_and_print_heatmaps(ApplicationId::SearchAndRescue, quick_mode(), 6);
+    run_figure(
+        "fig13_search_rescue",
+        "Search and Rescue heat maps (velocity, mission time, energy) over the TX2 sweep (Fig. 13)",
+        figures::fig13_search_rescue,
+    );
 }

@@ -1,7 +1,10 @@
 //! Fig. 14 — Aerial Photography heat maps (error, mission time, energy) over the TX2 sweep.
-use mav_bench::{quick_mode, run_and_print_heatmaps};
-use mav_compute::ApplicationId;
+use mav_bench::{figures, run_figure};
 
 fn main() {
-    run_and_print_heatmaps(ApplicationId::AerialPhotography, quick_mode(), 8);
+    run_figure(
+        "fig14_aerial_photography",
+        "Aerial Photography heat maps (error, mission time, energy) over the TX2 sweep (Fig. 14)",
+        figures::fig14_aerial_photography,
+    );
 }

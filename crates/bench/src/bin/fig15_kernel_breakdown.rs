@@ -1,43 +1,10 @@
 //! Fig. 15 — per-kernel runtime breakdown for every application across the TX2 sweep.
-use mav_bench::print_table;
-use mav_compute::{table1_profile, ApplicationId, KernelId, OperatingPoint};
+use mav_bench::{figures, run_figure};
 
 fn main() {
-    println!("== Fig. 15: kernel runtime (ms per invocation) across operating points ==");
-    let kernels_of_interest = [
-        KernelId::MotionPlanning,
-        KernelId::OctomapGeneration,
-        KernelId::FrontierExploration,
-        KernelId::ObjectDetection,
-        KernelId::TrackingBuffered,
-        KernelId::TrackingRealTime,
-        KernelId::LawnmowerPlanning,
-        KernelId::PathSmoothing,
-    ];
-    for &app in ApplicationId::all() {
-        let profile = table1_profile(app);
-        let used: Vec<KernelId> = kernels_of_interest
-            .iter()
-            .copied()
-            .filter(|k| profile.uses(*k))
-            .collect();
-        if used.is_empty() {
-            continue;
-        }
-        println!();
-        println!("-- {app} --");
-        let mut rows = Vec::new();
-        for point in OperatingPoint::tx2_sweep() {
-            let mut row = vec![point.label()];
-            for k in &used {
-                let ms = profile.kernel(*k).unwrap().latency(&point).as_millis();
-                row.push(format!("{ms:.0}"));
-            }
-            rows.push(row);
-        }
-        let mut headers: Vec<&str> = vec!["operating point"];
-        let names: Vec<String> = used.iter().map(|k| k.short_name().to_string()).collect();
-        headers.extend(names.iter().map(|s| s.as_str()));
-        print_table(&headers, &rows);
-    }
+    run_figure(
+        "fig15_kernel_breakdown",
+        "per-kernel runtime breakdown for every application across the TX2 sweep (Fig. 15)",
+        figures::fig15_kernel_breakdown,
+    );
 }

@@ -1,31 +1,10 @@
 //! Fig. 16 — fully-on-edge vs sensor-cloud 3D Mapping (performance and energy).
-use mav_bench::{print_table, quick_mode, scale};
-use mav_core::experiments::{cloud_offload_study, CloudComparison};
+use mav_bench::{figures, run_figure};
 
 fn main() {
-    let quick = quick_mode();
-    println!("== Fig. 16: edge vs sensor-cloud (3D Mapping, planning offloaded over 1 Gb/s) ==");
-    let cmp = cloud_offload_study(|cfg| scale(cfg, quick).with_seed(4));
-    let rows = vec![
-        vec![
-            "edge (TX2 only)".to_string(),
-            format!("{:.1}", cmp.edge.mission_time_secs),
-            format!("{:.1}", CloudComparison::planning_time(&cmp.edge)),
-            format!("{:.1}", cmp.edge.energy_kj()),
-            format!("{}", cmp.edge.success()),
-        ],
-        vec![
-            "sensor-cloud".to_string(),
-            format!("{:.1}", cmp.cloud.mission_time_secs),
-            format!("{:.1}", CloudComparison::planning_time(&cmp.cloud)),
-            format!("{:.1}", cmp.cloud.energy_kj()),
-            format!("{}", cmp.cloud.success()),
-        ],
-    ];
-    print_table(&["configuration", "mission time (s)", "planning time (s)", "energy (kJ)", "success"], &rows);
-    println!();
-    println!(
-        "mission-time speed-up from cloud offload: {:.2}X (paper: up to ~2X / 50% reduction)",
-        cmp.speedup()
+    run_figure(
+        "fig16_cloud_offload",
+        "fully-on-edge vs sensor-cloud 3D Mapping, performance and energy (Fig. 16)",
+        figures::fig16_cloud_offload,
     );
 }

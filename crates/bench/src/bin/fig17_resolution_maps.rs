@@ -1,42 +1,10 @@
 //! Fig. 17 — the drone's perception of a doorway at different OctoMap resolutions.
-use mav_bench::print_table;
-use mav_perception::{OctoMap, OctoMapConfig};
-use mav_types::Vec3;
-
-/// Builds a wall with a door-width (0.82 m) opening and maps it at `resolution`.
-fn map_doorway(resolution: f64) -> OctoMap {
-    let mut map = OctoMap::new(OctoMapConfig::with_resolution(resolution), 32.0);
-    let origin = Vec3::new(-5.0, 0.0, 1.0);
-    for i in -40..=40 {
-        let y = i as f64 * 0.1;
-        if y.abs() < 0.41 {
-            continue; // the doorway
-        }
-        for z in [0.5, 1.0, 1.5, 2.0, 2.5] {
-            map.insert_ray(&origin, &Vec3::new(3.0, y, z));
-        }
-    }
-    map
-}
+use mav_bench::{figures, run_figure};
 
 fn main() {
-    println!("== Fig. 17: perceived environment vs OctoMap resolution (0.82 m doorway) ==");
-    let mut rows = Vec::new();
-    for resolution in [0.15, 0.5, 0.8] {
-        let map = map_doorway(resolution);
-        let doorway = Vec3::new(3.0, 0.0, 1.0);
-        let passable = !map.is_occupied_with_inflation(&doorway, 0.325);
-        rows.push(vec![
-            format!("{resolution:.2}"),
-            format!("{}", map.occupied_voxel_count()),
-            format!("{}", map.known_voxel_count()),
-            format!("{}", if passable { "open" } else { "blocked" }),
-        ]);
-    }
-    print_table(
-        &["resolution (m)", "occupied voxels", "known voxels", "doorway perceived as"],
-        &rows,
+    run_figure(
+        "fig17_resolution_maps",
+        "the drone's perception of a doorway at different OctoMap resolutions (Fig. 17)",
+        figures::fig17_resolution_maps,
     );
-    println!();
-    println!("paper: at 0.80 m the drone no longer recognises the opening as a passageway");
 }

@@ -1,48 +1,10 @@
 //! Fig. 18 — OctoMap processing time vs resolution (measured on the host).
-use mav_bench::print_table;
-use mav_env::EnvironmentConfig;
-use mav_perception::{OctoMap, OctoMapConfig, PointCloud};
-use mav_sensors::{DepthCamera, DepthCameraConfig};
-use mav_types::{Pose, Vec3};
-use std::time::Instant;
+use mav_bench::{figures, run_figure};
 
 fn main() {
-    println!("== Fig. 18: OctoMap update time vs resolution (host-measured) ==");
-    let world = EnvironmentConfig::urban_outdoor().with_seed(3).generate();
-    let camera = DepthCamera::new(DepthCameraConfig::high_resolution());
-    // Capture a fixed set of frames once; time only the map updates.
-    let poses: Vec<Pose> = (0..6)
-        .map(|i| Pose::new(Vec3::new(i as f64 * 6.0 - 15.0, (i % 3) as f64 * 8.0 - 8.0, 2.5), i as f64))
-        .collect();
-    let clouds: Vec<PointCloud> = poses
-        .iter()
-        .map(|p| PointCloud::from_depth_image(&camera.capture(&world, p)))
-        .collect();
-    let mut rows = Vec::new();
-    let mut times = Vec::new();
-    for resolution in [0.15, 0.2, 0.3, 0.4, 0.5, 0.65, 0.8, 1.0] {
-        let start = Instant::now();
-        let mut map = OctoMap::new(OctoMapConfig::with_resolution(resolution), 96.0);
-        for cloud in &clouds {
-            map.insert_point_cloud(cloud);
-        }
-        let elapsed = start.elapsed().as_secs_f64();
-        times.push((resolution, elapsed));
-        rows.push(vec![
-            format!("{resolution:.2}"),
-            format!("{:.1}", elapsed * 1000.0),
-            format!("{}", map.update_count()),
-            format!("{}", map.known_voxel_count()),
-        ]);
-    }
-    print_table(&["resolution (m)", "update time (ms)", "leaf updates", "known voxels"], &rows);
-    let fine = times.first().unwrap();
-    let coarse = times.last().unwrap();
-    println!();
-    println!(
-        "processing-time ratio {:.2} m -> {:.2} m: {:.1}X (paper: ~4.5X over a 6.5X resolution change)",
-        fine.0,
-        coarse.0,
-        fine.1 / coarse.1
+    run_figure(
+        "fig18_octomap_resolution",
+        "OctoMap processing time vs resolution, measured on the host (Fig. 18)",
+        figures::fig18_octomap_resolution,
     );
 }

@@ -1,33 +1,10 @@
 //! Fig. 19 — static vs dynamic OctoMap resolution (flight time and battery remaining).
-use mav_bench::{print_table, quick_mode, scale};
-use mav_compute::ApplicationId;
-use mav_core::experiments::resolution_study;
+use mav_bench::{figures, run_figure};
 
 fn main() {
-    let quick = quick_mode();
-    println!("== Fig. 19: OctoMap resolution policy vs mission outcome ==");
-    for app in [ApplicationId::Mapping3D, ApplicationId::SearchAndRescue, ApplicationId::PackageDelivery] {
-        println!();
-        println!("-- {app} --");
-        let rows: Vec<Vec<String>> = resolution_study(app, |cfg| scale(cfg, quick).with_seed(13))
-            .into_iter()
-            .map(|row| {
-                let outcome = match &row.report.failure {
-                    None => "success".to_string(),
-                    Some(f) => format!("fail ({f})"),
-                };
-                vec![
-                    row.policy,
-                    outcome,
-                    format!("{:.1}", row.report.mission_time_secs),
-                    format!("{:.1}", row.report.battery_remaining_pct),
-                    format!("{:.1}", row.report.energy_kj()),
-                ]
-            })
-            .collect();
-        print_table(
-            &["policy", "outcome", "flight time (s)", "battery left (%)", "energy (kJ)"],
-            &rows,
-        );
-    }
+    run_figure(
+        "fig19_dynamic_resolution",
+        "static vs dynamic OctoMap resolution: flight time and battery remaining (Fig. 19)",
+        figures::fig19_dynamic_resolution,
+    );
 }

@@ -1,25 +1,10 @@
 //! Table I — per-application kernel time profile at 4 cores / 2.2 GHz.
-use mav_bench::print_table;
-use mav_compute::{table1_profile, ApplicationId, OperatingPoint};
+use mav_bench::{figures, run_figure};
 
 fn main() {
-    println!("== Table I: kernel make-up and time profile (ms at 4 cores / 2.2 GHz) ==");
-    let reference = OperatingPoint::reference();
-    for &app in ApplicationId::all() {
-        println!();
-        println!("-- {app} --");
-        let profile = table1_profile(app);
-        let rows: Vec<Vec<String>> = profile
-            .iter()
-            .map(|(kernel, prof)| {
-                vec![
-                    kernel.short_name().to_string(),
-                    format!("{}", kernel.stage()),
-                    format!("{:.1}", prof.latency(&reference).as_millis()),
-                    format!("{:.0}%", prof.parallel_fraction * 100.0),
-                ]
-            })
-            .collect();
-        print_table(&["kernel", "stage", "latency (ms)", "parallel fraction"], &rows);
-    }
+    run_figure(
+        "table1_kernel_profile",
+        "per-application kernel make-up and time profile at 4 cores / 2.2 GHz (Table I)",
+        figures::table1_kernel_profile,
+    );
 }

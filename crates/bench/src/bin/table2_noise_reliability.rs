@@ -1,24 +1,10 @@
 //! Table II — impact of depth-image noise on Package Delivery reliability.
-use mav_bench::{print_table, quick_mode, scale};
-use mav_core::experiments::noise_reliability_study;
+use mav_bench::{figures, run_figure};
 
 fn main() {
-    let quick = quick_mode();
-    let runs = if quick { 3 } else { 5 };
-    println!("== Table II: depth-noise reliability study (Package Delivery, {runs} runs per level) ==");
-    let rows: Vec<Vec<String>> =
-        noise_reliability_study(&[0.0, 0.5, 1.0, 1.5], runs, |cfg| scale(cfg, quick).with_seed(21))
-            .into_iter()
-            .map(|row| {
-                vec![
-                    format!("{:.1}", row.noise_std),
-                    format!("{:.0}%", row.failure_rate * 100.0),
-                    format!("{:.1}", row.mean_replans),
-                    format!("{:.1}", row.mean_mission_time),
-                ]
-            })
-            .collect();
-    print_table(&["noise std (m)", "failure rate", "mean re-plans", "mean mission time (s)"], &rows);
-    println!();
-    println!("paper: 0 -> 1.5 m noise raises re-planning from 2 to 8 episodes and mission time by ~90%, with 10% failures at 1.5 m");
+    run_figure(
+        "table2_noise_reliability",
+        "impact of depth-image noise on Package Delivery reliability (Table II)",
+        figures::table2_noise_reliability,
+    );
 }

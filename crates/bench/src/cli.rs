@@ -1,0 +1,191 @@
+//! The shared command-line driver for every `fig*`/`table*` harness binary.
+//!
+//! All 16 binaries accept the same flags:
+//!
+//! * `--fast` (alias `--quick`) — run on scaled-down scenarios that finish in
+//!   seconds instead of the paper-sized ones;
+//! * `--json` — print the figure's data as a JSON document instead of text
+//!   tables;
+//! * `--threads N` — number of worker threads for mission sweeps
+//!   (default: all cores, `1` reproduces the historical serial behaviour);
+//! * `--help` — usage.
+//!
+//! A binary is a one-liner: `run_figure(NAME, DESCRIPTION, figures::NAME)`.
+//! The figure builder receives the parsed [`Cli`] and returns a
+//! [`FigureOutput`] carrying both renderings; the driver prints the one the
+//! user asked for.
+
+use mav_core::sweep::SweepRunner;
+use mav_core::MissionConfig;
+use mav_types::Json;
+
+/// Parsed command-line options shared by every harness binary.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Cli {
+    /// Run scaled-down scenarios (`--fast`).
+    pub fast: bool,
+    /// Emit JSON instead of text (`--json`).
+    pub json: bool,
+    /// Worker threads for sweeps; 0 means all cores (`--threads N`).
+    pub threads: usize,
+}
+
+/// What a figure builder hands back to the driver.
+#[derive(Debug, Clone)]
+pub struct FigureOutput {
+    /// Human-readable rendering (tables and commentary).
+    pub text: String,
+    /// Machine-readable rendering of the same data.
+    pub json: Json,
+}
+
+impl Cli {
+    /// Parses `std::env::args`. Exits with usage on `--help` or an unknown
+    /// flag.
+    pub fn parse(name: &str, description: &str) -> Cli {
+        match Cli::try_parse(std::env::args().skip(1)) {
+            Ok(cli) => cli,
+            Err(CliError::Help) => {
+                println!("{}", usage(name, description));
+                std::process::exit(0);
+            }
+            Err(CliError::Invalid(message)) => {
+                eprintln!("error: {message}\n\n{}", usage(name, description));
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parses an argument iterator (testable core of [`Cli::parse`]).
+    pub fn try_parse(args: impl Iterator<Item = String>) -> Result<Cli, CliError> {
+        let mut cli = Cli::default();
+        let mut args = args.peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--fast" | "--quick" => cli.fast = true,
+                "--json" => cli.json = true,
+                "--threads" => {
+                    let value = args
+                        .next()
+                        .ok_or_else(|| CliError::Invalid("--threads needs a value".into()))?;
+                    cli.threads = value.parse().map_err(|_| {
+                        CliError::Invalid(format!("invalid thread count `{value}`"))
+                    })?;
+                }
+                "--help" | "-h" => return Err(CliError::Help),
+                other => return Err(CliError::Invalid(format!("unknown argument `{other}`"))),
+            }
+        }
+        Ok(cli)
+    }
+
+    /// A sweep runner honouring `--threads`.
+    pub fn runner(&self) -> SweepRunner {
+        SweepRunner::new().with_threads(self.threads)
+    }
+
+    /// Applies `--fast` scaling to a mission configuration.
+    pub fn scale(&self, config: MissionConfig) -> MissionConfig {
+        if self.fast {
+            mav_core::experiments::quick_config(config)
+        } else {
+            config
+        }
+    }
+}
+
+/// Why parsing stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// `--help` was requested.
+    Help,
+    /// An argument was malformed or unknown.
+    Invalid(String),
+}
+
+fn usage(name: &str, description: &str) -> String {
+    format!(
+        "{name} — {description}\n\n\
+         usage: {name} [--fast] [--json] [--threads N]\n\n\
+         options:\n  \
+         --fast        run scaled-down scenarios that finish in seconds (alias: --quick)\n  \
+         --json        print the figure data as JSON instead of text tables\n  \
+         --threads N   worker threads for mission sweeps (default: all cores)\n  \
+         --help        show this message"
+    )
+}
+
+/// Parses the CLI, runs the figure builder, prints the requested rendering.
+pub fn run_figure(name: &str, description: &str, body: impl FnOnce(&Cli) -> FigureOutput) {
+    let cli = Cli::parse(name, description);
+    let output = body(&cli);
+    if cli.json {
+        let document = Json::object()
+            .field("figure", name)
+            .field("description", description)
+            .field("fast", cli.fast)
+            .field("threads", cli.runner().threads())
+            .field("data", output.json);
+        println!("{}", document.to_string_pretty());
+    } else {
+        println!("== {name}: {description} ==");
+        print!("{}", output.text);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Cli, CliError> {
+        Cli::try_parse(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_are_full_size_text_all_cores() {
+        let cli = parse(&[]).unwrap();
+        assert!(!cli.fast);
+        assert!(!cli.json);
+        assert_eq!(cli.threads, 0);
+        assert!(cli.runner().threads() >= 1);
+    }
+
+    #[test]
+    fn all_flags_parse() {
+        let cli = parse(&["--fast", "--json", "--threads", "3"]).unwrap();
+        assert!(cli.fast);
+        assert!(cli.json);
+        assert_eq!(cli.threads, 3);
+        assert_eq!(cli.runner().threads(), 3);
+    }
+
+    #[test]
+    fn quick_is_an_alias_for_fast() {
+        assert!(parse(&["--quick"]).unwrap().fast);
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert_eq!(parse(&["--help"]), Err(CliError::Help));
+        assert!(matches!(parse(&["--threads"]), Err(CliError::Invalid(_))));
+        assert!(matches!(
+            parse(&["--threads", "x"]),
+            Err(CliError::Invalid(_))
+        ));
+        assert!(matches!(parse(&["--bogus"]), Err(CliError::Invalid(_))));
+    }
+
+    #[test]
+    fn scale_respects_fast() {
+        use mav_compute::ApplicationId;
+        let base = MissionConfig::new(ApplicationId::Mapping3D);
+        let fast = Cli {
+            fast: true,
+            ..Cli::default()
+        }
+        .scale(base.clone());
+        assert!(fast.environment.extent <= base.environment.extent);
+        let full = Cli::default().scale(base.clone());
+        assert_eq!(full.environment.extent, base.environment.extent);
+    }
+}

@@ -1,96 +1,17 @@
 //! Experiment harnesses and benchmark support for MAVBench-RS.
 //!
-//! The binaries in `src/bin/` regenerate every table and figure of the paper's
-//! evaluation (see DESIGN.md for the experiment index); the Criterion benches
-//! in `benches/` measure the real Rust kernels on the host. This library crate
-//! holds the small amount of shared plumbing: quick/full configuration
-//! selection and text-table printing.
+//! The binaries in `src/bin/` regenerate every table and figure of the
+//! paper's evaluation; each is a one-line wrapper around a builder in
+//! [`figures`], driven by the shared CLI in [`cli`] (`--fast`, `--json`,
+//! `--threads`). Mission sweeps run in parallel through
+//! [`mav_core::sweep::SweepRunner`]. The Criterion benches in `benches/`
+//! measure the real Rust kernels on the host.
 
 #![warn(missing_docs)]
 
-use mav_compute::ApplicationId;
-use mav_core::experiments::{format_heatmap, operating_point_sweep, HeatmapCell};
-use mav_core::MissionConfig;
+pub mod cli;
+pub mod figures;
+pub mod table;
 
-/// Returns `true` when `--quick` was passed on the command line: experiments
-/// then run on scaled-down scenarios that finish in seconds.
-pub fn quick_mode() -> bool {
-    std::env::args().any(|a| a == "--quick")
-}
-
-/// Applies the quick-mode scaling when requested.
-pub fn scale(config: MissionConfig, quick: bool) -> MissionConfig {
-    if quick {
-        mav_core::experiments::quick_config(config)
-    } else {
-        config
-    }
-}
-
-/// Runs the 3×3 operating-point sweep for an application and prints the three
-/// heat maps the paper reports (velocity or error, mission time, energy).
-pub fn run_and_print_heatmaps(app: ApplicationId, quick: bool, seed: u64) -> Vec<HeatmapCell> {
-    let cells = operating_point_sweep(app, |cfg| scale(cfg, quick).with_seed(seed));
-    println!("== {} — operating-point sweep ==", app);
-    if app == ApplicationId::AerialPhotography {
-        println!("{}", format_heatmap(&cells, "error (norm.)", |r| r.tracking_error));
-    } else {
-        println!("{}", format_heatmap(&cells, "velocity (m/s)", |r| r.average_velocity));
-    }
-    println!("{}", format_heatmap(&cells, "mission time (s)", |r| r.mission_time_secs));
-    println!("{}", format_heatmap(&cells, "energy (kJ)", |r| r.energy_kj()));
-    let failures: Vec<String> = cells
-        .iter()
-        .filter(|c| !c.report.success())
-        .map(|c| format!("{}c@{:.1}GHz: {:?}", c.cores, c.frequency_ghz, c.report.failure))
-        .collect();
-    if failures.is_empty() {
-        println!("all 9 operating points completed successfully");
-    } else {
-        println!("failed operating points: {failures:?}");
-    }
-    cells
-}
-
-/// Prints a simple aligned text table.
-pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
-    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
-    for row in rows {
-        for (i, cell) in row.iter().enumerate() {
-            if i < widths.len() {
-                widths[i] = widths[i].max(cell.len());
-            }
-        }
-    }
-    let header_line: Vec<String> =
-        headers.iter().enumerate().map(|(i, h)| format!("{:<w$}", h, w = widths[i])).collect();
-    println!("{}", header_line.join(" | "));
-    println!("{}", "-".repeat(header_line.join(" | ").len()));
-    for row in rows {
-        let line: Vec<String> =
-            row.iter().enumerate().map(|(i, c)| format!("{:<w$}", c, w = widths[i])).collect();
-        println!("{}", line.join(" | "));
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn table_printer_does_not_panic() {
-        print_table(
-            &["a", "long header"],
-            &[vec!["1".into(), "2".into()], vec!["much longer".into(), "x".into()]],
-        );
-    }
-
-    #[test]
-    fn scale_quick_shrinks_environment() {
-        let base = MissionConfig::new(ApplicationId::Mapping3D);
-        let quick = scale(base.clone(), true);
-        assert!(quick.environment.extent <= base.environment.extent);
-        let full = scale(base.clone(), false);
-        assert_eq!(full.environment.extent, base.environment.extent);
-    }
-}
+pub use cli::{run_figure, Cli, FigureOutput};
+pub use table::{format_table, print_table};

@@ -1,0 +1,70 @@
+//! Aligned text tables shared by every harness binary.
+
+/// Renders a simple aligned text table.
+pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let header_line: Vec<String> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| format!("{:<w$}", h, w = widths[i]))
+        .collect();
+    out.push_str(&header_line.join(" | "));
+    out.push('\n');
+    out.push_str(&"-".repeat(header_line.join(" | ").len()));
+    out.push('\n');
+    for row in rows {
+        let line: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<w$}", c, w = widths.get(i).copied().unwrap_or(0)))
+            .collect();
+        out.push_str(&line.join(" | "));
+        out.push('\n');
+    }
+    out
+}
+
+/// Prints a table rendered by [`format_table`].
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    print!("{}", format_table(headers, rows));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let rendered = format_table(
+            &["a", "long header"],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["much longer".into(), "x".into()],
+            ],
+        );
+        let lines: Vec<&str> = rendered.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a           | long header"));
+        assert!(lines[2].starts_with("1           | 2"));
+    }
+
+    #[test]
+    fn table_printer_does_not_panic() {
+        print_table(&["h"], &[vec!["v".into()]]);
+    }
+
+    #[test]
+    fn extra_cells_beyond_headers_are_kept() {
+        let rendered = format_table(&["only"], &[vec!["a".into(), "b".into()]]);
+        assert!(rendered.contains('a'));
+        assert!(rendered.contains('b'));
+    }
+}

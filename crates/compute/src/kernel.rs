@@ -110,6 +110,12 @@ impl fmt::Display for KernelId {
     }
 }
 
+impl mav_types::ToJson for KernelId {
+    fn to_json(&self) -> mav_types::Json {
+        mav_types::Json::String(self.short_name().to_string())
+    }
+}
+
 /// The three stages of the MAVBench application pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum PipelineStage {
@@ -155,7 +161,10 @@ impl KernelProfile {
             (0.0..=1.0).contains(&parallel_fraction),
             "parallel fraction must be in [0, 1], got {parallel_fraction}"
         );
-        KernelProfile { reference_ms, parallel_fraction }
+        KernelProfile {
+            reference_ms,
+            parallel_fraction,
+        }
     }
 
     /// Runtime at an arbitrary operating point.
@@ -203,7 +212,10 @@ mod tests {
             assert!(!format!("{k}").is_empty());
             let _ = k.stage();
         }
-        assert_eq!(KernelId::OctomapGeneration.stage(), PipelineStage::Perception);
+        assert_eq!(
+            KernelId::OctomapGeneration.stage(),
+            PipelineStage::Perception
+        );
         assert_eq!(KernelId::MotionPlanning.stage(), PipelineStage::Planning);
         assert_eq!(KernelId::PathTracking.stage(), PipelineStage::Control);
     }
@@ -229,9 +241,15 @@ mod tests {
     #[test]
     fn core_scaling_follows_amdahl() {
         let p = KernelProfile::new(100.0, 0.8);
-        let four = p.latency(&OperatingPoint::new(4, Frequency::from_ghz(2.2))).as_millis();
-        let two = p.latency(&OperatingPoint::new(2, Frequency::from_ghz(2.2))).as_millis();
-        let one = p.latency(&OperatingPoint::new(1, Frequency::from_ghz(2.2))).as_millis();
+        let four = p
+            .latency(&OperatingPoint::new(4, Frequency::from_ghz(2.2)))
+            .as_millis();
+        let two = p
+            .latency(&OperatingPoint::new(2, Frequency::from_ghz(2.2)))
+            .as_millis();
+        let one = p
+            .latency(&OperatingPoint::new(1, Frequency::from_ghz(2.2)))
+            .as_millis();
         assert!(two > four);
         assert!(one > two);
         // Expected ratios: t(c) ∝ 0.2 + 0.8/c.

@@ -57,6 +57,14 @@ impl OperatingPoint {
     }
 }
 
+impl mav_types::ToJson for OperatingPoint {
+    fn to_json(&self) -> mav_types::Json {
+        mav_types::Json::object()
+            .field("cores", self.cores)
+            .field("frequency_ghz", self.frequency.as_ghz())
+    }
+}
+
 impl Default for OperatingPoint {
     fn default() -> Self {
         OperatingPoint::reference()
@@ -80,8 +88,7 @@ mod tests {
         assert!(sweep.contains(&OperatingPoint::reference()));
         assert!(sweep.contains(&OperatingPoint::slowest()));
         // All cores × frequency combinations are distinct.
-        let labels: std::collections::HashSet<String> =
-            sweep.iter().map(|p| p.label()).collect();
+        let labels: std::collections::HashSet<String> = sweep.iter().map(|p| p.label()).collect();
         assert_eq!(labels.len(), 9);
     }
 

@@ -28,12 +28,18 @@ pub struct NetworkLink {
 impl NetworkLink {
     /// The 1 Gb/s LAN used by the paper to mimic a future 5G deployment.
     pub fn gigabit_lan() -> Self {
-        NetworkLink { bandwidth_mbps: 1000.0, latency_ms: 1.0 }
+        NetworkLink {
+            bandwidth_mbps: 1000.0,
+            latency_ms: 1.0,
+        }
     }
 
     /// A contemporary LTE link (for sensitivity studies).
     pub fn lte() -> Self {
-        NetworkLink { bandwidth_mbps: 50.0, latency_ms: 30.0 }
+        NetworkLink {
+            bandwidth_mbps: 50.0,
+            latency_ms: 30.0,
+        }
     }
 
     /// Time to move `megabytes` of data across the link plus one round trip.
@@ -129,7 +135,10 @@ impl ComputePlatform {
         operating_point: OperatingPoint,
         cloud: CloudConfig,
     ) -> Self {
-        ComputePlatform { cloud: Some(cloud), ..ComputePlatform::tx2(application, operating_point) }
+        ComputePlatform {
+            cloud: Some(cloud),
+            ..ComputePlatform::tx2(application, operating_point)
+        }
     }
 
     /// Replaces the kernel profile table (used to plug in custom kernels).
@@ -178,7 +187,10 @@ impl ComputePlatform {
         match self.placement(kernel) {
             Placement::Edge => profile.latency(&self.operating_point),
             Placement::Cloud => {
-                let cloud = self.cloud.as_ref().expect("cloud placement requires cloud config");
+                let cloud = self
+                    .cloud
+                    .as_ref()
+                    .expect("cloud placement requires cloud config");
                 let compute = profile.reference_latency() / cloud.speedup.max(1e-9);
                 compute + cloud.link.transfer_time(cloud.payload_megabytes)
             }
@@ -282,8 +294,14 @@ mod tests {
         );
         // The reactive path (not offloaded) is unchanged.
         assert_eq!(edge.reaction_latency(), cloud.reaction_latency());
-        assert_eq!(cloud.placement(KernelId::FrontierExploration), Placement::Cloud);
-        assert_eq!(cloud.placement(KernelId::OctomapGeneration), Placement::Edge);
+        assert_eq!(
+            cloud.placement(KernelId::FrontierExploration),
+            Placement::Cloud
+        );
+        assert_eq!(
+            cloud.placement(KernelId::OctomapGeneration),
+            Placement::Edge
+        );
     }
 
     #[test]

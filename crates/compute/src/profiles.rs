@@ -56,6 +56,12 @@ impl fmt::Display for ApplicationId {
     }
 }
 
+impl mav_types::ToJson for ApplicationId {
+    fn to_json(&self) -> mav_types::Json {
+        mav_types::Json::String(self.name().to_string())
+    }
+}
+
 /// The kernel-latency profile of one application: a map from kernel to its
 /// [`KernelProfile`].
 #[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
@@ -66,12 +72,15 @@ pub struct ApplicationProfile {
 impl ApplicationProfile {
     /// Creates an empty profile.
     pub fn new() -> Self {
-        ApplicationProfile { kernels: BTreeMap::new() }
+        ApplicationProfile {
+            kernels: BTreeMap::new(),
+        }
     }
 
     /// Adds or replaces a kernel profile (builder style).
     pub fn with(mut self, kernel: KernelId, reference_ms: f64, parallel_fraction: f64) -> Self {
-        self.kernels.insert(kernel, KernelProfile::new(reference_ms, parallel_fraction));
+        self.kernels
+            .insert(kernel, KernelProfile::new(reference_ms, parallel_fraction));
         self
     }
 
@@ -167,24 +176,60 @@ mod tests {
     #[test]
     fn table1_reference_numbers_match_the_paper() {
         let pd = table1_profile(ApplicationId::PackageDelivery);
-        assert_eq!(pd.kernel(KernelId::OctomapGeneration).unwrap().reference_ms, 630.0);
-        assert_eq!(pd.kernel(KernelId::MotionPlanning).unwrap().reference_ms, 182.0);
-        assert_eq!(pd.kernel(KernelId::PathSmoothing).unwrap().reference_ms, 55.0);
+        assert_eq!(
+            pd.kernel(KernelId::OctomapGeneration).unwrap().reference_ms,
+            630.0
+        );
+        assert_eq!(
+            pd.kernel(KernelId::MotionPlanning).unwrap().reference_ms,
+            182.0
+        );
+        assert_eq!(
+            pd.kernel(KernelId::PathSmoothing).unwrap().reference_ms,
+            55.0
+        );
 
         let map = table1_profile(ApplicationId::Mapping3D);
-        assert_eq!(map.kernel(KernelId::FrontierExploration).unwrap().reference_ms, 2647.0);
-        assert_eq!(map.kernel(KernelId::OctomapGeneration).unwrap().reference_ms, 482.0);
+        assert_eq!(
+            map.kernel(KernelId::FrontierExploration)
+                .unwrap()
+                .reference_ms,
+            2647.0
+        );
+        assert_eq!(
+            map.kernel(KernelId::OctomapGeneration)
+                .unwrap()
+                .reference_ms,
+            482.0
+        );
 
         let sar = table1_profile(ApplicationId::SearchAndRescue);
-        assert_eq!(sar.kernel(KernelId::ObjectDetection).unwrap().reference_ms, 271.0);
-        assert_eq!(sar.kernel(KernelId::FrontierExploration).unwrap().reference_ms, 2693.0);
+        assert_eq!(
+            sar.kernel(KernelId::ObjectDetection).unwrap().reference_ms,
+            271.0
+        );
+        assert_eq!(
+            sar.kernel(KernelId::FrontierExploration)
+                .unwrap()
+                .reference_ms,
+            2693.0
+        );
 
         let ap = table1_profile(ApplicationId::AerialPhotography);
-        assert_eq!(ap.kernel(KernelId::ObjectDetection).unwrap().reference_ms, 307.0);
-        assert_eq!(ap.kernel(KernelId::TrackingBuffered).unwrap().reference_ms, 80.0);
+        assert_eq!(
+            ap.kernel(KernelId::ObjectDetection).unwrap().reference_ms,
+            307.0
+        );
+        assert_eq!(
+            ap.kernel(KernelId::TrackingBuffered).unwrap().reference_ms,
+            80.0
+        );
 
         let sc = table1_profile(ApplicationId::Scanning);
-        assert_eq!(sc.kernel(KernelId::LawnmowerPlanning).unwrap().reference_ms, 89.0);
+        assert_eq!(
+            sc.kernel(KernelId::LawnmowerPlanning).unwrap().reference_ms,
+            89.0
+        );
     }
 
     #[test]
@@ -209,11 +254,18 @@ mod tests {
 
     #[test]
     fn profile_iteration_is_stable() {
-        let a: Vec<KernelId> =
-            table1_profile(ApplicationId::SearchAndRescue).iter().map(|(k, _)| *k).collect();
-        let b: Vec<KernelId> =
-            table1_profile(ApplicationId::SearchAndRescue).iter().map(|(k, _)| *k).collect();
+        let a: Vec<KernelId> = table1_profile(ApplicationId::SearchAndRescue)
+            .iter()
+            .map(|(k, _)| *k)
+            .collect();
+        let b: Vec<KernelId> = table1_profile(ApplicationId::SearchAndRescue)
+            .iter()
+            .map(|(k, _)| *k)
+            .collect();
         assert_eq!(a, b);
-        assert_eq!(a.len(), table1_profile(ApplicationId::SearchAndRescue).len());
+        assert_eq!(
+            a.len(),
+            table1_profile(ApplicationId::SearchAndRescue).len()
+        );
     }
 }

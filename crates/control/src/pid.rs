@@ -26,7 +26,13 @@ impl PidConfig {
     /// Creates a configuration with the given gains and a generous output
     /// limit.
     pub fn new(kp: f64, ki: f64, kd: f64) -> Self {
-        PidConfig { kp, ki, kd, output_limit: 10.0, integral_limit: 5.0 }
+        PidConfig {
+            kp,
+            ki,
+            kd,
+            output_limit: 10.0,
+            integral_limit: 5.0,
+        }
     }
 
     /// Overrides the output limit (builder style).
@@ -68,7 +74,11 @@ pub struct Pid {
 impl Pid {
     /// Creates a controller with zeroed state.
     pub fn new(config: PidConfig) -> Self {
-        Pid { config, integral: 0.0, last_error: None }
+        Pid {
+            config,
+            integral: 0.0,
+            last_error: None,
+        }
     }
 
     /// The configuration.
@@ -91,7 +101,8 @@ impl Pid {
             None => 0.0,
         };
         self.last_error = Some(error);
-        let raw = self.config.kp * error + self.config.ki * self.integral + self.config.kd * derivative;
+        let raw =
+            self.config.kp * error + self.config.ki * self.integral + self.config.kd * derivative;
         raw.clamp(-self.config.output_limit, self.config.output_limit)
     }
 
@@ -156,7 +167,11 @@ mod tests {
 
     #[test]
     fn integral_windup_is_bounded() {
-        let mut pid = Pid::new(PidConfig { ki: 1.0, integral_limit: 2.0, ..PidConfig::new(0.0, 1.0, 0.0) });
+        let mut pid = Pid::new(PidConfig {
+            ki: 1.0,
+            integral_limit: 2.0,
+            ..PidConfig::new(0.0, 1.0, 0.0)
+        });
         for _ in 0..1000 {
             pid.update(10.0, 0.1);
         }

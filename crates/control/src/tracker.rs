@@ -25,7 +25,11 @@ pub struct PathTrackerConfig {
 
 impl Default for PathTrackerConfig {
     fn default() -> Self {
-        PathTrackerConfig { position_gain: 1.5, max_correction: 3.0, completion_tolerance: 0.75 }
+        PathTrackerConfig {
+            position_gain: 1.5,
+            max_correction: 3.0,
+            completion_tolerance: 0.75,
+        }
     }
 }
 
@@ -80,9 +84,18 @@ impl PathTracker {
     /// `trajectory` at mission time `now`.
     ///
     /// An empty trajectory yields a zero command marked completed.
-    pub fn command(&self, trajectory: &Trajectory, state: &MavState, now: SimTime) -> TrackingCommand {
+    pub fn command(
+        &self,
+        trajectory: &Trajectory,
+        state: &MavState,
+        now: SimTime,
+    ) -> TrackingCommand {
         let Some(reference) = trajectory.sample(now) else {
-            return TrackingCommand { velocity: Vec3::ZERO, cross_track_error: 0.0, completed: true };
+            return TrackingCommand {
+                velocity: Vec3::ZERO,
+                cross_track_error: 0.0,
+                completed: true,
+            };
         };
         let error = reference.position - state.pose.position;
         let cross_track_error = error.norm();
@@ -91,11 +104,16 @@ impl PathTracker {
         let completed = match trajectory.last() {
             Some(last) => {
                 now >= last.time
-                    && state.pose.position.distance(&last.position) <= self.config.completion_tolerance
+                    && state.pose.position.distance(&last.position)
+                        <= self.config.completion_tolerance
             }
             None => true,
         };
-        TrackingCommand { velocity, cross_track_error, completed }
+        TrackingCommand {
+            velocity,
+            cross_track_error,
+            completed,
+        }
     }
 }
 
@@ -134,7 +152,10 @@ mod tests {
         // Vehicle displaced 2 m to the left of the reference.
         let state = MavState::at_rest(Pose::new(Vec3::new(4.0, 2.0, 2.0), 0.0));
         let cmd = tracker.command(&line_trajectory(), &state, SimTime::from_secs(1.0));
-        assert!(cmd.velocity.y < 0.0, "correction should pull back towards the path");
+        assert!(
+            cmd.velocity.y < 0.0,
+            "correction should pull back towards the path"
+        );
         assert!(cmd.cross_track_error > 1.9);
         // Correction magnitude is bounded.
         let huge_offset = MavState::at_rest(Pose::new(Vec3::new(4.0, 100.0, 2.0), 0.0));
@@ -154,7 +175,11 @@ mod tests {
         let there = MavState::at_rest(Pose::new(end.position, 0.0));
         assert!(tracker.command(&traj, &there, end.time).completed);
         // Early in time even if already at the goal position: not complete.
-        assert!(!tracker.command(&traj, &there, SimTime::from_secs(0.1)).completed);
+        assert!(
+            !tracker
+                .command(&traj, &there, SimTime::from_secs(0.1))
+                .completed
+        );
     }
 
     #[test]
@@ -172,7 +197,10 @@ mod tests {
         // at the goal with small cross-track error throughout.
         let tracker = PathTracker::default();
         let traj = line_trajectory();
-        let mut quad = Quadrotor::new(QuadrotorConfig::dji_matrice_100(), Pose::new(Vec3::new(0.0, 0.0, 2.0), 0.0));
+        let mut quad = Quadrotor::new(
+            QuadrotorConfig::dji_matrice_100(),
+            Pose::new(Vec3::new(0.0, 0.0, 2.0), 0.0),
+        );
         let dt = 0.05;
         let mut now = SimTime::ZERO;
         let mut worst_error: f64 = 0.0;

@@ -29,14 +29,20 @@ const MAX_SESSION_SECS: f64 = 150.0;
 
 /// Runs the Aerial Photography mission.
 pub fn run(mut ctx: MissionContext) -> MissionReport {
-    let mut detector =
-        ObjectDetector::new(DetectorConfig { seed: ctx.config.seed, ..Default::default() });
+    let mut detector = ObjectDetector::new(DetectorConfig {
+        seed: ctx.config.seed,
+        ..Default::default()
+    });
     let mut tracker = TargetTracker::new(TrackerConfig::default());
     let mut pid_x = Pid::new(PidConfig::new(0.9, 0.05, 0.2).with_output_limit(8.0));
     let mut pid_y = Pid::new(PidConfig::new(0.9, 0.05, 0.2).with_output_limit(8.0));
     let mut pid_z = Pid::new(PidConfig::new(1.0, 0.0, 0.1).with_output_limit(3.0));
 
-    if ctx.world.dynamic_obstacle_of_class(ObstacleClass::PhotographySubject).is_none() {
+    if ctx
+        .world
+        .dynamic_obstacle_of_class(ObstacleClass::PhotographySubject)
+        .is_none()
+    {
         return ctx.finish(Some(MissionFailure::Other(
             "no photography subject in the environment".to_string(),
         )));
@@ -54,13 +60,19 @@ pub fn run(mut ctx: MissionContext) -> MissionReport {
             return ctx.finish(None);
         }
         // Perception: detection every few ticks, real-time tracking every tick.
-        let mut kernels = vec![KernelId::TrackingRealTime, KernelId::PidControl, KernelId::PathTracking];
-        let run_detector = tick_index % DETECTION_PERIOD == 0;
+        let mut kernels = vec![
+            KernelId::TrackingRealTime,
+            KernelId::PidControl,
+            KernelId::PathTracking,
+        ];
+        let run_detector = tick_index.is_multiple_of(DETECTION_PERIOD);
         if run_detector {
             kernels.push(KernelId::ObjectDetection);
             kernels.push(KernelId::TrackingBuffered);
         }
-        let tick = ctx.charge_kernels(&kernels).max(SimDuration::from_millis(50.0));
+        let tick = ctx
+            .charge_kernels(&kernels)
+            .max(SimDuration::from_millis(50.0));
         tick_index += 1;
 
         let pose = ctx.pose();
@@ -99,10 +111,7 @@ pub fn run(mut ctx: MissionContext) -> MissionReport {
         // kept inside the world bounds (the subject may hug the boundary).
         let raw_desired = follow_point(&track.position, &track.velocity);
         let b = ctx.world.bounds();
-        let desired = raw_desired.clamp(
-            &(b.min + Vec3::splat(2.0)),
-            &(b.max - Vec3::splat(2.0)),
-        );
+        let desired = raw_desired.clamp(&(b.min + Vec3::splat(2.0)), &(b.max - Vec3::splat(2.0)));
         let error = desired - pose.position;
         let dt = tick.as_secs().max(1e-3);
         let command = Vec3::new(

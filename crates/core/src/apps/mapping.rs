@@ -21,7 +21,10 @@ pub struct MappingGoal {
 
 impl Default for MappingGoal {
     fn default() -> Self {
-        MappingGoal { target_volume: 3000.0, max_iterations: 14 }
+        MappingGoal {
+            target_volume: 3000.0,
+            max_iterations: 14,
+        }
     }
 }
 
@@ -78,9 +81,10 @@ pub fn explore(
         };
         consecutive_failures = 0;
         let cap = ctx.velocity_cap();
-        let smoother = PathSmoother::new(
-            SmootherConfig::new(cap.max(0.5), ctx.config.quadrotor.max_acceleration),
-        );
+        let smoother = PathSmoother::new(SmootherConfig::new(
+            cap.max(0.5),
+            ctx.config.quadrotor.max_acceleration,
+        ));
         let trajectory = match smoother.smooth(&plan.waypoints, ctx.clock.now()) {
             Ok(t) => t,
             Err(e) => return Some(MissionFailure::PlanningFailed(e.to_string())),
@@ -120,8 +124,17 @@ mod tests {
         cfg.environment.extent = 25.0;
         let report = crate::apps::run_mission(cfg);
         assert!(report.success(), "mapping failed: {:?}", report.failure);
-        assert!(report.mapped_volume > 50.0, "mapped only {} m3", report.mapped_volume);
-        assert!(report.kernel_timer.invocations(KernelId::FrontierExploration) >= 1);
+        assert!(
+            report.mapped_volume > 50.0,
+            "mapped only {} m3",
+            report.mapped_volume
+        );
+        assert!(
+            report
+                .kernel_timer
+                .invocations(KernelId::FrontierExploration)
+                >= 1
+        );
         assert!(report.kernel_timer.invocations(KernelId::OctomapGeneration) >= 2);
         assert!(report.hover_time_secs > 1.0);
     }
@@ -131,7 +144,10 @@ mod tests {
         let mut cfg = MissionConfig::fast_test(ApplicationId::Mapping3D).with_seed(4);
         cfg.environment.extent = 25.0;
         let mut ctx = crate::context::MissionContext::new(cfg).unwrap();
-        let tiny_goal = MappingGoal { target_volume: 10.0, max_iterations: 10 };
+        let tiny_goal = MappingGoal {
+            target_volume: 10.0,
+            max_iterations: 10,
+        };
         let failure = explore(&mut ctx, tiny_goal, |_| None);
         assert!(failure.is_none());
         assert!(ctx.map.mapped_volume() >= 10.0);

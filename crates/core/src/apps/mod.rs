@@ -52,7 +52,9 @@ fn invalid_config_report(application: ApplicationId, reason: String) -> MissionR
     MissionReport::from_counters(
         application,
         OperatingPoint::reference(),
-        Some(MissionFailure::Other(format!("invalid configuration: {reason}"))),
+        Some(MissionFailure::Other(format!(
+            "invalid configuration: {reason}"
+        ))),
         SimDuration::ZERO,
         SimDuration::ZERO,
         0.0,

@@ -65,9 +65,10 @@ pub fn fly_leg(ctx: &mut MissionContext, goal: Vec3) -> Result<(), MissionFailur
             }
         };
         let cap = ctx.velocity_cap();
-        let smoother = PathSmoother::new(
-            SmootherConfig::new(cap.max(0.5), ctx.config.quadrotor.max_acceleration),
-        );
+        let smoother = PathSmoother::new(SmootherConfig::new(
+            cap.max(0.5),
+            ctx.config.quadrotor.max_acceleration,
+        ));
         let trajectory = match smoother.smooth(&path.waypoints, ctx.clock.now()) {
             Ok(t) => t,
             Err(e) => return Err(MissionFailure::PlanningFailed(e.to_string())),
@@ -99,9 +100,9 @@ pub fn fly_leg(ctx: &mut MissionContext, goal: Vec3) -> Result<(), MissionFailur
                 ctx.note_replan();
             }
             FlightOutcome::Aborted => {
-                return Err(ctx.budget_failure().unwrap_or(MissionFailure::Other(
-                    "flight episode aborted".to_string(),
-                )));
+                return Err(ctx
+                    .budget_failure()
+                    .unwrap_or(MissionFailure::Other("flight episode aborted".to_string())));
             }
         }
     }

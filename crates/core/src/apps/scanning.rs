@@ -48,7 +48,7 @@ pub fn run(mut ctx: MissionContext) -> MissionReport {
     let climb_target = Vec3::new(waypoints[0].x, waypoints[0].y, SCAN_ALTITUDE);
     let speed = SCAN_SPEED.min(ctx.config.quadrotor.max_velocity);
     let mut full_path = vec![ctx.pose().position, climb_target];
-    full_path.extend_from_slice(&waypoints[1..].as_ref());
+    full_path.extend_from_slice(&waypoints[1..]);
     let smoother = PathSmoother::new(SmootherConfig::new(
         speed,
         ctx.config.quadrotor.max_acceleration,
@@ -99,11 +99,18 @@ mod tests {
     fn scanning_completes_and_covers_the_area() {
         let report = run_fast(OperatingPoint::reference());
         assert!(report.success(), "scanning failed: {:?}", report.failure);
-        assert!(report.distance_m > 100.0, "swept only {} m", report.distance_m);
+        assert!(
+            report.distance_m > 100.0,
+            "swept only {} m",
+            report.distance_m
+        );
         assert!(report.average_velocity > 2.0);
         assert!(report.total_energy.as_joules() > 0.0);
         assert!(report.kernel_timer.invocations(KernelId::LawnmowerPlanning) >= 1);
-        assert_eq!(report.kernel_timer.invocations(KernelId::OctomapGeneration), 0);
+        assert_eq!(
+            report.kernel_timer.invocations(KernelId::OctomapGeneration),
+            0
+        );
     }
 
     #[test]

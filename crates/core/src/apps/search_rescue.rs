@@ -19,8 +19,14 @@ const FOUND_SENTINEL: &str = "__person_found__";
 
 /// Runs the Search and Rescue mission.
 pub fn run(mut ctx: MissionContext) -> MissionReport {
-    let mut detector = ObjectDetector::new(DetectorConfig { seed: ctx.config.seed, ..Default::default() });
-    let goal = MappingGoal { target_volume: f64::INFINITY, max_iterations: 16 };
+    let mut detector = ObjectDetector::new(DetectorConfig {
+        seed: ctx.config.seed,
+        ..Default::default()
+    });
+    let goal = MappingGoal {
+        target_volume: f64::INFINITY,
+        max_iterations: 16,
+    };
     let failure = explore(&mut ctx, goal, |ctx| {
         // Perception hook: charge and run object detection on this iteration's
         // viewpoint; a positive person detection ends the mission.
@@ -37,7 +43,9 @@ pub fn run(mut ctx: MissionContext) -> MissionReport {
         Some(MissionFailure::Other(s)) if s == FOUND_SENTINEL => None,
         Some(other) => Some(other),
         // Exploration exhausted without finding anyone.
-        None => Some(MissionFailure::Other("search exhausted without finding a person".to_string())),
+        None => Some(MissionFailure::Other(
+            "search exhausted without finding a person".to_string(),
+        )),
     };
     ctx.finish(failure)
 }

@@ -42,14 +42,22 @@ impl ResolutionPolicy {
 
     /// The paper's dynamic setting: 0.80 m outdoors, 0.15 m indoors.
     pub fn dynamic_default() -> Self {
-        ResolutionPolicy::Dynamic { outdoor: 0.80, indoor: 0.15, density_threshold: 0.02 }
+        ResolutionPolicy::Dynamic {
+            outdoor: 0.80,
+            indoor: 0.15,
+            density_threshold: 0.02,
+        }
     }
 
     /// The resolution to use given the local obstacle density.
     pub fn resolution_for_density(&self, density: f64) -> f64 {
         match *self {
             ResolutionPolicy::Static { resolution } => resolution,
-            ResolutionPolicy::Dynamic { outdoor, indoor, density_threshold } => {
+            ResolutionPolicy::Dynamic {
+                outdoor,
+                indoor,
+                density_threshold,
+            } => {
                 if density >= density_threshold {
                     indoor
                 } else {
@@ -179,7 +187,11 @@ impl MissionConfig {
         let mut cfg = MissionConfig::new(application);
         cfg.environment.extent = cfg.environment.extent.min(45.0);
         cfg.environment.obstacle_density = cfg.environment.obstacle_density.min(1.5);
-        cfg.camera = DepthCameraConfig { width: 16, height: 12, ..DepthCameraConfig::default() };
+        cfg.camera = DepthCameraConfig {
+            width: 16,
+            height: 12,
+            ..DepthCameraConfig::default()
+        };
         cfg.resolution_policy = ResolutionPolicy::Static { resolution: 0.8 };
         cfg.time_budget_secs = 900.0;
         cfg
@@ -193,7 +205,10 @@ impl MissionConfig {
     pub fn validate(&self) -> Result<(), String> {
         self.quadrotor.validate()?;
         if self.physics_dt <= 0.0 || self.physics_dt > 1.0 {
-            return Err(format!("physics_dt must be in (0, 1], got {}", self.physics_dt));
+            return Err(format!(
+                "physics_dt must be in (0, 1], got {}",
+                self.physics_dt
+            ));
         }
         if self.time_budget_secs <= 0.0 {
             return Err("time budget must be positive".to_string());
@@ -218,7 +233,10 @@ mod tests {
     #[test]
     fn defaults_validate_for_every_application() {
         for &app in ApplicationId::all() {
-            assert!(MissionConfig::new(app).validate().is_ok(), "{app} default invalid");
+            assert!(
+                MissionConfig::new(app).validate().is_ok(),
+                "{app} default invalid"
+            );
             assert!(MissionConfig::fast_test(app).validate().is_ok());
         }
     }

@@ -13,9 +13,7 @@ use crate::velocity::max_safe_velocity;
 use mav_compute::{ComputePlatform, KernelId};
 use mav_control::{PathTracker, PathTrackerConfig};
 use mav_dynamics::Quadrotor;
-use mav_energy::{
-    Battery, ComputePowerModel, EnergyAccount, FlightPhaseLabel, RotorPowerModel,
-};
+use mav_energy::{Battery, ComputePowerModel, EnergyAccount, FlightPhaseLabel, RotorPowerModel};
 use mav_env::World;
 use mav_perception::{OctoMap, OctoMapConfig, PointCloud};
 use mav_planning::{CollisionChecker, PlannerConfig, PlannerKind, ShortestPathPlanner};
@@ -213,8 +211,7 @@ impl MissionContext {
     pub fn reaction_latency(&mut self) -> SimDuration {
         let base = self.platform.reaction_latency();
         let octo = self.platform.kernel_latency(KernelId::OctomapGeneration);
-        let scaled_octo =
-            octo * ResolutionPolicy::octomap_cost_multiplier(self.current_resolution);
+        let scaled_octo = octo * ResolutionPolicy::octomap_cost_multiplier(self.current_resolution);
         base - octo + scaled_octo
     }
 
@@ -228,7 +225,8 @@ impl MissionContext {
             self.config.stopping_distance,
             self.config.quadrotor.max_acceleration,
         );
-        safe.min(self.config.cruise_velocity).min(self.config.quadrotor.max_velocity)
+        safe.min(self.config.cruise_velocity)
+            .min(self.config.quadrotor.max_velocity)
     }
 
     /// Advances the whole simulation by `duration` while the vehicle tracks
@@ -244,19 +242,26 @@ impl MissionContext {
             self.world.step_dynamics(step);
             let state = *self.quad.state();
             // Ground-truth collision check.
-            if self.world.collides_sphere(&state.pose.position, self.config.quadrotor.radius) {
+            if self
+                .world
+                .collides_sphere(&state.pose.position, self.config.quadrotor.radius)
+            {
                 self.collided = true;
             }
-            let rotor = self.rotor_power.power(
-                &state.twist.linear,
-                &state.acceleration,
-                &Vec3::ZERO,
-            );
+            let rotor =
+                self.rotor_power
+                    .power(&state.twist.linear, &state.acceleration, &Vec3::ZERO);
             let compute = self.compute_power_now();
-            let phase = if hovering { FlightPhaseLabel::Hovering } else { FlightPhaseLabel::Flying };
+            let phase = if hovering {
+                FlightPhaseLabel::Hovering
+            } else {
+                FlightPhaseLabel::Flying
+            };
             let step_d = SimDuration::from_secs(step);
-            self.energy.record(self.clock.now(), step_d, rotor, compute, phase);
-            self.battery.discharge(rotor + compute + mav_types::Power::from_watts(2.0), step_d);
+            self.energy
+                .record(self.clock.now(), step_d, rotor, compute, phase);
+            self.battery
+                .discharge(rotor + compute + mav_types::Power::from_watts(2.0), step_d);
             self.distance += state.twist.linear.norm() * step;
             if hovering {
                 self.hover_time += step_d;
@@ -297,7 +302,10 @@ impl MissionContext {
         // Dynamic resolution policy: sample the local obstacle density and
         // switch the map resolution when the policy asks for it.
         let density = self.world.obstacle_density_near(&self.pose().position, 8.0);
-        let wanted = self.config.resolution_policy.resolution_for_density(density);
+        let wanted = self
+            .config
+            .resolution_policy
+            .resolution_for_density(density);
         if (wanted - self.current_resolution).abs() > 1e-9 {
             self.map = self.map.reresolved(wanted);
             self.current_resolution = wanted;
@@ -340,7 +348,9 @@ impl MissionContext {
         let cap = self.velocity_cap();
         let checker = self.collision_checker();
         let start_time = self.clock.now();
-        let Some(first) = trajectory.first() else { return FlightOutcome::Completed };
+        let Some(first) = trajectory.first() else {
+            return FlightOutcome::Completed;
+        };
         let traj_start = first.time;
         // Guard against pathological plans: bound the episode duration.
         let max_episode = trajectory.duration_secs() * 4.0 + 60.0;
@@ -370,7 +380,10 @@ impl MissionContext {
                 .iter()
                 .position(|p| p.time >= plan_time)
                 .unwrap_or(0);
-            if checker.first_collision(&self.map, trajectory, from_index).is_some() {
+            if checker
+                .first_collision(&self.map, trajectory, from_index)
+                .is_some()
+            {
                 return FlightOutcome::NeedsReplan;
             }
             let velocity = cmd.velocity.clamp_norm(cap);
@@ -476,7 +489,15 @@ mod tests {
         // Scanning has almost no reactive kernels, so its cap equals the
         // application cruise limit at every operating point.
         let mut scan = ctx(ApplicationId::Scanning);
-        assert!((scan.velocity_cap() - scan.config.cruise_velocity.min(scan.config.quadrotor.max_velocity)).abs() < 1e-6);
+        assert!(
+            (scan.velocity_cap()
+                - scan
+                    .config
+                    .cruise_velocity
+                    .min(scan.config.quadrotor.max_velocity))
+            .abs()
+                < 1e-6
+        );
     }
 
     #[test]

@@ -5,11 +5,18 @@
 //! (which print the tables) and by the integration tests (which assert the
 //! qualitative shape of the results: who wins, in which direction, by roughly
 //! what factor).
+//!
+//! All sweeps execute through the parallel [`SweepRunner`]: the default
+//! entry points (`operating_point_sweep`, …) use every available core, and
+//! each has a `*_with` variant taking an explicit runner so harnesses can
+//! honour `--threads`. Results are bit-identical across thread counts — see
+//! [`crate::sweep`] for the determinism contract.
 
-use crate::apps::run_mission;
 use crate::config::{MissionConfig, ResolutionPolicy};
 use crate::qof::MissionReport;
+use crate::sweep::{SweepPoint, SweepRunner};
 use mav_compute::{ApplicationId, CloudConfig, KernelId, OperatingPoint};
+use mav_types::{Json, ToJson};
 use serde::{Deserialize, Serialize};
 
 /// One cell of an operating-point heat map (Figs. 10–14).
@@ -23,7 +30,17 @@ pub struct HeatmapCell {
     pub report: MissionReport,
 }
 
-/// Runs the 3×3 TX2 operating-point sweep for one application.
+impl ToJson for HeatmapCell {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .field("cores", self.cores)
+            .field("frequency_ghz", self.frequency_ghz)
+            .field("report", self.report.to_json())
+    }
+}
+
+/// Runs the 3×3 TX2 operating-point sweep for one application on every
+/// available core.
 ///
 /// `configure` receives the default configuration for the application and may
 /// adjust it (seed, environment size, …) before each run.
@@ -31,27 +48,53 @@ pub fn operating_point_sweep(
     application: ApplicationId,
     configure: impl Fn(MissionConfig) -> MissionConfig,
 ) -> Vec<HeatmapCell> {
-    OperatingPoint::tx2_sweep()
-        .into_iter()
-        .map(|point| {
+    operating_point_sweep_with(&SweepRunner::new(), application, configure)
+}
+
+/// [`operating_point_sweep`] on an explicit [`SweepRunner`].
+pub fn operating_point_sweep_with(
+    runner: &SweepRunner,
+    application: ApplicationId,
+    configure: impl Fn(MissionConfig) -> MissionConfig,
+) -> Vec<HeatmapCell> {
+    let grid = OperatingPoint::tx2_sweep();
+    let points: Vec<SweepPoint> = grid
+        .iter()
+        .map(|&point| {
             let config = configure(MissionConfig::new(application)).with_operating_point(point);
-            let report = run_mission(config);
-            HeatmapCell { cores: point.cores, frequency_ghz: point.frequency.as_ghz(), report }
+            SweepPoint::new(point.label(), config)
+        })
+        .collect();
+    runner
+        .run(points)
+        .outcomes
+        .into_iter()
+        .zip(grid)
+        .map(|(outcome, point)| HeatmapCell {
+            cores: point.cores,
+            frequency_ghz: point.frequency.as_ghz(),
+            report: outcome.report,
         })
         .collect()
 }
 
 /// Finds the heat-map cell for a specific operating point.
-pub fn cell<'a>(cells: &'a [HeatmapCell], cores: u32, frequency_ghz: f64) -> Option<&'a HeatmapCell> {
+pub fn cell(cells: &[HeatmapCell], cores: u32, frequency_ghz: f64) -> Option<&HeatmapCell> {
     cells
         .iter()
         .find(|c| c.cores == cores && (c.frequency_ghz - frequency_ghz).abs() < 1e-9)
 }
 
 /// Renders a 3×3 heat map as a text table of the selected metric.
-pub fn format_heatmap(cells: &[HeatmapCell], metric_name: &str, metric: impl Fn(&MissionReport) -> f64) -> String {
+pub fn format_heatmap(
+    cells: &[HeatmapCell],
+    metric_name: &str,
+    metric: impl Fn(&MissionReport) -> f64,
+) -> String {
     let mut out = String::new();
-    out.push_str(&format!("{metric_name:<18} |   0.8 GHz |   1.5 GHz |   2.2 GHz\n"));
+    out.push_str(&format!(
+        "{metric_name:<18} |   0.8 GHz |   1.5 GHz |   2.2 GHz\n"
+    ));
     out.push_str(&format!("{}\n", "-".repeat(60)));
     for cores in [4u32, 3, 2] {
         out.push_str(&format!("{cores} cores            |"));
@@ -98,14 +141,37 @@ impl CloudComparison {
     }
 }
 
-/// Runs the sensor-cloud case study on 3D Mapping.
-pub fn cloud_offload_study(
+impl ToJson for CloudComparison {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .field("edge", self.edge.to_json())
+            .field("cloud", self.cloud.to_json())
+            .field("speedup", self.speedup())
+    }
+}
+
+/// Runs the sensor-cloud case study on 3D Mapping (both runs in parallel).
+pub fn cloud_offload_study(configure: impl Fn(MissionConfig) -> MissionConfig) -> CloudComparison {
+    cloud_offload_study_with(&SweepRunner::new(), configure)
+}
+
+/// [`cloud_offload_study`] on an explicit [`SweepRunner`].
+pub fn cloud_offload_study_with(
+    runner: &SweepRunner,
     configure: impl Fn(MissionConfig) -> MissionConfig,
 ) -> CloudComparison {
     let edge_cfg = configure(MissionConfig::new(ApplicationId::Mapping3D));
     let cloud_cfg = configure(MissionConfig::new(ApplicationId::Mapping3D))
         .with_cloud(CloudConfig::planning_offload());
-    CloudComparison { edge: run_mission(edge_cfg), cloud: run_mission(cloud_cfg) }
+    let mut outcomes = runner
+        .run(vec![
+            SweepPoint::new("edge", edge_cfg),
+            SweepPoint::new("cloud", cloud_cfg),
+        ])
+        .outcomes;
+    let cloud = outcomes.pop().expect("cloud outcome").report;
+    let edge = outcomes.pop().expect("edge outcome").report;
+    CloudComparison { edge, cloud }
 }
 
 /// One row of the OctoMap-resolution study (Fig. 19).
@@ -119,9 +185,27 @@ pub struct ResolutionRow {
     pub report: MissionReport,
 }
 
+impl ToJson for ResolutionRow {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .field("policy", self.policy.as_str())
+            .field("application", self.application.to_json())
+            .field("report", self.report.to_json())
+    }
+}
+
 /// Runs the static-fine / static-coarse / dynamic resolution study for one
-/// application.
+/// application, all policies in parallel.
 pub fn resolution_study(
+    application: ApplicationId,
+    configure: impl Fn(MissionConfig) -> MissionConfig,
+) -> Vec<ResolutionRow> {
+    resolution_study_with(&SweepRunner::new(), application, configure)
+}
+
+/// [`resolution_study`] on an explicit [`SweepRunner`].
+pub fn resolution_study_with(
+    runner: &SweepRunner,
     application: ApplicationId,
     configure: impl Fn(MissionConfig) -> MissionConfig,
 ) -> Vec<ResolutionRow> {
@@ -130,15 +214,21 @@ pub fn resolution_study(
         ("static 0.80 m", ResolutionPolicy::static_coarse()),
         ("dynamic 0.15/0.80 m", ResolutionPolicy::dynamic_default()),
     ];
-    policies
+    let points: Vec<SweepPoint> = policies
         .iter()
         .map(|(label, policy)| {
             let config = configure(MissionConfig::new(application)).with_resolution_policy(*policy);
-            ResolutionRow {
-                policy: (*label).to_string(),
-                application,
-                report: run_mission(config),
-            }
+            SweepPoint::new(*label, config)
+        })
+        .collect();
+    runner
+        .run(points)
+        .outcomes
+        .into_iter()
+        .map(|outcome| ResolutionRow {
+            policy: outcome.label,
+            application,
+            report: outcome.report,
         })
         .collect()
 }
@@ -156,25 +246,60 @@ pub struct NoiseRow {
     pub mean_mission_time: f64,
 }
 
+impl ToJson for NoiseRow {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .field("noise_std", self.noise_std)
+            .field("failure_rate", self.failure_rate)
+            .field("mean_replans", self.mean_replans)
+            .field("mean_mission_time", self.mean_mission_time)
+    }
+}
+
 /// Runs the Table II reliability study: Package Delivery under increasing
-/// depth-image noise, `runs` repetitions per noise level.
+/// depth-image noise, `runs` repetitions per noise level, every
+/// (level, repetition) mission in parallel.
 pub fn noise_reliability_study(
     noise_levels: &[f64],
     runs: u32,
     configure: impl Fn(MissionConfig) -> MissionConfig,
 ) -> Vec<NoiseRow> {
+    noise_reliability_study_with(&SweepRunner::new(), noise_levels, runs, configure)
+}
+
+/// [`noise_reliability_study`] on an explicit [`SweepRunner`].
+pub fn noise_reliability_study_with(
+    runner: &SweepRunner,
+    noise_levels: &[f64],
+    runs: u32,
+    configure: impl Fn(MissionConfig) -> MissionConfig,
+) -> Vec<NoiseRow> {
+    // Flatten the (level × repetition) grid into one parallel sweep; the
+    // per-run seeds match the historical serial implementation exactly.
+    let points: Vec<SweepPoint> = noise_levels
+        .iter()
+        .flat_map(|&std| (0..runs).map(move |run| (std, run)))
+        .map(|(std, run)| {
+            let config = configure(MissionConfig::new(ApplicationId::PackageDelivery))
+                .with_depth_noise(std)
+                .with_seed(1000 + run as u64 * 17);
+            SweepPoint::new(format!("noise {std:.2} m, run {run}"), config)
+        })
+        .collect();
+    let outcomes = runner.run(points).outcomes;
     noise_levels
         .iter()
-        .map(|&std| {
+        .enumerate()
+        .map(|(level_idx, &std)| {
+            let level_reports = outcomes
+                [level_idx * runs as usize..(level_idx + 1) * runs as usize]
+                .iter()
+                .map(|o| &o.report);
             let mut failures = 0u32;
             let mut replans = 0.0;
             let mut times = 0.0;
             let mut successes = 0u32;
-            for run in 0..runs {
-                let config = configure(MissionConfig::new(ApplicationId::PackageDelivery))
-                    .with_depth_noise(std)
-                    .with_seed(1000 + run as u64 * 17);
-                let report = run_mission(config);
+            for report in level_reports {
                 if report.success() {
                     successes += 1;
                     replans += report.replans as f64;
@@ -186,20 +311,32 @@ pub fn noise_reliability_study(
             NoiseRow {
                 noise_std: std,
                 failure_rate: failures as f64 / runs.max(1) as f64,
-                mean_replans: if successes > 0 { replans / successes as f64 } else { 0.0 },
-                mean_mission_time: if successes > 0 { times / successes as f64 } else { 0.0 },
+                mean_replans: if successes > 0 {
+                    replans / successes as f64
+                } else {
+                    0.0
+                },
+                mean_mission_time: if successes > 0 {
+                    times / successes as f64
+                } else {
+                    0.0
+                },
             }
         })
         .collect()
 }
 
 /// Scales a default configuration down so the full experiment sweeps finish
-/// quickly (used by tests and the harness `--quick` mode).
+/// quickly (used by tests and the harness `--fast` mode).
 pub fn quick_config(config: MissionConfig) -> MissionConfig {
     let mut cfg = config;
     cfg.environment.extent = cfg.environment.extent.min(32.0);
     cfg.environment.obstacle_density = cfg.environment.obstacle_density.min(1.5);
-    cfg.camera = mav_sensors::DepthCameraConfig { width: 16, height: 12, ..Default::default() };
+    cfg.camera = mav_sensors::DepthCameraConfig {
+        width: 16,
+        height: 12,
+        ..Default::default()
+    };
     cfg.time_budget_secs = 900.0;
     cfg
 }
@@ -208,16 +345,18 @@ pub fn quick_config(config: MissionConfig) -> MissionConfig {
 mod tests {
     use super::*;
 
+    fn scanning_quick(cfg: MissionConfig) -> MissionConfig {
+        let mut c = quick_config(cfg).with_seed(2);
+        c.environment.extent = 20.0;
+        c
+    }
+
     #[test]
     fn heatmap_formatting_contains_all_cells() {
         // Use the cheap Scanning application for a smoke test of the sweep
         // plumbing itself; the shape assertions on the heavier applications
         // live in the integration tests.
-        let cells = operating_point_sweep(ApplicationId::Scanning, |cfg| {
-            let mut c = quick_config(cfg).with_seed(2);
-            c.environment.extent = 20.0;
-            c
-        });
+        let cells = operating_point_sweep(ApplicationId::Scanning, scanning_quick);
         assert_eq!(cells.len(), 9);
         assert!(cell(&cells, 4, 2.2).is_some());
         assert!(cell(&cells, 2, 0.8).is_some());
@@ -227,5 +366,68 @@ mod tests {
         assert!(table.contains("2.2 GHz"));
         // Every scanning run succeeds.
         assert!(cells.iter().all(|c| c.report.success()));
+    }
+
+    #[test]
+    fn heatmap_format_renders_all_nine_metric_values() {
+        // Synthetic cells: metric = cores + GHz, so every rendered number is
+        // predictable and distinct.
+        let template = operating_point_sweep_with(
+            &SweepRunner::new().with_threads(2),
+            ApplicationId::Scanning,
+            scanning_quick,
+        );
+        let table = format_heatmap(&template, "synthetic", |r| {
+            r.operating_point.cores as f64 + r.operating_point.frequency.as_ghz()
+        });
+        for expected in [
+            "4.80", "5.50", "6.20", "3.80", "4.50", "5.20", "2.80", "3.50", "4.20",
+        ] {
+            assert!(table.contains(expected), "missing {expected} in:\n{table}");
+        }
+        assert!(!table.contains("n/a"));
+    }
+
+    #[test]
+    fn heatmap_format_marks_missing_cells() {
+        let cells = operating_point_sweep_with(
+            &SweepRunner::new().with_threads(2),
+            ApplicationId::Scanning,
+            scanning_quick,
+        );
+        let partial: Vec<HeatmapCell> = cells
+            .into_iter()
+            .filter(|c| !(c.cores == 3 && c.frequency_ghz == 1.5))
+            .collect();
+        let table = format_heatmap(&partial, "mission time (s)", |r| r.mission_time_secs);
+        assert!(table.contains("n/a"));
+    }
+
+    #[test]
+    fn cell_lookup_tolerates_float_formatting() {
+        let cells = operating_point_sweep_with(
+            &SweepRunner::new().with_threads(3),
+            ApplicationId::Scanning,
+            scanning_quick,
+        );
+        // 2.2 is not exactly representable; lookup must still hit.
+        assert!(cell(&cells, 4, 2.2).is_some());
+        assert!(cell(&cells, 4, 2.21).is_none());
+        assert!(cell(&cells, 9, 2.2).is_none());
+    }
+
+    #[test]
+    fn operating_point_sweep_is_thread_count_invariant() {
+        let serial = operating_point_sweep_with(
+            &SweepRunner::new().with_threads(1),
+            ApplicationId::Scanning,
+            scanning_quick,
+        );
+        let parallel = operating_point_sweep_with(
+            &SweepRunner::new().with_threads(4),
+            ApplicationId::Scanning,
+            scanning_quick,
+        );
+        assert_eq!(serial, parallel);
     }
 }

@@ -29,9 +29,11 @@ pub mod context;
 pub mod experiments;
 pub mod microbench;
 pub mod qof;
+pub mod sweep;
 pub mod velocity;
 
 pub use apps::run_mission;
 pub use config::{MissionConfig, ResolutionPolicy};
 pub use context::{FlightOutcome, MissionContext};
 pub use qof::{MissionFailure, MissionReport};
+pub use sweep::{SweepOutcome, SweepPoint, SweepReport, SweepRunner};

@@ -41,7 +41,11 @@ pub struct SlamMicrobenchConfig {
 
 impl Default for SlamMicrobenchConfig {
     fn default() -> Self {
-        SlamMicrobenchConfig { radius: 25.0, failure_budget: 0.2, mechanical_limit: 12.0 }
+        SlamMicrobenchConfig {
+            radius: 25.0,
+            failure_budget: 0.2,
+            mechanical_limit: 12.0,
+        }
     }
 }
 
@@ -60,8 +64,7 @@ pub fn slam_fps_sweep(fps_values: &[f64], config: SlamMicrobenchConfig) -> Vec<S
             let mission_time = circumference / velocity.max(0.1);
             // Energy: rotor power at the cruise velocity plus compute power,
             // integrated over the lap.
-            let rotor_power =
-                rotor.power(&Vec3::new(velocity, 0.0, 0.0), &Vec3::ZERO, &Vec3::ZERO);
+            let rotor_power = rotor.power(&Vec3::new(velocity, 0.0, 0.0), &Vec3::ZERO, &Vec3::ZERO);
             let compute_power = compute.power(4, 2.2);
             let energy_kj =
                 (rotor_power.as_watts() + compute_power.as_watts()) * mission_time / 1000.0;
@@ -91,7 +94,11 @@ fn simulate_lap(slam_cfg: &SlamConfig, velocity: f64, radius: f64, fps: f64) -> 
         let angle = (velocity * t) / radius;
         let position = Vec3::new(radius * angle.cos(), radius * angle.sin(), 2.0);
         let tangent = Vec3::new(-angle.sin(), angle.cos(), 0.0) * velocity;
-        slam.localize(&Pose::new(position, tangent.heading()), &tangent, SimTime::from_secs(t));
+        slam.localize(
+            &Pose::new(position, tangent.heading()),
+            &tangent,
+            SimTime::from_secs(t),
+        );
         t += 1.0 / fps;
     }
     slam.failure_rate()
@@ -116,7 +123,10 @@ mod tests {
         let sweep = slam_fps_sweep(&[1.0, 2.0, 4.0, 8.0], SlamMicrobenchConfig::default());
         assert_eq!(sweep.len(), 4);
         for w in sweep.windows(2) {
-            assert!(w[1].max_velocity >= w[0].max_velocity, "velocity not monotone");
+            assert!(
+                w[1].max_velocity >= w[0].max_velocity,
+                "velocity not monotone"
+            );
             assert!(w[1].mission_time_secs <= w[0].mission_time_secs + 1e-9);
         }
         // The paper reports ≈4X energy reduction for a 5X FPS increase; our
@@ -145,7 +155,10 @@ mod tests {
 
     #[test]
     fn velocity_saturates_at_the_mechanical_limit() {
-        let cfg = SlamMicrobenchConfig { mechanical_limit: 6.0, ..Default::default() };
+        let cfg = SlamMicrobenchConfig {
+            mechanical_limit: 6.0,
+            ..Default::default()
+        };
         let sweep = slam_fps_sweep(&[50.0, 100.0], cfg);
         for p in sweep {
             assert!((p.max_velocity - 6.0).abs() < 1e-9);

@@ -118,7 +118,11 @@ impl MissionReport {
             mission_time_secs,
             hover_time_secs: hover_time.as_secs(),
             distance_m,
-            average_velocity: if mission_time_secs > 0.0 { distance_m / mission_time_secs } else { 0.0 },
+            average_velocity: if mission_time_secs > 0.0 {
+                distance_m / mission_time_secs
+            } else {
+                0.0
+            },
             velocity_cap,
             total_energy: energy.total_energy(),
             rotor_energy: energy.rotor_energy(),
@@ -133,6 +137,36 @@ impl MissionReport {
     }
 }
 
+impl mav_types::ToJson for MissionFailure {
+    fn to_json(&self) -> mav_types::Json {
+        mav_types::Json::String(self.to_string())
+    }
+}
+
+impl mav_types::ToJson for MissionReport {
+    fn to_json(&self) -> mav_types::Json {
+        use mav_types::{Json, ToJson};
+        Json::object()
+            .field("application", self.application.to_json())
+            .field("operating_point", self.operating_point.to_json())
+            .field("failure", self.failure.as_ref().map(ToJson::to_json))
+            .field("mission_time_secs", self.mission_time_secs)
+            .field("hover_time_secs", self.hover_time_secs)
+            .field("distance_m", self.distance_m)
+            .field("average_velocity", self.average_velocity)
+            .field("velocity_cap", self.velocity_cap)
+            .field("total_energy_j", self.total_energy.as_joules())
+            .field("rotor_energy_j", self.rotor_energy.as_joules())
+            .field("compute_energy_j", self.compute_energy.as_joules())
+            .field("battery_remaining_pct", self.battery_remaining_pct)
+            .field("replans", self.replans)
+            .field("detections", self.detections)
+            .field("mapped_volume", self.mapped_volume)
+            .field("tracking_error", self.tracking_error)
+            .field("kernel_timer", self.kernel_timer.to_json())
+    }
+}
+
 impl fmt::Display for MissionReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
@@ -140,7 +174,11 @@ impl fmt::Display for MissionReport {
             "{} @ {}: {} | {:.1} s, {:.1} m, {:.2} m/s avg, {:.1} kJ, battery {:.0}%",
             self.application,
             self.operating_point.label(),
-            if self.success() { "success".to_string() } else { format!("{}", self.failure.as_ref().unwrap()) },
+            if self.success() {
+                "success".to_string()
+            } else {
+                format!("{}", self.failure.as_ref().unwrap())
+            },
             self.mission_time_secs,
             self.distance_m,
             self.average_velocity,

@@ -1,0 +1,287 @@
+//! The parallel sweep subsystem: run many labelled missions at once.
+//!
+//! Every experiment in the paper's evaluation is a *sweep*: the same mission
+//! re-run over a grid of configurations (operating points, resolution
+//! policies, noise levels, cloud placements). The seed implementation ran
+//! them strictly serially; [`SweepRunner`] executes the points in parallel
+//! via rayon while keeping results **bit-identical to a serial run**:
+//!
+//! * [`run_mission`] is a pure function of its [`MissionConfig`] — no point
+//!   observes another point's state;
+//! * results are collected in input order regardless of which worker finished
+//!   first;
+//! * per-point seeds, when derived, depend only on the base seed and the
+//!   point index, never on thread scheduling.
+//!
+//! The experiment drivers in [`crate::experiments`] are all thin wrappers
+//! that build a point list and hand it to a runner; harness binaries pass a
+//! runner configured from `--threads`.
+
+use crate::apps::run_mission;
+use crate::config::MissionConfig;
+use crate::qof::MissionReport;
+use mav_types::{Json, ToJson};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// One labelled configuration of a sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Human-readable label, e.g. `"4c@2.2GHz"` or `"noise 0.5 m, run 3"`.
+    pub label: String,
+    /// The full mission configuration to run at this point.
+    pub config: MissionConfig,
+}
+
+impl SweepPoint {
+    /// Creates a labelled point.
+    pub fn new(label: impl Into<String>, config: MissionConfig) -> Self {
+        SweepPoint {
+            label: label.into(),
+            config,
+        }
+    }
+}
+
+/// The outcome of one sweep point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepOutcome {
+    /// The point's label.
+    pub label: String,
+    /// The seed the mission actually ran with.
+    pub seed: u64,
+    /// The mission report.
+    pub report: MissionReport,
+}
+
+impl ToJson for SweepOutcome {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .field("label", self.label.as_str())
+            .field("seed", self.seed)
+            .field("report", self.report.to_json())
+    }
+}
+
+/// The outcome of a whole sweep.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SweepReport {
+    /// Per-point outcomes, in the same order as the input points.
+    pub outcomes: Vec<SweepOutcome>,
+    /// Number of worker threads the sweep ran on.
+    pub threads: usize,
+    /// Wall-clock time of the whole sweep, seconds. Excluded from
+    /// [`SweepReport::same_results`] comparisons: it varies run to run.
+    pub wall_secs: f64,
+}
+
+impl SweepReport {
+    /// Returns `true` when both sweeps produced identical outcomes
+    /// (labels, seeds and full reports), ignoring wall-clock and thread
+    /// metadata. This is the determinism contract of [`SweepRunner`].
+    pub fn same_results(&self, other: &SweepReport) -> bool {
+        self.outcomes == other.outcomes
+    }
+
+    /// The reports alone, in point order.
+    pub fn reports(&self) -> impl Iterator<Item = &MissionReport> {
+        self.outcomes.iter().map(|o| &o.report)
+    }
+}
+
+impl ToJson for SweepReport {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .field("threads", self.threads)
+            .field("wall_secs", self.wall_secs)
+            .field("outcomes", self.outcomes.to_json())
+    }
+}
+
+/// SplitMix64: the mixer used to derive independent per-point seeds.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Executes a list of [`SweepPoint`]s in parallel.
+///
+/// # Example
+///
+/// ```no_run
+/// use mav_compute::ApplicationId;
+/// use mav_core::sweep::{SweepPoint, SweepRunner};
+/// use mav_core::MissionConfig;
+///
+/// let points: Vec<SweepPoint> = (0..4)
+///     .map(|i| SweepPoint::new(format!("run {i}"), MissionConfig::fast_test(ApplicationId::Scanning)))
+///     .collect();
+/// let report = SweepRunner::new().with_threads(4).run(points);
+/// assert_eq!(report.outcomes.len(), 4);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct SweepRunner {
+    threads: Option<usize>,
+    seed_base: Option<u64>,
+}
+
+impl SweepRunner {
+    /// A runner using every available core and the seeds already present in
+    /// the point configurations.
+    pub fn new() -> Self {
+        SweepRunner::default()
+    }
+
+    /// Pins the worker thread count (`0` or omitted: all available cores).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = if threads == 0 { None } else { Some(threads) };
+        self
+    }
+
+    /// Derives an independent deterministic seed for every point:
+    /// `splitmix64(base ^ index)`. Identical base + point order means
+    /// identical seeds, regardless of thread count.
+    pub fn with_derived_seeds(mut self, base: u64) -> Self {
+        self.seed_base = Some(base);
+        self
+    }
+
+    /// The worker thread count this runner will use.
+    pub fn threads(&self) -> usize {
+        self.threads.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+    }
+
+    /// Runs every point and collects the outcomes in input order.
+    pub fn run(&self, points: Vec<SweepPoint>) -> SweepReport {
+        let seeded: Vec<SweepPoint> = match self.seed_base {
+            None => points,
+            Some(base) => points
+                .into_iter()
+                .enumerate()
+                .map(|(index, point)| {
+                    let seed = splitmix64(base ^ index as u64);
+                    SweepPoint {
+                        config: point.config.with_seed(seed),
+                        ..point
+                    }
+                })
+                .collect(),
+        };
+        let threads = self.threads();
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("sweep thread pool");
+        let started = std::time::Instant::now();
+        let outcomes: Vec<SweepOutcome> = pool.install(|| {
+            seeded
+                .par_iter()
+                .map(|point| SweepOutcome {
+                    label: point.label.clone(),
+                    seed: point.config.seed,
+                    report: run_mission(point.config.clone()),
+                })
+                .collect()
+        });
+        SweepReport {
+            outcomes,
+            threads,
+            wall_secs: started.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::quick_config;
+    use mav_compute::ApplicationId;
+
+    fn tiny_points(n: usize) -> Vec<SweepPoint> {
+        (0..n)
+            .map(|i| {
+                let mut cfg = quick_config(MissionConfig::fast_test(ApplicationId::Scanning))
+                    .with_seed(100 + i as u64);
+                cfg.environment.extent = 18.0;
+                SweepPoint::new(format!("point {i}"), cfg)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn outcomes_keep_input_order_and_labels() {
+        let report = SweepRunner::new().with_threads(2).run(tiny_points(3));
+        assert_eq!(report.threads, 2);
+        assert_eq!(
+            report
+                .outcomes
+                .iter()
+                .map(|o| o.label.as_str())
+                .collect::<Vec<_>>(),
+            vec!["point 0", "point 1", "point 2"]
+        );
+        assert!(report.wall_secs >= 0.0);
+    }
+
+    #[test]
+    fn reports_are_bit_identical_across_thread_counts() {
+        let serial = SweepRunner::new().with_threads(1).run(tiny_points(4));
+        for threads in [2, 3, 8] {
+            let parallel = SweepRunner::new().with_threads(threads).run(tiny_points(4));
+            assert!(
+                serial.same_results(&parallel),
+                "diverged at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn derived_seeds_are_deterministic_and_distinct() {
+        let a = SweepRunner::new()
+            .with_threads(2)
+            .with_derived_seeds(7)
+            .run(tiny_points(3));
+        let b = SweepRunner::new()
+            .with_threads(1)
+            .with_derived_seeds(7)
+            .run(tiny_points(3));
+        assert!(a.same_results(&b));
+        let seeds: Vec<u64> = a.outcomes.iter().map(|o| o.seed).collect();
+        assert_eq!(seeds.len(), 3);
+        assert!(
+            seeds.windows(2).all(|w| w[0] != w[1]),
+            "seeds must differ: {seeds:?}"
+        );
+        // A different base changes every seed.
+        let c = SweepRunner::new()
+            .with_threads(2)
+            .with_derived_seeds(8)
+            .run(tiny_points(3));
+        assert!(c
+            .outcomes
+            .iter()
+            .zip(&a.outcomes)
+            .all(|(x, y)| x.seed != y.seed));
+    }
+
+    #[test]
+    fn sweep_report_serializes_to_json() {
+        let report = SweepRunner::new().with_threads(1).run(tiny_points(1));
+        let json = report.to_json();
+        let rendered = json.to_string_pretty();
+        assert!(rendered.contains("\"outcomes\""));
+        assert!(rendered.contains("\"mission_time_secs\""));
+        let outcomes = json.get("outcomes").and_then(Json::as_array).unwrap();
+        assert_eq!(outcomes.len(), 1);
+        assert_eq!(
+            outcomes[0].get("label").and_then(Json::as_str),
+            Some("point 0")
+        );
+    }
+}

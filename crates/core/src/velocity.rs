@@ -36,7 +36,10 @@ pub fn max_safe_velocity(
     stopping_distance: f64,
     max_acceleration: f64,
 ) -> f64 {
-    assert!(stopping_distance > 0.0, "stopping distance must be positive");
+    assert!(
+        stopping_distance > 0.0,
+        "stopping distance must be positive"
+    );
     assert!(max_acceleration > 0.0, "max acceleration must be positive");
     let dt = process_time.as_secs();
     max_acceleration * ((dt * dt + 2.0 * stopping_distance / max_acceleration).sqrt() - dt)
@@ -56,7 +59,11 @@ pub fn velocity_vs_process_time(
             let t = max_process_time_s * i as f64 / steps as f64;
             (
                 t,
-                max_safe_velocity(SimDuration::from_secs(t), stopping_distance, max_acceleration),
+                max_safe_velocity(
+                    SimDuration::from_secs(t),
+                    stopping_distance,
+                    max_acceleration,
+                ),
             )
         })
         .collect()

@@ -172,7 +172,11 @@ impl FlightController {
                     self.hover_position = Some(state.pose.position);
                     Vec3::ZERO
                 } else {
-                    Vec3::new(0.0, 0.0, (self.takeoff_altitude - state.pose.position.z).min(2.0))
+                    Vec3::new(
+                        0.0,
+                        0.0,
+                        (self.takeoff_altitude - state.pose.position.z).min(2.0),
+                    )
                 }
             }
             FlightPhase::Hovering => {
@@ -235,7 +239,9 @@ mod tests {
         assert_eq!(fc.phase(), FlightPhase::Hovering);
         assert!((quad.state().pose.position.z - 3.0).abs() < 0.3);
 
-        fc.command(FlightCommand::Velocity { setpoint: Vec3::new(4.0, 0.0, 0.0) });
+        fc.command(FlightCommand::Velocity {
+            setpoint: Vec3::new(4.0, 0.0, 0.0),
+        });
         run(&mut fc, &mut quad, 100);
         assert_eq!(fc.phase(), FlightPhase::Flying);
         assert!(quad.state().pose.position.x > 5.0);
@@ -259,7 +265,9 @@ mod tests {
         fc.command(FlightCommand::TakeOff { altitude: 3.0 });
         assert_eq!(fc.phase(), FlightPhase::Idle);
         // Velocity on the ground: ignored.
-        fc.command(FlightCommand::Velocity { setpoint: Vec3::UNIT_X });
+        fc.command(FlightCommand::Velocity {
+            setpoint: Vec3::UNIT_X,
+        });
         assert_eq!(fc.phase(), FlightPhase::Idle);
         run(&mut fc, &mut quad, 20);
         assert!(quad.state().is_stationary());

@@ -8,7 +8,7 @@
 //! tracking captures exactly that envelope.
 
 use crate::state::MavState;
-use mav_types::{Vec3};
+use mav_types::Vec3;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -62,16 +62,16 @@ impl QuadrotorConfig {
     /// Validates the configuration, returning a descriptive error string for
     /// the first problem found.
     pub fn validate(&self) -> Result<(), String> {
-        if !(self.mass > 0.0) {
+        if self.mass.is_nan() || self.mass <= 0.0 {
             return Err(format!("mass must be positive, got {}", self.mass));
         }
-        if !(self.max_velocity > 0.0) {
+        if self.max_velocity.is_nan() || self.max_velocity <= 0.0 {
             return Err("max_velocity must be positive".to_string());
         }
-        if !(self.max_acceleration > 0.0) {
+        if self.max_acceleration.is_nan() || self.max_acceleration <= 0.0 {
             return Err("max_acceleration must be positive".to_string());
         }
-        if !(self.radius > 0.0) {
+        if self.radius.is_nan() || self.radius <= 0.0 {
             return Err("radius must be positive".to_string());
         }
         Ok(())
@@ -86,7 +86,11 @@ impl Default for QuadrotorConfig {
 
 impl fmt::Display for QuadrotorConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} ({} kg, vmax {} m/s)", self.name, self.mass, self.max_velocity)
+        write!(
+            f,
+            "{} ({} kg, vmax {} m/s)",
+            self.name, self.mass, self.max_velocity
+        )
     }
 }
 
@@ -119,7 +123,10 @@ pub struct Quadrotor {
 impl Quadrotor {
     /// Creates a quadrotor at rest at `pose`.
     pub fn new(config: QuadrotorConfig, pose: mav_types::Pose) -> Self {
-        Quadrotor { config, state: MavState::at_rest(pose) }
+        Quadrotor {
+            config,
+            state: MavState::at_rest(pose),
+        }
     }
 
     /// The airframe configuration.
@@ -141,9 +148,10 @@ impl Quadrotor {
     /// vertical limits applied separately).
     pub fn clamp_velocity(&self, commanded: Vec3) -> Vec3 {
         let horizontal = commanded.horizontal().clamp_norm(self.config.max_velocity);
-        let vertical_z = commanded
-            .z
-            .clamp(-self.config.max_vertical_velocity, self.config.max_vertical_velocity);
+        let vertical_z = commanded.z.clamp(
+            -self.config.max_vertical_velocity,
+            self.config.max_vertical_velocity,
+        );
         Vec3::new(horizontal.x, horizontal.y, vertical_z)
     }
 
@@ -202,8 +210,10 @@ mod tests {
     fn configs_validate() {
         assert!(QuadrotorConfig::dji_matrice_100().validate().is_ok());
         assert!(QuadrotorConfig::solo_3dr().validate().is_ok());
-        let mut bad = QuadrotorConfig::default();
-        bad.mass = 0.0;
+        let bad = QuadrotorConfig {
+            mass: 0.0,
+            ..QuadrotorConfig::default()
+        };
         assert!(bad.validate().is_err());
     }
 

@@ -18,7 +18,11 @@ pub struct MavState {
 impl MavState {
     /// Creates a state at rest at the given pose.
     pub fn at_rest(pose: Pose) -> Self {
-        MavState { pose, twist: Twist::ZERO, acceleration: Vec3::ZERO }
+        MavState {
+            pose,
+            twist: Twist::ZERO,
+            acceleration: Vec3::ZERO,
+        }
     }
 
     /// Current speed in m/s.
@@ -57,8 +61,10 @@ mod tests {
 
     #[test]
     fn speed_reflects_twist() {
-        let mut s = MavState::default();
-        s.twist = Twist::linear(Vec3::new(3.0, 4.0, 0.0));
+        let s = MavState {
+            twist: Twist::linear(Vec3::new(3.0, 4.0, 0.0)),
+            ..MavState::default()
+        };
         assert_eq!(s.speed(), 5.0);
         assert_eq!(s.horizontal_speed(), 5.0);
         assert!(!s.is_stationary());

@@ -95,7 +95,10 @@ impl EnergyAccount {
     /// Creates an empty account with a 2 W "other electronics" draw
     /// (flight controller + sensors), matching the paper's power pie.
     pub fn new() -> Self {
-        EnergyAccount { other_watts: 2.0, ..Default::default() }
+        EnergyAccount {
+            other_watts: 2.0,
+            ..Default::default()
+        }
     }
 
     /// Records one interval of the mission.
@@ -111,7 +114,13 @@ impl EnergyAccount {
         self.rotor_energy += rotor.over(dt);
         self.compute_energy += compute.over(dt);
         self.other_energy += other.over(dt);
-        self.trace.push(PowerSample { time, rotor, compute, other, phase });
+        self.trace.push(PowerSample {
+            time,
+            rotor,
+            compute,
+            other,
+            phase,
+        });
     }
 
     /// Total energy consumed by the rotors.
@@ -225,12 +234,20 @@ mod tests {
     #[test]
     fn per_phase_power_ordering() {
         let acc = filled_account();
-        let hover = acc.average_power_in_phase(FlightPhaseLabel::Hovering).unwrap();
-        let fly = acc.average_power_in_phase(FlightPhaseLabel::Flying).unwrap();
-        let arm = acc.average_power_in_phase(FlightPhaseLabel::Arming).unwrap();
+        let hover = acc
+            .average_power_in_phase(FlightPhaseLabel::Hovering)
+            .unwrap();
+        let fly = acc
+            .average_power_in_phase(FlightPhaseLabel::Flying)
+            .unwrap();
+        let arm = acc
+            .average_power_in_phase(FlightPhaseLabel::Arming)
+            .unwrap();
         assert!(fly > hover);
         assert!(hover > arm);
-        assert!(acc.average_power_in_phase(FlightPhaseLabel::Ground).is_none());
+        assert!(acc
+            .average_power_in_phase(FlightPhaseLabel::Ground)
+            .is_none());
     }
 
     #[test]

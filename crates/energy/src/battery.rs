@@ -92,7 +92,11 @@ pub struct Battery {
 impl Battery {
     /// Creates a fully charged battery.
     pub fn new(config: BatteryConfig) -> Self {
-        Battery { config, consumed_coulombs: 0.0, consumed_energy: Energy::ZERO }
+        Battery {
+            config,
+            consumed_coulombs: 0.0,
+            consumed_energy: Energy::ZERO,
+        }
     }
 
     /// The battery configuration.
@@ -172,7 +176,12 @@ impl Battery {
 
 impl fmt::Display for Battery {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "battery[{:.0}% {:.1} V]", self.percentage(), self.voltage())
+        write!(
+            f,
+            "battery[{:.0}% {:.1} V]",
+            self.percentage(),
+            self.voltage()
+        )
     }
 }
 
@@ -238,7 +247,10 @@ mod tests {
         assert!(b.is_exhausted());
         let delivered = b.consumed_energy().as_kilojoules();
         let rated = cfg.capacity_energy().as_kilojoules();
-        assert!((delivered - rated).abs() / rated < 0.25, "delivered {delivered} rated {rated}");
+        assert!(
+            (delivered - rated).abs() / rated < 0.25,
+            "delivered {delivered} rated {rated}"
+        );
         // Endurance at hover power should be roughly 20 minutes or less —
         // the paper's observation about off-the-shelf endurance.
         let endurance = Battery::endurance_at(&cfg, hover);
@@ -249,15 +261,27 @@ mod tests {
     #[test]
     fn zero_power_or_duration_is_a_noop() {
         let mut b = Battery::new(BatteryConfig::default());
-        assert_eq!(b.discharge(Power::ZERO, SimDuration::from_secs(10.0)), Energy::ZERO);
-        assert_eq!(b.discharge(Power::from_watts(100.0), SimDuration::ZERO), Energy::ZERO);
+        assert_eq!(
+            b.discharge(Power::ZERO, SimDuration::from_secs(10.0)),
+            Energy::ZERO
+        );
+        assert_eq!(
+            b.discharge(Power::from_watts(100.0), SimDuration::ZERO),
+            Energy::ZERO
+        );
         assert_eq!(b.state_of_charge(), 1.0);
     }
 
     #[test]
     fn endurance_scales_with_capacity() {
-        let small = BatteryConfig { capacity_mah: 2500.0, ..BatteryConfig::default() };
-        let large = BatteryConfig { capacity_mah: 5000.0, ..BatteryConfig::default() };
+        let small = BatteryConfig {
+            capacity_mah: 2500.0,
+            ..BatteryConfig::default()
+        };
+        let large = BatteryConfig {
+            capacity_mah: 5000.0,
+            ..BatteryConfig::default()
+        };
         let p = Power::from_watts(300.0);
         let e_small = Battery::endurance_at(&small, p).as_secs();
         let e_large = Battery::endurance_at(&large, p).as_secs();

@@ -168,11 +168,20 @@ mod tests {
             .collect();
         rotors.sort_by(|a, b| a.battery_mah.partial_cmp(&b.battery_mah).unwrap());
         let half = rotors.len() / 2;
-        let low: f64 =
-            rotors[..half].iter().map(|m| m.endurance_minutes).sum::<f64>() / half as f64;
-        let high: f64 = rotors[half..].iter().map(|m| m.endurance_minutes).sum::<f64>()
+        let low: f64 = rotors[..half]
+            .iter()
+            .map(|m| m.endurance_minutes)
+            .sum::<f64>()
+            / half as f64;
+        let high: f64 = rotors[half..]
+            .iter()
+            .map(|m| m.endurance_minutes)
+            .sum::<f64>()
             / (rotors.len() - half) as f64;
-        assert!(high > low, "endurance should rise with battery capacity: {low} vs {high}");
+        assert!(
+            high > low,
+            "endurance should rise with battery capacity: {low} vs {high}"
+        );
     }
 
     #[test]
@@ -200,7 +209,10 @@ mod tests {
     fn typical_rotor_endurance_is_under_20_to_30_minutes() {
         // Matches the paper's claim that off-the-shelf endurance is typically
         // well under half an hour.
-        for m in commercial_mav_catalog().iter().filter(|m| m.wing == WingType::Rotor) {
+        for m in commercial_mav_catalog()
+            .iter()
+            .filter(|m| m.wing == WingType::Rotor)
+        {
             assert!(m.endurance_minutes <= 30.0);
         }
     }

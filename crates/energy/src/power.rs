@@ -169,7 +169,11 @@ pub struct ComputePowerModel {
 impl ComputePowerModel {
     /// An NVIDIA Jetson TX2-class model (≈13 W at 4 cores / 2.2 GHz).
     pub fn tx2() -> Self {
-        ComputePowerModel { idle_watts: 2.0, per_core_watts: 2.75, reference_ghz: 2.2 }
+        ComputePowerModel {
+            idle_watts: 2.0,
+            per_core_watts: 2.75,
+            reference_ghz: 2.2,
+        }
     }
 
     /// Power at the given core count and clock frequency (GHz).
@@ -201,10 +205,18 @@ mod tests {
     fn power_increases_with_speed_and_acceleration() {
         let m = RotorPowerModel::default();
         let hover = m.hover_power().as_watts();
-        let slow = m.power(&Vec3::new(2.0, 0.0, 0.0), &Vec3::ZERO, &Vec3::ZERO).as_watts();
-        let fast = m.power(&Vec3::new(10.0, 0.0, 0.0), &Vec3::ZERO, &Vec3::ZERO).as_watts();
+        let slow = m
+            .power(&Vec3::new(2.0, 0.0, 0.0), &Vec3::ZERO, &Vec3::ZERO)
+            .as_watts();
+        let fast = m
+            .power(&Vec3::new(10.0, 0.0, 0.0), &Vec3::ZERO, &Vec3::ZERO)
+            .as_watts();
         let accel = m
-            .power(&Vec3::new(10.0, 0.0, 0.0), &Vec3::new(3.0, 0.0, 0.0), &Vec3::ZERO)
+            .power(
+                &Vec3::new(10.0, 0.0, 0.0),
+                &Vec3::new(3.0, 0.0, 0.0),
+                &Vec3::ZERO,
+            )
             .as_watts();
         assert!(hover < slow && slow < fast && fast < accel);
     }

@@ -355,8 +355,12 @@ mod tests {
 
     #[test]
     fn density_knob_scales_obstacle_count() {
-        let sparse = EnvironmentConfig::default().with_obstacle_density(0.5).generate();
-        let dense = EnvironmentConfig::default().with_obstacle_density(5.0).generate();
+        let sparse = EnvironmentConfig::default()
+            .with_obstacle_density(0.5)
+            .generate();
+        let dense = EnvironmentConfig::default()
+            .with_obstacle_density(5.0)
+            .generate();
         assert!(dense.obstacle_count() > sparse.obstacle_count() * 3);
     }
 
@@ -389,10 +393,8 @@ mod tests {
         // deeper into the room than the wall plane, while a ray at y offset
         // half a room hits the wall.
         let ox = 50.0 * 0.35;
-        let through_door =
-            world.raycast(&Vec3::new(ox - 5.0, 0.0, 1.0), &Vec3::UNIT_X, 50.0);
-        let into_wall =
-            world.raycast(&Vec3::new(ox - 5.0, 6.0, 1.0), &Vec3::UNIT_X, 50.0);
+        let through_door = world.raycast(&Vec3::new(ox - 5.0, 0.0, 1.0), &Vec3::UNIT_X, 50.0);
+        let into_wall = world.raycast(&Vec3::new(ox - 5.0, 6.0, 1.0), &Vec3::UNIT_X, 50.0);
         let wall_dist = into_wall.map(|h| h.distance).unwrap_or(f64::INFINITY);
         let door_dist = through_door.map(|h| h.distance).unwrap_or(f64::INFINITY);
         assert!(

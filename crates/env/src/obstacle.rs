@@ -51,7 +51,10 @@ impl ObstacleClass {
     /// Returns `true` if the detection kernel should report this class as a
     /// person-like detection.
     pub fn is_person_like(&self) -> bool {
-        matches!(self, ObstacleClass::Person | ObstacleClass::PhotographySubject)
+        matches!(
+            self,
+            ObstacleClass::Person | ObstacleClass::PhotographySubject
+        )
     }
 }
 
@@ -71,12 +74,22 @@ pub struct Obstacle {
 impl Obstacle {
     /// Creates a static obstacle of the given class.
     pub fn fixed(id: ObstacleId, bounds: Aabb, class: ObstacleClass) -> Self {
-        Obstacle { id, bounds, kind: ObstacleKind::Static, class }
+        Obstacle {
+            id,
+            bounds,
+            kind: ObstacleKind::Static,
+            class,
+        }
     }
 
     /// Creates a dynamic obstacle moving at `velocity`.
     pub fn moving(id: ObstacleId, bounds: Aabb, velocity: Vec3, class: ObstacleClass) -> Self {
-        Obstacle { id, bounds, kind: ObstacleKind::Dynamic { velocity }, class }
+        Obstacle {
+            id,
+            bounds,
+            kind: ObstacleKind::Dynamic { velocity },
+            class,
+        }
     }
 
     /// Returns `true` for dynamic obstacles.
@@ -105,7 +118,10 @@ impl Obstacle {
             ObstacleKind::Dynamic { velocity } => velocity,
         };
         let delta = *velocity * dt;
-        let moved = Aabb { min: self.bounds.min + delta, max: self.bounds.max + delta };
+        let moved = Aabb {
+            min: self.bounds.min + delta,
+            max: self.bounds.max + delta,
+        };
         // Reflect on each axis independently so the obstacle slides along the
         // boundary it hit instead of sticking to it.
         let mut v = *velocity;

@@ -48,12 +48,20 @@ pub struct World {
 impl World {
     /// Creates an empty world with the given bounds.
     pub fn empty(bounds: Aabb) -> Self {
-        World { bounds, obstacles: Vec::new(), name: "unnamed".to_string() }
+        World {
+            bounds,
+            obstacles: Vec::new(),
+            name: "unnamed".to_string(),
+        }
     }
 
     /// Creates a world with the given bounds, name and obstacles.
     pub fn new(name: impl Into<String>, bounds: Aabb, obstacles: Vec<Obstacle>) -> Self {
-        World { bounds, obstacles, name: name.into() }
+        World {
+            bounds,
+            obstacles,
+            name: name.into(),
+        }
     }
 
     /// The world's descriptive name (e.g. `"urban-outdoor"`).
@@ -120,7 +128,9 @@ impl World {
         if !self.bounds.contains(point) {
             return true;
         }
-        self.obstacles.iter().any(|o| o.bounds.distance_to_point(point) <= radius)
+        self.obstacles
+            .iter()
+            .any(|o| o.bounds.distance_to_point(point) <= radius)
     }
 
     /// Returns `true` if the straight segment from `a` to `b`, swept by a
@@ -172,8 +182,12 @@ impl World {
         let mut best: Option<RayHit> = None;
         for o in &self.obstacles {
             if let Some(t) = o.bounds.ray_intersection(origin, &d) {
-                if t <= max_range && best.map_or(true, |b| t < b.distance) {
-                    best = Some(RayHit { distance: t, point: *origin + d * t, obstacle: Some(o.id) });
+                if t <= max_range && best.is_none_or(|b| t < b.distance) {
+                    best = Some(RayHit {
+                        distance: t,
+                        point: *origin + d * t,
+                        obstacle: Some(o.id),
+                    });
                 }
             }
         }
@@ -268,7 +282,11 @@ fn exit_distance(bounds: &Aabb, origin: &Vec3, dir: &Vec3) -> Option<f64> {
         if d.abs() < 1e-12 {
             continue;
         }
-        let boundary = if d > 0.0 { bounds.max[axis] } else { bounds.min[axis] };
+        let boundary = if d > 0.0 {
+            bounds.max[axis]
+        } else {
+            bounds.min[axis]
+        };
         let t = (boundary - origin[axis]) / d;
         if t >= 0.0 {
             t_exit = t_exit.min(t);
@@ -328,7 +346,11 @@ mod tests {
         // Straight through the first obstacle.
         assert!(!w.segment_free(&Vec3::new(0.0, 0.0, 1.0), &Vec3::new(20.0, 0.0, 1.0), 0.4));
         // Well clear of both obstacles.
-        assert!(w.segment_free(&Vec3::new(0.0, -20.0, 1.0), &Vec3::new(20.0, -20.0, 1.0), 0.4));
+        assert!(w.segment_free(
+            &Vec3::new(0.0, -20.0, 1.0),
+            &Vec3::new(20.0, -20.0, 1.0),
+            0.4
+        ));
         // Endpoint outside the world.
         assert!(!w.segment_free(&Vec3::new(0.0, 0.0, 1.0), &Vec3::new(0.0, 0.0, 100.0), 0.4));
     }
@@ -336,7 +358,9 @@ mod tests {
     #[test]
     fn raycast_hits_nearest_obstacle() {
         let w = test_world();
-        let hit = w.raycast(&Vec3::new(0.0, 0.0, 1.0), &Vec3::UNIT_X, 100.0).unwrap();
+        let hit = w
+            .raycast(&Vec3::new(0.0, 0.0, 1.0), &Vec3::UNIT_X, 100.0)
+            .unwrap();
         assert!((hit.distance - 9.0).abs() < 1e-9);
         assert_eq!(hit.obstacle, Some(ObstacleId(0)));
         assert!((hit.point.x - 9.0).abs() < 1e-9);
@@ -346,11 +370,15 @@ mod tests {
     fn raycast_boundary_and_miss() {
         let w = test_world();
         // Looking straight up from the origin hits the world ceiling at z=30.
-        let hit = w.raycast(&Vec3::new(0.0, 0.0, 1.0), &Vec3::UNIT_Z, 100.0).unwrap();
+        let hit = w
+            .raycast(&Vec3::new(0.0, 0.0, 1.0), &Vec3::UNIT_Z, 100.0)
+            .unwrap();
         assert!((hit.distance - 29.0).abs() < 1e-9);
         assert_eq!(hit.obstacle, None);
         // Very short range sees nothing.
-        assert!(w.raycast(&Vec3::new(0.0, 0.0, 1.0), &Vec3::UNIT_X, 1.0).is_none());
+        assert!(w
+            .raycast(&Vec3::new(0.0, 0.0, 1.0), &Vec3::UNIT_X, 1.0)
+            .is_none());
         // Zero direction is rejected.
         assert!(w.raycast(&Vec3::ZERO, &Vec3::ZERO, 10.0).is_none());
     }
@@ -386,7 +414,9 @@ mod tests {
         w.step_dynamics(2.0);
         let after = w.obstacle(ObstacleId(100)).unwrap().center();
         assert!((after.x - before.x - 2.0).abs() < 1e-9);
-        assert!(w.dynamic_obstacle_of_class(ObstacleClass::PhotographySubject).is_some());
+        assert!(w
+            .dynamic_obstacle_of_class(ObstacleClass::PhotographySubject)
+            .is_some());
         assert!(w.dynamic_obstacle_of_class(ObstacleClass::Person).is_none());
         assert_eq!(w.obstacles_of_class(ObstacleClass::Vegetation).len(), 1);
     }

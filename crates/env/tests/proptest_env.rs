@@ -5,16 +5,13 @@ use mav_types::{Aabb, Vec3};
 use proptest::prelude::*;
 
 fn arb_point(extent: f64, height: f64) -> impl Strategy<Value = Vec3> {
-    (
-        -extent..extent,
-        -extent..extent,
-        0.0..height,
-    )
-        .prop_map(|(x, y, z)| Vec3::new(x, y, z))
+    (-extent..extent, -extent..extent, 0.0..height).prop_map(|(x, y, z)| Vec3::new(x, y, z))
 }
 
 fn small_world(seed: u64) -> World {
-    EnvironmentConfig::urban_outdoor().with_seed(seed).generate()
+    EnvironmentConfig::urban_outdoor()
+        .with_seed(seed)
+        .generate()
 }
 
 proptest! {

@@ -80,7 +80,11 @@ pub struct DetectorConfig {
 
 impl Default for DetectorConfig {
     fn default() -> Self {
-        DetectorConfig { kind: DetectorKind::Yolo, fov_horizontal: 1.5708, seed: 17 }
+        DetectorConfig {
+            kind: DetectorKind::Yolo,
+            fov_horizontal: std::f64::consts::FRAC_PI_2,
+            seed: 17,
+        }
     }
 }
 
@@ -155,7 +159,7 @@ impl ObjectDetector {
             if rng.gen_range(0.0..1.0) > recall {
                 continue;
             }
-            let confidence = (recall + rng.gen_range(-0.05..0.05)).clamp(0.1, 1.0);
+            let confidence = (recall + rng.gen_range(-0.05f64..0.05)).clamp(0.1, 1.0);
             detections.push(Detection {
                 position: target,
                 confidence,
@@ -177,7 +181,11 @@ impl ObjectDetector {
         self.detect(world, pose)
             .into_iter()
             .filter(|d| d.class == class)
-            .max_by(|a, b| a.confidence.partial_cmp(&b.confidence).expect("finite confidence"))
+            .max_by(|a, b| {
+                a.confidence
+                    .partial_cmp(&b.confidence)
+                    .expect("finite confidence")
+            })
     }
 }
 
@@ -188,7 +196,10 @@ mod tests {
     use mav_types::Aabb;
 
     fn world_with_person_at(pos: Vec3) -> World {
-        let mut w = World::empty(Aabb::new(Vec3::new(-60.0, -60.0, 0.0), Vec3::new(60.0, 60.0, 30.0)));
+        let mut w = World::empty(Aabb::new(
+            Vec3::new(-60.0, -60.0, 0.0),
+            Vec3::new(60.0, 60.0, 30.0),
+        ));
         w.add_obstacle(Obstacle::fixed(
             ObstacleId(0),
             Aabb::from_center_size(pos, Vec3::new(0.6, 0.6, 1.8)),
@@ -206,7 +217,10 @@ mod tests {
         let pose = Pose::new(Vec3::new(0.0, 0.0, 1.5), 0.0);
         let mut found = false;
         for _ in 0..10 {
-            if det.detect_class(&world, &pose, ObstacleClass::Person).is_some() {
+            if det
+                .detect_class(&world, &pose, ObstacleClass::Person)
+                .is_some()
+            {
                 found = true;
                 break;
             }
@@ -242,8 +256,10 @@ mod tests {
     #[test]
     fn out_of_range_person_is_not_detected() {
         let world = world_with_person_at(Vec3::new(55.0, 0.0, 0.9));
-        let mut det =
-            ObjectDetector::new(DetectorConfig { kind: DetectorKind::Hog, ..Default::default() });
+        let mut det = ObjectDetector::new(DetectorConfig {
+            kind: DetectorKind::Hog,
+            ..Default::default()
+        });
         let pose = Pose::new(Vec3::new(0.0, 0.0, 1.5), 0.0);
         for _ in 0..20 {
             assert!(det.detect(&world, &pose).is_empty());
@@ -256,8 +272,10 @@ mod tests {
         let world = world_with_person_at(Vec3::new(30.0, 0.0, 0.9));
         let pose = Pose::new(Vec3::new(0.0, 0.0, 1.5), 0.0);
         let mut yolo = ObjectDetector::new(DetectorConfig::default());
-        let mut hog =
-            ObjectDetector::new(DetectorConfig { kind: DetectorKind::Hog, ..Default::default() });
+        let mut hog = ObjectDetector::new(DetectorConfig {
+            kind: DetectorKind::Hog,
+            ..Default::default()
+        });
         let mut yolo_found = false;
         for _ in 0..40 {
             if !yolo.detect(&world, &pose).is_empty() {
@@ -277,7 +295,10 @@ mod tests {
         let pose = Pose::new(Vec3::new(0.0, 0.0, 1.5), 0.0);
         for _ in 0..20 {
             if let Some(d) = det.detect_class(&world, &pose, ObstacleClass::Person) {
-                assert!(d.image_offset > 0.0, "target left of centre should have positive offset");
+                assert!(
+                    d.image_offset > 0.0,
+                    "target left of centre should have positive offset"
+                );
                 assert!(d.confidence > 0.0 && d.confidence <= 1.0);
                 return;
             }

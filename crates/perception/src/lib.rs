@@ -28,9 +28,7 @@ pub mod pointcloud;
 pub mod tracking;
 
 pub use detection::{Detection, DetectorConfig, DetectorKind, ObjectDetector};
-pub use localization::{
-    GpsLocalizer, LocalizationResult, Localizer, SlamConfig, VisualSlam,
-};
-pub use octomap::{OctoMap, OctoMapConfig, Occupancy};
+pub use localization::{GpsLocalizer, LocalizationResult, Localizer, SlamConfig, VisualSlam};
+pub use octomap::{Occupancy, OctoMap, OctoMapConfig};
 pub use pointcloud::PointCloud;
 pub use tracking::{TargetTracker, TrackState, TrackerConfig};

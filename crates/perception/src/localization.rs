@@ -59,7 +59,10 @@ impl GpsLocalizer {
 impl Localizer for GpsLocalizer {
     fn localize(&mut self, truth: &Pose, _velocity: &Vec3, time: SimTime) -> LocalizationResult {
         let fix = self.gps.fix(truth, time);
-        LocalizationResult { pose: Pose::new(fix.position, truth.yaw), healthy: true }
+        LocalizationResult {
+            pose: Pose::new(fix.position, truth.yaw),
+            healthy: true,
+        }
     }
 
     fn failure_count(&self) -> u32 {
@@ -94,7 +97,12 @@ impl SlamConfig {
     /// Panics if `fps` is not strictly positive.
     pub fn with_fps(fps: f64) -> Self {
         assert!(fps > 0.0, "fps must be positive, got {fps}");
-        SlamConfig { fps, tolerated_motion_per_frame: 0.35, failure_slope: 0.55, seed: 29 }
+        SlamConfig {
+            fps,
+            tolerated_motion_per_frame: 0.35,
+            failure_slope: 0.55,
+            seed: 29,
+        }
     }
 
     /// Probability of a localization failure on one processed frame at the
@@ -198,7 +206,10 @@ impl Localizer for VisualSlam {
             self.lost = true;
             self.relocalization_progress = 0;
         }
-        LocalizationResult { pose: *truth, healthy: !self.lost }
+        LocalizationResult {
+            pose: *truth,
+            healthy: !self.lost,
+        }
     }
 
     fn failure_count(&self) -> u32 {

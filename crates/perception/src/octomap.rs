@@ -53,7 +53,10 @@ impl OctoMapConfig {
     ///
     /// Panics if `resolution` is not strictly positive.
     pub fn with_resolution(resolution: f64) -> Self {
-        assert!(resolution > 0.0, "resolution must be positive, got {resolution}");
+        assert!(
+            resolution > 0.0,
+            "resolution must be positive, got {resolution}"
+        );
         OctoMapConfig {
             resolution,
             hit_log_odds: 0.85,
@@ -93,7 +96,9 @@ enum OctreeNode {
 
 impl OctreeNode {
     fn new_inner() -> Self {
-        OctreeNode::Inner { children: vec![None; 8] }
+        OctreeNode::Inner {
+            children: vec![None; 8],
+        }
     }
 }
 
@@ -241,12 +246,13 @@ impl OctoMap {
         for dx in -steps..=steps {
             for dy in -steps..=steps {
                 for dz in -steps..=steps {
-                    let idx = GridIndex::new(center_idx.x + dx, center_idx.y + dy, center_idx.z + dz);
+                    let idx =
+                        GridIndex::new(center_idx.x + dx, center_idx.y + dy, center_idx.z + dz);
                     let c = self.grid.center_of(&idx);
-                    if c.distance(point) <= r + self.config.resolution * 0.87 {
-                        if self.query(&c) == Occupancy::Occupied {
-                            return true;
-                        }
+                    if c.distance(point) <= r + self.config.resolution * 0.87
+                        && self.query(&c) == Occupancy::Occupied
+                    {
+                        return true;
                     }
                 }
             }
@@ -272,7 +278,10 @@ impl OctoMap {
 
     /// Number of occupied leaf voxels.
     pub fn occupied_voxel_count(&self) -> usize {
-        self.collect_leaves().iter().filter(|(_, l)| *l > self.config.occupied_threshold).count()
+        self.collect_leaves()
+            .iter()
+            .filter(|(_, l)| *l > self.config.occupied_threshold)
+            .count()
     }
 
     /// Number of observed (free or occupied) leaf voxels.
@@ -324,7 +333,10 @@ impl OctoMap {
 
     /// Axis-aligned bounds of the octree domain.
     pub fn domain(&self) -> Aabb {
-        Aabb::new(Vec3::splat(-self.half_extent), Vec3::splat(self.half_extent))
+        Aabb::new(
+            Vec3::splat(-self.half_extent),
+            Vec3::splat(self.half_extent),
+        )
     }
 
     // ------------------------------------------------------------------
@@ -380,7 +392,9 @@ impl OctoMap {
                     *log_odds = (*log_odds + delta).clamp(clamp.0, clamp.1);
                 }
                 OctreeNode::Inner { .. } => {
-                    *node = OctreeNode::Leaf { log_odds: delta.clamp(clamp.0, clamp.1) };
+                    *node = OctreeNode::Leaf {
+                        log_odds: delta.clamp(clamp.0, clamp.1),
+                    };
                 }
             }
             return;
@@ -393,7 +407,8 @@ impl OctoMap {
                 *node = OctreeNode::new_inner();
                 if let OctreeNode::Inner { children } = node {
                     let (idx, child_center) = child_of(point, &center, half);
-                    let child = children[idx].get_or_insert(OctreeNode::Leaf { log_odds: existing });
+                    let child =
+                        children[idx].get_or_insert(OctreeNode::Leaf { log_odds: existing });
                     Self::update_recursive(
                         child,
                         point,

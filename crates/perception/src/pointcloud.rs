@@ -30,7 +30,10 @@ impl PointCloud {
     /// Pixels with no return are skipped. Points are expressed in the world
     /// frame using the camera pose stored in the image.
     pub fn from_depth_image(image: &DepthImage) -> Self {
-        PointCloud { origin: image.camera_pose.position, points: image.points() }
+        PointCloud {
+            origin: image.camera_pose.position,
+            points: image.points(),
+        }
     }
 
     /// The points of the cloud.
@@ -78,27 +81,26 @@ impl PointCloud {
             entry.0 += *p;
             entry.1 += 1;
         }
-        let mut points: Vec<Vec3> =
-            cells.into_values().map(|(sum, n)| sum / n as f64).collect();
+        let mut points: Vec<Vec3> = cells.into_values().map(|(sum, n)| sum / n as f64).collect();
         // Sort for determinism across hash orders.
         points.sort_by(|a, b| {
             (a.x, a.y, a.z)
                 .partial_cmp(&(b.x, b.y, b.z))
                 .expect("finite coordinates")
         });
-        PointCloud { origin: self.origin, points }
+        PointCloud {
+            origin: self.origin,
+            points,
+        }
     }
 
     /// The point nearest to `query`, or `None` when empty.
     pub fn nearest(&self, query: &Vec3) -> Option<Vec3> {
-        self.points
-            .iter()
-            .copied()
-            .min_by(|a, b| {
-                a.distance_squared(query)
-                    .partial_cmp(&b.distance_squared(query))
-                    .expect("finite distances")
-            })
+        self.points.iter().copied().min_by(|a, b| {
+            a.distance_squared(query)
+                .partial_cmp(&b.distance_squared(query))
+                .expect("finite distances")
+        })
     }
 
     /// Minimum distance from the sensor origin to any point, or `None` when
@@ -113,7 +115,12 @@ impl PointCloud {
 
 impl fmt::Display for PointCloud {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "pointcloud[{} points from {}]", self.points.len(), self.origin)
+        write!(
+            f,
+            "pointcloud[{} points from {}]",
+            self.points.len(),
+            self.origin
+        )
     }
 }
 
@@ -125,7 +132,10 @@ mod tests {
     use mav_types::Pose;
 
     fn wall_world() -> World {
-        let mut w = World::empty(Aabb::new(Vec3::new(-50.0, -50.0, 0.0), Vec3::new(50.0, 50.0, 30.0)));
+        let mut w = World::empty(Aabb::new(
+            Vec3::new(-50.0, -50.0, 0.0),
+            Vec3::new(50.0, 50.0, 30.0),
+        ));
         w.add_box(
             Aabb::from_center_size(Vec3::new(10.0, 0.0, 5.0), Vec3::new(1.0, 60.0, 10.0)),
             ObstacleClass::Structure,
@@ -136,7 +146,8 @@ mod tests {
     #[test]
     fn cloud_from_depth_image_sits_on_obstacles() {
         let world = wall_world();
-        let frame = DepthCamera::default().capture(&world, &Pose::new(Vec3::new(0.0, 0.0, 2.0), 0.0));
+        let frame =
+            DepthCamera::default().capture(&world, &Pose::new(Vec3::new(0.0, 0.0, 2.0), 0.0));
         let cloud = PointCloud::from_depth_image(&frame);
         assert!(!cloud.is_empty());
         assert_eq!(cloud.origin, Vec3::new(0.0, 0.0, 2.0));
@@ -180,9 +191,16 @@ mod tests {
     fn nearest_point_query() {
         let c = PointCloud::new(
             Vec3::ZERO,
-            vec![Vec3::new(1.0, 0.0, 0.0), Vec3::new(5.0, 0.0, 0.0), Vec3::new(-2.0, 0.0, 0.0)],
+            vec![
+                Vec3::new(1.0, 0.0, 0.0),
+                Vec3::new(5.0, 0.0, 0.0),
+                Vec3::new(-2.0, 0.0, 0.0),
+            ],
         );
-        assert_eq!(c.nearest(&Vec3::new(4.0, 0.0, 0.0)), Some(Vec3::new(5.0, 0.0, 0.0)));
+        assert_eq!(
+            c.nearest(&Vec3::new(4.0, 0.0, 0.0)),
+            Some(Vec3::new(5.0, 0.0, 0.0))
+        );
         assert_eq!(c.min_range(), Some(1.0));
         assert_eq!(c.len(), 3);
     }

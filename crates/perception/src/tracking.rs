@@ -43,7 +43,11 @@ pub struct TrackerConfig {
 
 impl Default for TrackerConfig {
     fn default() -> Self {
-        TrackerConfig { alpha: 0.6, beta: 0.3, max_missed_frames: 15 }
+        TrackerConfig {
+            alpha: 0.6,
+            beta: 0.3,
+            max_missed_frames: 15,
+        }
     }
 }
 
@@ -68,7 +72,10 @@ pub struct TargetTracker {
 impl TargetTracker {
     /// Creates a tracker with no active track.
     pub fn new(config: TrackerConfig) -> Self {
-        TargetTracker { config, state: None }
+        TargetTracker {
+            config,
+            state: None,
+        }
     }
 
     /// The current track, if one is live.
@@ -78,7 +85,9 @@ impl TargetTracker {
 
     /// Returns `true` when a live track exists.
     pub fn has_track(&self) -> bool {
-        self.state.as_ref().map_or(false, |s| s.is_live(self.config.max_missed_frames))
+        self.state
+            .as_ref()
+            .is_some_and(|s| s.is_live(self.config.max_missed_frames))
     }
 
     /// Integrates a detector result. `None` means the detector ran but found
@@ -98,13 +107,13 @@ impl TargetTracker {
                 let predicted = s.position + s.velocity * dt_s;
                 let residual = d.position - predicted;
                 s.position = predicted + residual * self.config.alpha;
-                s.velocity = s.velocity + residual * (self.config.beta / dt_s);
+                s.velocity += residual * (self.config.beta / dt_s);
                 s.frames_since_detection = 0;
             }
             (Some(s), None) => {
                 // Coast on the constant-velocity model.
                 let dt_s = dt.as_secs().max(1e-3);
-                s.position = s.position + s.velocity * dt_s;
+                s.position += s.velocity * dt_s;
                 s.frames_since_detection += 1;
                 if !s.is_live(self.config.max_missed_frames) {
                     self.state = None;
@@ -129,7 +138,11 @@ impl TargetTracker {
 impl fmt::Display for TargetTracker {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.state {
-            Some(s) => write!(f, "track[{} missed {}]", s.position, s.frames_since_detection),
+            Some(s) => write!(
+                f,
+                "track[{} missed {}]",
+                s.position, s.frames_since_detection
+            ),
             None => f.write_str("track[none]"),
         }
     }
@@ -170,12 +183,19 @@ mod tests {
         }
         let s = t.track().unwrap();
         assert!(s.position.x > 8.0, "estimate lagging: {}", s.position);
-        assert!((s.velocity.x - 2.0).abs() < 0.8, "velocity estimate {}", s.velocity.x);
+        assert!(
+            (s.velocity.x - 2.0).abs() < 0.8,
+            "velocity estimate {}",
+            s.velocity.x
+        );
     }
 
     #[test]
     fn coasting_extrapolates_and_eventually_drops() {
-        let mut t = TargetTracker::new(TrackerConfig { max_missed_frames: 5, ..Default::default() });
+        let mut t = TargetTracker::new(TrackerConfig {
+            max_missed_frames: 5,
+            ..Default::default()
+        });
         let dt = SimDuration::from_millis(100.0);
         for i in 0..30 {
             t.update(Some(&detection_at(Vec3::new(i as f64 * 0.3, 0.0, 1.0))), dt);
@@ -198,7 +218,10 @@ mod tests {
     #[test]
     fn reset_clears_track() {
         let mut t = TargetTracker::new(TrackerConfig::default());
-        t.update(Some(&detection_at(Vec3::ZERO)), SimDuration::from_millis(50.0));
+        t.update(
+            Some(&detection_at(Vec3::ZERO)),
+            SimDuration::from_millis(50.0),
+        );
         assert!(t.has_track());
         t.reset();
         assert!(!t.has_track());
@@ -208,7 +231,10 @@ mod tests {
     fn display_nonempty() {
         let mut t = TargetTracker::new(TrackerConfig::default());
         assert!(!format!("{t}").is_empty());
-        t.update(Some(&detection_at(Vec3::ZERO)), SimDuration::from_millis(50.0));
+        t.update(
+            Some(&detection_at(Vec3::ZERO)),
+            SimDuration::from_millis(50.0),
+        );
         assert!(!format!("{t}").is_empty());
     }
 }

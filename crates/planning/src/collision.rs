@@ -5,7 +5,7 @@
 //! voxel of the (continuously updated) OctoMap, and raises a re-planning
 //! request when it does not.
 
-use mav_perception::{OctoMap, Occupancy};
+use mav_perception::{Occupancy, OctoMap};
 use mav_types::{Trajectory, Vec3};
 use serde::{Deserialize, Serialize};
 
@@ -24,12 +24,18 @@ impl CollisionChecker {
     /// on continuous re-checking).
     pub fn new(vehicle_radius: f64) -> Self {
         assert!(vehicle_radius > 0.0, "vehicle radius must be positive");
-        CollisionChecker { vehicle_radius, unknown_is_blocked: false }
+        CollisionChecker {
+            vehicle_radius,
+            unknown_is_blocked: false,
+        }
     }
 
     /// Conservative variant that refuses to enter unobserved space.
     pub fn conservative(vehicle_radius: f64) -> Self {
-        CollisionChecker { unknown_is_blocked: true, ..CollisionChecker::new(vehicle_radius) }
+        CollisionChecker {
+            unknown_is_blocked: true,
+            ..CollisionChecker::new(vehicle_radius)
+        }
     }
 
     /// Returns `true` when the vehicle can occupy `point` according to `map`.
@@ -42,7 +48,8 @@ impl CollisionChecker {
 
     /// Returns `true` when the straight segment between `a` and `b` is free.
     pub fn segment_free(&self, map: &OctoMap, a: &Vec3, b: &Vec3) -> bool {
-        if self.unknown_is_blocked && (map.query(a) == Occupancy::Unknown || map.query(b) == Occupancy::Unknown)
+        if self.unknown_is_blocked
+            && (map.query(a) == Occupancy::Unknown || map.query(b) == Occupancy::Unknown)
         {
             return false;
         }
@@ -136,7 +143,10 @@ mod tests {
         }
         let hit = cc.first_collision(&map, &traj, 0);
         assert!(hit.is_some());
-        assert!(hit.unwrap() >= 2, "collision should be at/after the wall, got {hit:?}");
+        assert!(
+            hit.unwrap() >= 2,
+            "collision should be at/after the wall, got {hit:?}"
+        );
         assert!(!cc.trajectory_free(&map, &traj));
         // Re-checking only the tail beyond the wall still reports a collision
         // at the wall crossing segment.

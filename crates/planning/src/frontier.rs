@@ -118,7 +118,8 @@ impl FrontierExplorer {
         let mut clusters: Vec<Vec<Vec3>> = Vec::new();
         for p in frontier_points {
             match clusters.iter_mut().find(|c| {
-                c.iter().any(|q| q.distance(&p) <= self.config.cluster_radius)
+                c.iter()
+                    .any(|q| q.distance(&p) <= self.config.cluster_radius)
             }) {
                 Some(cluster) => cluster.push(p),
                 None => clusters.push(vec![p]),
@@ -140,23 +141,26 @@ impl FrontierExplorer {
                             .expect("finite")
                     })
                     .expect("cluster non-empty");
-                Frontier { center, size: c.len() }
+                Frontier {
+                    center,
+                    size: c.len(),
+                }
             })
             .collect();
-        frontiers.sort_by(|a, b| b.size.cmp(&a.size));
+        frontiers.sort_by_key(|f| std::cmp::Reverse(f.size));
         frontiers
     }
 
     /// Picks the best frontier from `position` using the utility
     /// `size / (1 + w · distance)` — high exploratory promise, short path.
     pub fn select_frontier(&self, map: &OctoMap, position: &Vec3) -> Option<Frontier> {
-        self.find_frontiers(map)
-            .into_iter()
-            .max_by(|a, b| {
-                let ua = a.size as f64 / (1.0 + self.config.distance_weight * a.center.distance(position));
-                let ub = b.size as f64 / (1.0 + self.config.distance_weight * b.center.distance(position));
-                ua.partial_cmp(&ub).expect("finite utility")
-            })
+        self.find_frontiers(map).into_iter().max_by(|a, b| {
+            let ua =
+                a.size as f64 / (1.0 + self.config.distance_weight * a.center.distance(position));
+            let ub =
+                b.size as f64 / (1.0 + self.config.distance_weight * b.center.distance(position));
+            ua.partial_cmp(&ub).expect("finite utility")
+        })
     }
 
     /// Plans a path from `position` to the best frontier using the given
@@ -180,8 +184,10 @@ impl FrontierExplorer {
         // Try frontiers in descending utility order until one is reachable.
         let mut ranked = frontiers;
         ranked.sort_by(|a, b| {
-            let ua = a.size as f64 / (1.0 + self.config.distance_weight * a.center.distance(&position));
-            let ub = b.size as f64 / (1.0 + self.config.distance_weight * b.center.distance(&position));
+            let ua =
+                a.size as f64 / (1.0 + self.config.distance_weight * a.center.distance(&position));
+            let ub =
+                b.size as f64 / (1.0 + self.config.distance_weight * b.center.distance(&position));
             ub.partial_cmp(&ua).expect("finite utility")
         });
         for frontier in ranked {
@@ -189,7 +195,10 @@ impl FrontierExplorer {
                 return Ok((frontier, path));
             }
         }
-        Err(MavError::planning_failed("frontier", "no reachable frontier"))
+        Err(MavError::planning_failed(
+            "frontier",
+            "no reachable frontier",
+        ))
     }
 }
 
@@ -243,11 +252,14 @@ mod tests {
     fn selection_prefers_nearby_large_clusters() {
         let map = partial_map();
         let explorer = FrontierExplorer::default();
-        let selected = explorer.select_frontier(&map, &Vec3::new(0.0, 0.0, 2.0)).unwrap();
+        let selected = explorer
+            .select_frontier(&map, &Vec3::new(0.0, 0.0, 2.0))
+            .unwrap();
         // The selected frontier must not be the farthest-away tiny cluster:
         // its utility must be at least that of every other frontier.
         let all = explorer.find_frontiers(&map);
-        let utility = |f: &Frontier| f.size as f64 / (1.0 + f.center.distance(&Vec3::new(0.0, 0.0, 2.0)));
+        let utility =
+            |f: &Frontier| f.size as f64 / (1.0 + f.center.distance(&Vec3::new(0.0, 0.0, 2.0)));
         for f in &all {
             assert!(utility(&selected) >= utility(f) - 1e-9);
         }

@@ -32,7 +32,9 @@ impl LawnmowerConfig {
     /// positive.
     pub fn validate(&self) -> Result<()> {
         if self.width <= 0.0 || self.length <= 0.0 {
-            return Err(MavError::invalid_config("coverage area must have positive dimensions"));
+            return Err(MavError::invalid_config(
+                "coverage area must have positive dimensions",
+            ));
         }
         if self.lane_spacing <= 0.0 {
             return Err(MavError::invalid_config("lane spacing must be positive"));
@@ -120,7 +122,7 @@ mod tests {
         };
         let wps = plan_lawnmower(&cfg).unwrap();
         assert_eq!(wps.len(), 10); // 5 lanes × 2 endpoints
-        // Every waypoint at the requested altitude and inside the area.
+                                   // Every waypoint at the requested altitude and inside the area.
         for w in &wps {
             assert_eq!(w.z, 12.0);
             assert!(w.x >= 0.0 && w.x <= 40.0);
@@ -143,7 +145,11 @@ mod tests {
             lane_spacing: 10.0,
             altitude: 10.0,
         };
-        let large = LawnmowerConfig { width: 80.0, length: 80.0, ..small };
+        let large = LawnmowerConfig {
+            width: 80.0,
+            length: 80.0,
+            ..small
+        };
         let l_small = path_length(&plan_lawnmower(&small).unwrap());
         let l_large = path_length(&plan_lawnmower(&large).unwrap());
         assert!(l_large > 3.0 * l_small);
@@ -151,8 +157,14 @@ mod tests {
 
     #[test]
     fn tighter_lanes_increase_path_length_and_coverage() {
-        let coarse = LawnmowerConfig { lane_spacing: 20.0, ..Default::default() };
-        let fine = LawnmowerConfig { lane_spacing: 5.0, ..Default::default() };
+        let coarse = LawnmowerConfig {
+            lane_spacing: 20.0,
+            ..Default::default()
+        };
+        let fine = LawnmowerConfig {
+            lane_spacing: 5.0,
+            ..Default::default()
+        };
         assert!(
             path_length(&plan_lawnmower(&fine).unwrap())
                 > path_length(&plan_lawnmower(&coarse).unwrap())
@@ -165,10 +177,22 @@ mod tests {
     #[test]
     fn degenerate_configs_are_rejected() {
         for bad in [
-            LawnmowerConfig { width: 0.0, ..Default::default() },
-            LawnmowerConfig { length: -5.0, ..Default::default() },
-            LawnmowerConfig { lane_spacing: 0.0, ..Default::default() },
-            LawnmowerConfig { altitude: 0.0, ..Default::default() },
+            LawnmowerConfig {
+                width: 0.0,
+                ..Default::default()
+            },
+            LawnmowerConfig {
+                length: -5.0,
+                ..Default::default()
+            },
+            LawnmowerConfig {
+                lane_spacing: 0.0,
+                ..Default::default()
+            },
+            LawnmowerConfig {
+                altitude: 0.0,
+                ..Default::default()
+            },
         ] {
             assert!(plan_lawnmower(&bad).is_err());
         }

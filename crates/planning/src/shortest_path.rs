@@ -75,7 +75,10 @@ pub struct PlannedPath {
 impl PlannedPath {
     /// Geometric length of the path in metres.
     pub fn length(&self) -> f64 {
-        self.waypoints.windows(2).map(|w| w[0].distance(&w[1])).sum()
+        self.waypoints
+            .windows(2)
+            .map(|w| w[0].distance(&w[1]))
+            .sum()
     }
 
     /// Shortcut pass: repeatedly removes intermediate waypoints whose
@@ -99,7 +102,10 @@ impl PlannedPath {
             out.push(self.waypoints[j]);
             i = j;
         }
-        PlannedPath { waypoints: out, samples_used: self.samples_used }
+        PlannedPath {
+            waypoints: out,
+            samples_used: self.samples_used,
+        }
     }
 }
 
@@ -151,10 +157,16 @@ impl ShortestPathPlanner {
         goal: Vec3,
     ) -> Result<PlannedPath> {
         if !checker.point_free(map, &start) {
-            return Err(MavError::planning_failed(self.name(), "start position is in collision"));
+            return Err(MavError::planning_failed(
+                self.name(),
+                "start position is in collision",
+            ));
         }
         if !checker.point_free(map, &goal) {
-            return Err(MavError::planning_failed(self.name(), "goal position is in collision"));
+            return Err(MavError::planning_failed(
+                self.name(),
+                "goal position is in collision",
+            ));
         }
         match self.config.kind {
             PlannerKind::Rrt => self.plan_rrt(map, checker, start, goal),
@@ -230,7 +242,10 @@ impl ShortestPathPlanner {
                     idx = parents[idx];
                 }
                 waypoints.reverse();
-                return Ok(PlannedPath { waypoints, samples_used: sample_count + 1 });
+                return Ok(PlannedPath {
+                    waypoints,
+                    samples_used: sample_count + 1,
+                });
             }
         }
         Err(MavError::planning_failed(
@@ -275,7 +290,10 @@ impl ShortestPathPlanner {
             MavError::planning_failed("prm-astar", "roadmap does not connect start and goal")
         })?;
         let waypoints = path_indices.into_iter().map(|i| vertices[i]).collect();
-        Ok(PlannedPath { waypoints, samples_used: attempts })
+        Ok(PlannedPath {
+            waypoints,
+            samples_used: attempts,
+        })
     }
 }
 
@@ -295,7 +313,10 @@ fn astar(
     impl Ord for Frontier {
         fn cmp(&self, other: &Self) -> std::cmp::Ordering {
             // Reverse ordering: BinaryHeap is a max-heap, we need the min f.
-            other.f.partial_cmp(&self.f).unwrap_or(std::cmp::Ordering::Equal)
+            other
+                .f
+                .partial_cmp(&self.f)
+                .unwrap_or(std::cmp::Ordering::Equal)
         }
     }
     impl PartialOrd for Frontier {
@@ -309,7 +330,10 @@ fn astar(
     let mut g: HashMap<usize, f64> = HashMap::new();
     let mut came_from: HashMap<usize, usize> = HashMap::new();
     g.insert(start, 0.0);
-    open.push(Frontier { f: h(start), node: start });
+    open.push(Frontier {
+        f: h(start),
+        node: start,
+    });
     while let Some(Frontier { node, .. }) = open.pop() {
         if node == goal {
             let mut path = vec![goal];
@@ -327,7 +351,10 @@ fn astar(
             if tentative < *g.get(&next).unwrap_or(&f64::INFINITY) {
                 g.insert(next, tentative);
                 came_from.insert(next, node);
-                open.push(Frontier { f: tentative + h(next), node: next });
+                open.push(Frontier {
+                    f: tentative + h(next),
+                    node: next,
+                });
             }
         }
     }
@@ -356,7 +383,13 @@ mod tests {
         map
     }
 
-    fn check_path(path: &PlannedPath, map: &OctoMap, checker: &CollisionChecker, start: Vec3, goal: Vec3) {
+    fn check_path(
+        path: &PlannedPath,
+        map: &OctoMap,
+        checker: &CollisionChecker,
+        start: Vec3,
+        goal: Vec3,
+    ) {
         assert!(path.waypoints.len() >= 2);
         assert!(path.waypoints[0].distance(&start) < 1e-9);
         assert!(path.waypoints.last().unwrap().distance(&goal) < 1e-9);
@@ -435,9 +468,8 @@ mod tests {
     fn shortcut_shortens_paths_and_stays_collision_free() {
         let map = wall_map();
         let checker = CollisionChecker::new(0.33);
-        let planner = ShortestPathPlanner::new(
-            PlannerConfig::new(PlannerKind::Rrt, bounds()).with_seed(11),
-        );
+        let planner =
+            ShortestPathPlanner::new(PlannerConfig::new(PlannerKind::Rrt, bounds()).with_seed(11));
         let start = Vec3::new(0.0, -5.0, 2.0);
         let goal = Vec3::new(16.0, 5.0, 2.0);
         let path = planner.plan(&map, &checker, start, goal).unwrap();
@@ -452,8 +484,22 @@ mod tests {
         let map = wall_map();
         let checker = CollisionChecker::new(0.33);
         let cfg = PlannerConfig::new(PlannerKind::Rrt, bounds()).with_seed(99);
-        let a = ShortestPathPlanner::new(cfg).plan(&map, &checker, Vec3::new(0.0, 0.0, 2.0), Vec3::new(14.0, 3.0, 2.0)).unwrap();
-        let b = ShortestPathPlanner::new(cfg).plan(&map, &checker, Vec3::new(0.0, 0.0, 2.0), Vec3::new(14.0, 3.0, 2.0)).unwrap();
+        let a = ShortestPathPlanner::new(cfg)
+            .plan(
+                &map,
+                &checker,
+                Vec3::new(0.0, 0.0, 2.0),
+                Vec3::new(14.0, 3.0, 2.0),
+            )
+            .unwrap();
+        let b = ShortestPathPlanner::new(cfg)
+            .plan(
+                &map,
+                &checker,
+                Vec3::new(0.0, 0.0, 2.0),
+                Vec3::new(14.0, 3.0, 2.0),
+            )
+            .unwrap();
         assert_eq!(a, b);
     }
 

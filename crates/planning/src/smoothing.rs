@@ -96,7 +96,10 @@ impl PathSmoother {
     /// provided.
     pub fn smooth(&self, waypoints: &[Vec3], start_time: SimTime) -> Result<Trajectory> {
         if waypoints.len() < 2 {
-            return Err(MavError::planning_failed("smoothing", "need at least two waypoints"));
+            return Err(MavError::planning_failed(
+                "smoothing",
+                "need at least two waypoints",
+            ));
         }
         let rounded = self.round_corners(waypoints);
         let sampled = self.resample(&rounded);
@@ -217,7 +220,11 @@ mod tests {
     use super::*;
 
     fn l_shaped() -> Vec<Vec3> {
-        vec![Vec3::new(0.0, 0.0, 2.0), Vec3::new(20.0, 0.0, 2.0), Vec3::new(20.0, 20.0, 2.0)]
+        vec![
+            Vec3::new(0.0, 0.0, 2.0),
+            Vec3::new(20.0, 0.0, 2.0),
+            Vec3::new(20.0, 20.0, 2.0),
+        ]
     }
 
     #[test]
@@ -262,8 +269,14 @@ mod tests {
     fn slower_profile_takes_longer() {
         let fast = PathSmoother::new(SmootherConfig::new(10.0, 5.0));
         let slow = PathSmoother::new(SmootherConfig::new(2.0, 5.0));
-        let t_fast = fast.smooth(&l_shaped(), SimTime::ZERO).unwrap().duration_secs();
-        let t_slow = slow.smooth(&l_shaped(), SimTime::ZERO).unwrap().duration_secs();
+        let t_fast = fast
+            .smooth(&l_shaped(), SimTime::ZERO)
+            .unwrap()
+            .duration_secs();
+        let t_slow = slow
+            .smooth(&l_shaped(), SimTime::ZERO)
+            .unwrap()
+            .duration_secs();
         assert!(t_slow > 2.0 * t_fast, "slow {t_slow} vs fast {t_fast}");
     }
 
@@ -271,7 +284,10 @@ mod tests {
     fn straight_line_cruises_at_max_velocity() {
         let smoother = PathSmoother::new(SmootherConfig::new(8.0, 4.0));
         let traj = smoother
-            .smooth(&[Vec3::new(0.0, 0.0, 2.0), Vec3::new(100.0, 0.0, 2.0)], SimTime::ZERO)
+            .smooth(
+                &[Vec3::new(0.0, 0.0, 2.0), Vec3::new(100.0, 0.0, 2.0)],
+                SimTime::ZERO,
+            )
             .unwrap();
         assert!((traj.max_speed() - 8.0).abs() < 0.5);
         // Duration should be close to distance/v plus accel/decel overhead.
@@ -283,7 +299,9 @@ mod tests {
     #[test]
     fn timestamps_are_monotone() {
         let smoother = PathSmoother::default();
-        let traj = smoother.smooth(&l_shaped(), SimTime::from_secs(5.0)).unwrap();
+        let traj = smoother
+            .smooth(&l_shaped(), SimTime::from_secs(5.0))
+            .unwrap();
         assert!(traj.first().unwrap().time.as_secs() >= 5.0);
         let times: Vec<f64> = traj.points().iter().map(|p| p.time.as_secs()).collect();
         for w in times.windows(2) {

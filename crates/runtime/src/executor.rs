@@ -23,12 +23,16 @@ pub struct NodeOutput {
 impl NodeOutput {
     /// An invocation that consumed no modelled compute time.
     pub fn idle() -> Self {
-        NodeOutput { kernel_time: Vec::new() }
+        NodeOutput {
+            kernel_time: Vec::new(),
+        }
     }
 
     /// An invocation that consumed `duration` in `kernel`.
     pub fn kernel(kernel: KernelId, duration: SimDuration) -> Self {
-        NodeOutput { kernel_time: vec![(kernel, duration)] }
+        NodeOutput {
+            kernel_time: vec![(kernel, duration)],
+        }
     }
 
     /// Total compute time of this invocation.
@@ -106,7 +110,10 @@ impl Executor {
     /// Registers a node. Nodes run in registration order when due at the same
     /// instant, which keeps runs reproducible.
     pub fn add_node<N: Node + 'static>(&mut self, node: N) {
-        self.nodes.push(Registration { node: Box::new(node), next_due: SimTime::ZERO });
+        self.nodes.push(Registration {
+            node: Box::new(node),
+            next_due: SimTime::ZERO,
+        });
     }
 
     /// The mission clock.
@@ -132,7 +139,6 @@ impl Executor {
     pub fn step(&mut self) -> Result<()> {
         let now = self.clock.now();
         let mut consumed = SimDuration::ZERO;
-        let mut any_ran = false;
         for reg in &mut self.nodes {
             if reg.next_due <= now {
                 let output = reg.node.tick(now)?;
@@ -141,14 +147,11 @@ impl Executor {
                 }
                 consumed += output.total();
                 reg.next_due = now + reg.node.period();
-                any_ran = true;
             }
         }
         // The serialized compute time of this round plus (if nothing ran) an
         // idle step moves the clock forward.
-        if consumed.is_zero() && !any_ran {
-            self.clock.advance(self.idle_step);
-        } else if consumed.is_zero() {
+        if consumed.is_zero() {
             self.clock.advance(self.idle_step);
         } else {
             self.clock.advance(consumed);
@@ -232,11 +235,19 @@ mod tests {
     fn nodes_run_at_their_period() {
         let mut exec = Executor::new();
         exec.add_node(Counter::new("fast", 100.0, 10.0, KernelId::PathTracking));
-        exec.add_node(Counter::new("slow", 1000.0, 200.0, KernelId::MotionPlanning));
+        exec.add_node(Counter::new(
+            "slow",
+            1000.0,
+            200.0,
+            KernelId::MotionPlanning,
+        ));
         exec.run_for(SimDuration::from_secs(5.0)).unwrap();
         let fast = exec.timer().invocations(KernelId::PathTracking);
         let slow = exec.timer().invocations(KernelId::MotionPlanning);
-        assert!(fast > slow, "fast node should run more often ({fast} vs {slow})");
+        assert!(
+            fast > slow,
+            "fast node should run more often ({fast} vs {slow})"
+        );
         assert!(slow >= 3);
         assert_eq!(exec.node_count(), 2);
     }
@@ -244,7 +255,12 @@ mod tests {
     #[test]
     fn compute_time_advances_the_clock() {
         let mut exec = Executor::new();
-        exec.add_node(Counter::new("heavy", 100.0, 500.0, KernelId::OctomapGeneration));
+        exec.add_node(Counter::new(
+            "heavy",
+            100.0,
+            500.0,
+            KernelId::OctomapGeneration,
+        ));
         exec.run_for(SimDuration::from_secs(2.0)).unwrap();
         // The kernel's simulated time must be accounted on the clock: at
         // least 2 s / 0.5 s = 4 invocations happened, but not many more since

@@ -46,7 +46,10 @@ impl KernelTimer {
 
     /// Total simulated time spent in `kernel`.
     pub fn total(&self, kernel: KernelId) -> SimDuration {
-        self.totals.get(&kernel).copied().unwrap_or(SimDuration::ZERO)
+        self.totals
+            .get(&kernel)
+            .copied()
+            .unwrap_or(SimDuration::ZERO)
     }
 
     /// Number of invocations of `kernel`.
@@ -94,9 +97,31 @@ impl KernelTimer {
     }
 }
 
+impl mav_types::ToJson for KernelTimer {
+    fn to_json(&self) -> mav_types::Json {
+        use mav_types::Json;
+        Json::Array(
+            self.totals
+                .iter()
+                .map(|(kernel, total)| {
+                    Json::object()
+                        .field("kernel", *kernel)
+                        .field("total_secs", total.as_secs())
+                        .field("invocations", self.invocations(*kernel))
+                })
+                .collect(),
+        )
+    }
+}
+
 impl fmt::Display for KernelTimer {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "kernel-timer[{} kernels, total {}]", self.totals.len(), self.grand_total())
+        write!(
+            f,
+            "kernel-timer[{} kernels, total {}]",
+            self.totals.len(),
+            self.grand_total()
+        )
     }
 }
 

@@ -6,9 +6,9 @@
 //! provided here with cheaply clonable, thread-safe handles so nodes can hold
 //! their endpoints independently.
 
-use parking_lot::Mutex;
 use std::fmt;
 use std::sync::Arc;
+use std::sync::Mutex;
 
 /// A latched topic: subscribers always observe the most recent message.
 ///
@@ -37,7 +37,10 @@ impl<T: Clone> Topic<T> {
     pub fn new(name: impl Into<String>) -> Self {
         Topic {
             name: name.into(),
-            inner: Arc::new(Mutex::new(LatchedInner { latest: None, sequence: 0 })),
+            inner: Arc::new(Mutex::new(LatchedInner {
+                latest: None,
+                sequence: 0,
+            })),
         }
     }
 
@@ -48,19 +51,23 @@ impl<T: Clone> Topic<T> {
 
     /// Publishes a message, replacing the previous one.
     pub fn publish(&self, message: T) {
-        let mut inner = self.inner.lock();
+        let mut inner = self.inner.lock().expect("topic lock poisoned");
         inner.latest = Some(message);
         inner.sequence += 1;
     }
 
     /// The most recent message, if any has been published.
     pub fn latest(&self) -> Option<T> {
-        self.inner.lock().latest.clone()
+        self.inner
+            .lock()
+            .expect("topic lock poisoned")
+            .latest
+            .clone()
     }
 
     /// Number of messages published so far.
     pub fn sequence(&self) -> u64 {
-        self.inner.lock().sequence
+        self.inner.lock().expect("topic lock poisoned").sequence
     }
 
     /// Returns `true` if at least one message has been published.
@@ -71,7 +78,10 @@ impl<T: Clone> Topic<T> {
 
 impl<T> Clone for Topic<T> {
     fn clone(&self) -> Self {
-        Topic { name: self.name.clone(), inner: Arc::clone(&self.inner) }
+        Topic {
+            name: self.name.clone(),
+            inner: Arc::clone(&self.inner),
+        }
     }
 }
 
@@ -101,7 +111,10 @@ pub struct FifoTopic<T> {
 impl<T> FifoTopic<T> {
     /// Creates an empty FIFO topic with the given name.
     pub fn new(name: impl Into<String>) -> Self {
-        FifoTopic { name: name.into(), inner: Arc::new(Mutex::new(Vec::new())) }
+        FifoTopic {
+            name: name.into(),
+            inner: Arc::new(Mutex::new(Vec::new())),
+        }
     }
 
     /// The topic name.
@@ -111,17 +124,20 @@ impl<T> FifoTopic<T> {
 
     /// Appends a message to the queue.
     pub fn publish(&self, message: T) {
-        self.inner.lock().push(message);
+        self.inner
+            .lock()
+            .expect("topic lock poisoned")
+            .push(message);
     }
 
     /// Removes and returns all queued messages in publication order.
     pub fn drain(&self) -> Vec<T> {
-        std::mem::take(&mut *self.inner.lock())
+        std::mem::take(&mut *self.inner.lock().expect("topic lock poisoned"))
     }
 
     /// Number of messages currently queued.
     pub fn len(&self) -> usize {
-        self.inner.lock().len()
+        self.inner.lock().expect("topic lock poisoned").len()
     }
 
     /// Returns `true` when no messages are queued.
@@ -132,13 +148,19 @@ impl<T> FifoTopic<T> {
 
 impl<T> Clone for FifoTopic<T> {
     fn clone(&self) -> Self {
-        FifoTopic { name: self.name.clone(), inner: Arc::clone(&self.inner) }
+        FifoTopic {
+            name: self.name.clone(),
+            inner: Arc::clone(&self.inner),
+        }
     }
 }
 
 impl<T> fmt::Debug for FifoTopic<T> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("FifoTopic").field("name", &self.name).field("len", &self.len()).finish()
+        f.debug_struct("FifoTopic")
+            .field("name", &self.name)
+            .field("len", &self.len())
+            .finish()
     }
 }
 

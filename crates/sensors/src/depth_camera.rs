@@ -35,8 +35,8 @@ impl Default for DepthCameraConfig {
         DepthCameraConfig {
             width: 32,
             height: 24,
-            fov_horizontal: 1.5708, // 90 degrees
-            fov_vertical: 1.0472,   // 60 degrees
+            fov_horizontal: std::f64::consts::FRAC_PI_2, // 90 degrees
+            fov_vertical: std::f64::consts::FRAC_PI_3,   // 60 degrees
             max_range: 25.0,
         }
     }
@@ -45,7 +45,11 @@ impl Default for DepthCameraConfig {
 impl DepthCameraConfig {
     /// A higher-resolution configuration used by the perception benchmarks.
     pub fn high_resolution() -> Self {
-        DepthCameraConfig { width: 128, height: 96, ..Default::default() }
+        DepthCameraConfig {
+            width: 128,
+            height: 96,
+            ..Default::default()
+        }
     }
 
     /// Number of pixels per frame.
@@ -76,7 +80,10 @@ impl DepthImage {
     ///
     /// Panics if the pixel is out of range.
     pub fn depth_at(&self, u: usize, v: usize) -> f64 {
-        assert!(u < self.width && v < self.height, "pixel ({u},{v}) out of range");
+        assert!(
+            u < self.width && v < self.height,
+            "pixel ({u},{v}) out of range"
+        );
         self.depths[v * self.width + u]
     }
 
@@ -224,7 +231,10 @@ mod tests {
     use mav_types::Aabb;
 
     fn wall_world() -> World {
-        let mut w = World::empty(Aabb::new(Vec3::new(-50.0, -50.0, 0.0), Vec3::new(50.0, 50.0, 30.0)));
+        let mut w = World::empty(Aabb::new(
+            Vec3::new(-50.0, -50.0, 0.0),
+            Vec3::new(50.0, 50.0, 30.0),
+        ));
         // A wall 10 m in front of the origin spanning the whole field of view.
         w.add_box(
             Aabb::from_center_size(Vec3::new(10.0, 0.0, 5.0), Vec3::new(1.0, 60.0, 10.0)),
@@ -270,8 +280,14 @@ mod tests {
 
     #[test]
     fn empty_world_has_boundary_returns_only() {
-        let world = World::empty(Aabb::new(Vec3::new(-10.0, -10.0, 0.0), Vec3::new(10.0, 10.0, 10.0)));
-        let cam = DepthCamera::new(DepthCameraConfig { max_range: 5.0, ..Default::default() });
+        let world = World::empty(Aabb::new(
+            Vec3::new(-10.0, -10.0, 0.0),
+            Vec3::new(10.0, 10.0, 10.0),
+        ));
+        let cam = DepthCamera::new(DepthCameraConfig {
+            max_range: 5.0,
+            ..Default::default()
+        });
         let frame = cam.capture(&world, &Pose::new(Vec3::new(0.0, 0.0, 5.0), 0.0));
         // World boundary is 10 m away, beyond the 5 m max range: no returns.
         assert_eq!(frame.coverage(), 0.0);
@@ -284,7 +300,10 @@ mod tests {
         let cam = DepthCamera::default();
         let world = wall_world();
         // Facing away from the wall the centre pixel sees nothing within range.
-        let away = cam.capture(&world, &Pose::new(Vec3::new(0.0, 0.0, 2.0), std::f64::consts::PI));
+        let away = cam.capture(
+            &world,
+            &Pose::new(Vec3::new(0.0, 0.0, 2.0), std::f64::consts::PI),
+        );
         let c = away.depth_at(away.width / 2, away.height / 2);
         assert!(!c.is_finite() || c > 20.0);
     }

@@ -42,7 +42,9 @@ pub struct Imu {
 
 impl Default for Imu {
     fn default() -> Self {
-        Imu { accel_noise_std: 0.0 }
+        Imu {
+            accel_noise_std: 0.0,
+        }
     }
 }
 
@@ -54,7 +56,11 @@ impl Imu {
 
     /// Produces a sample from the true acceleration and yaw rate.
     pub fn sample(&self, acceleration: Vec3, twist: &Twist, time: SimTime) -> ImuSample {
-        ImuSample { acceleration, yaw_rate: twist.yaw_rate, time }
+        ImuSample {
+            acceleration,
+            yaw_rate: twist.yaw_rate,
+            time,
+        }
     }
 }
 
@@ -84,7 +90,11 @@ impl Gps {
     /// Produces a fix of the true pose.
     pub fn fix(&mut self, truth: &Pose, time: SimTime) -> GpsFix {
         let position = self.noise.apply(truth.position);
-        GpsFix { position, time, horizontal_accuracy: self.noise.horizontal_std.max(0.01) }
+        GpsFix {
+            position,
+            time,
+            horizontal_accuracy: self.noise.horizontal_std.max(0.01),
+        }
     }
 }
 

@@ -39,8 +39,15 @@ impl DepthNoiseModel {
     ///
     /// Panics if `std_dev` is negative or non-finite.
     pub fn new(std_dev: f64, seed: u64) -> Self {
-        assert!(std_dev.is_finite() && std_dev >= 0.0, "invalid noise std {std_dev}");
-        DepthNoiseModel { std_dev, seed, counter: 0 }
+        assert!(
+            std_dev.is_finite() && std_dev >= 0.0,
+            "invalid noise std {std_dev}"
+        );
+        DepthNoiseModel {
+            std_dev,
+            seed,
+            counter: 0,
+        }
     }
 
     /// Returns `true` when the model adds no noise at all.
@@ -56,7 +63,8 @@ impl DepthNoiseModel {
             self.counter += 1;
             return;
         }
-        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ self.counter.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng =
+            ChaCha8Rng::seed_from_u64(self.seed ^ self.counter.wrapping_mul(0x9E37_79B9_7F4A_7C15));
         self.counter += 1;
         for d in &mut image.depths {
             if d.is_finite() {
@@ -83,7 +91,12 @@ impl GpsNoiseModel {
     /// Creates a GPS noise model.
     pub fn new(horizontal_std: f64, vertical_std: f64, seed: u64) -> Self {
         assert!(horizontal_std >= 0.0 && vertical_std >= 0.0);
-        GpsNoiseModel { horizontal_std, vertical_std, seed, counter: 0 }
+        GpsNoiseModel {
+            horizontal_std,
+            vertical_std,
+            seed,
+            counter: 0,
+        }
     }
 
     /// A noise model representing a good consumer GPS fix (≈0.5 m horizontal,
@@ -187,7 +200,10 @@ mod tests {
         };
         let small = rms(0.2);
         let large = rms(1.5);
-        assert!(large > small * 2.0, "expected noise to scale: {small} vs {large}");
+        assert!(
+            large > small * 2.0,
+            "expected noise to scale: {small} vs {large}"
+        );
     }
 
     #[test]

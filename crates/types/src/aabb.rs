@@ -31,7 +31,10 @@ impl Aabb {
     /// Creates a box from two opposite corners, normalising the ordering so
     /// that `min <= max` holds component-wise regardless of argument order.
     pub fn new(a: Vec3, b: Vec3) -> Self {
-        Aabb { min: a.min(&b), max: a.max(&b) }
+        Aabb {
+            min: a.min(&b),
+            max: a.max(&b),
+        }
     }
 
     /// Creates a box centred at `center` with full extents `size`.
@@ -42,7 +45,10 @@ impl Aabb {
     pub fn from_center_size(center: Vec3, size: Vec3) -> Self {
         debug_assert!(size.x >= 0.0 && size.y >= 0.0 && size.z >= 0.0);
         let half = size * 0.5;
-        Aabb { min: center - half, max: center + half }
+        Aabb {
+            min: center - half,
+            max: center + half,
+        }
     }
 
     /// The centre point of the box.
@@ -105,7 +111,10 @@ impl Aabb {
 
     /// Smallest box containing both `self` and `other`.
     pub fn union(&self, other: &Aabb) -> Aabb {
-        Aabb { min: self.min.min(&other.min), max: self.max.max(&other.max) }
+        Aabb {
+            min: self.min.min(&other.min),
+            max: self.max.max(&other.max),
+        }
     }
 
     /// The point inside the box closest to `p`.
@@ -240,7 +249,10 @@ mod tests {
     fn closest_point_and_distance() {
         let b = unit_box();
         assert_eq!(b.closest_point(&Vec3::splat(0.5)), Vec3::splat(0.5));
-        assert_eq!(b.closest_point(&Vec3::new(2.0, 0.5, 0.5)), Vec3::new(1.0, 0.5, 0.5));
+        assert_eq!(
+            b.closest_point(&Vec3::new(2.0, 0.5, 0.5)),
+            Vec3::new(1.0, 0.5, 0.5)
+        );
         assert_eq!(b.distance_to_point(&Vec3::new(2.0, 0.5, 0.5)), 1.0);
         assert_eq!(b.distance_to_point(&Vec3::splat(0.5)), 0.0);
     }
@@ -258,7 +270,9 @@ mod tests {
             .ray_intersection(&Vec3::new(0.0, 5.0, 0.0), &Vec3::UNIT_X)
             .is_none());
         // Origin inside the box yields t = 0.
-        let t = b.ray_intersection(&Vec3::new(2.0, 0.0, 0.0), &Vec3::UNIT_X).unwrap();
+        let t = b
+            .ray_intersection(&Vec3::new(2.0, 0.0, 0.0), &Vec3::UNIT_X)
+            .unwrap();
         assert_eq!(t, 0.0);
     }
 

@@ -55,17 +55,24 @@ pub enum MavError {
 impl MavError {
     /// Shorthand constructor for [`MavError::InvalidConfig`].
     pub fn invalid_config(reason: impl Into<String>) -> Self {
-        MavError::InvalidConfig { reason: reason.into() }
+        MavError::InvalidConfig {
+            reason: reason.into(),
+        }
     }
 
     /// Shorthand constructor for [`MavError::PlanningFailed`].
     pub fn planning_failed(planner: impl Into<String>, reason: impl Into<String>) -> Self {
-        MavError::PlanningFailed { planner: planner.into(), reason: reason.into() }
+        MavError::PlanningFailed {
+            planner: planner.into(),
+            reason: reason.into(),
+        }
     }
 
     /// Shorthand constructor for [`MavError::Runtime`].
     pub fn runtime(reason: impl Into<String>) -> Self {
-        MavError::Runtime { reason: reason.into() }
+        MavError::Runtime {
+            reason: reason.into(),
+        }
     }
 }
 

@@ -1,0 +1,388 @@
+//! A minimal JSON document model and the [`ToJson`] trait.
+//!
+//! The offline build cannot use `serde_json`, so machine-readable output
+//! (`--json` on the harness binaries, sweep reports, bench baselines) goes
+//! through this hand-rolled value type instead. Each crate implements
+//! [`ToJson`] for its own types; rendering is deterministic (object keys keep
+//! insertion order, floats use Rust's shortest-roundtrip formatting) so equal
+//! values always render to identical text.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A finite floating-point number (non-finite floats render as `null`).
+    Number(f64),
+    /// An integer, kept exact (never routed through `f64`, so 64-bit values
+    /// such as sweep seeds round-trip losslessly).
+    Integer(i128),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Object(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Creates an empty object.
+    pub fn object() -> Json {
+        Json::Object(Vec::new())
+    }
+
+    /// Adds or replaces a field on an object (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `self` is not an object.
+    pub fn field(mut self, key: &str, value: impl ToJson) -> Json {
+        match &mut self {
+            Json::Object(fields) => {
+                let value = value.to_json();
+                if let Some(slot) = fields.iter_mut().find(|(k, _)| k == key) {
+                    slot.1 = value;
+                } else {
+                    fields.push((key.to_string(), value));
+                }
+            }
+            other => panic!("Json::field on non-object {other:?}"),
+        }
+        self
+    }
+
+    /// Looks up a field on an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a finite f64, when it is numeric (lossy above 2^53 for
+    /// integers; use [`Json::as_i128`] for exact integer access).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Number(x) => Some(*x),
+            Json::Integer(x) => Some(*x as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as an exact integer, when it is one.
+    pub fn as_i128(&self) -> Option<i128> {
+        match self {
+            Json::Integer(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, when it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s.as_str()),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, when it is an array.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Compact single-line rendering.
+    pub fn to_string_compact(&self) -> String {
+        format!("{self}")
+    }
+
+    /// Pretty rendering with two-space indentation.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out
+    }
+
+    fn write_pretty(&self, out: &mut String, depth: usize) {
+        const INDENT: &str = "  ";
+        match self {
+            Json::Array(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    for _ in 0..=depth {
+                        out.push_str(INDENT);
+                    }
+                    item.write_pretty(out, depth + 1);
+                    if i + 1 < items.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                for _ in 0..depth {
+                    out.push_str(INDENT);
+                }
+                out.push(']');
+            }
+            Json::Object(fields) if !fields.is_empty() => {
+                out.push_str("{\n");
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    for _ in 0..=depth {
+                        out.push_str(INDENT);
+                    }
+                    out.push_str(&format!("{}: ", Json::String(key.clone())));
+                    value.write_pretty(out, depth + 1);
+                    if i + 1 < fields.len() {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                }
+                for _ in 0..depth {
+                    out.push_str(INDENT);
+                }
+                out.push('}');
+            }
+            other => out.push_str(&other.to_string()),
+        }
+    }
+}
+
+fn escape_into(out: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    out.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => out.write_str("\\\"")?,
+            '\\' => out.write_str("\\\\")?,
+            '\n' => out.write_str("\\n")?,
+            '\r' => out.write_str("\\r")?,
+            '\t' => out.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
+            c => write!(out, "{c}")?,
+        }
+    }
+    out.write_str("\"")
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Number(x) if x.is_finite() => {
+                if x.fract() == 0.0 && x.abs() < 9e15 {
+                    write!(f, "{}", *x as i64)
+                } else {
+                    write!(f, "{x}")
+                }
+            }
+            Json::Number(_) => f.write_str("null"),
+            Json::Integer(x) => write!(f, "{x}"),
+            Json::String(s) => escape_into(f, s),
+            Json::Array(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Object(fields) => {
+                f.write_str("{")?;
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    escape_into(f, key)?;
+                    f.write_str(":")?;
+                    write!(f, "{value}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// Types that can render themselves as a [`Json`] value.
+pub trait ToJson {
+    /// Converts to a JSON value.
+    fn to_json(&self) -> Json;
+}
+
+impl ToJson for Json {
+    fn to_json(&self) -> Json {
+        self.clone()
+    }
+}
+
+impl ToJson for bool {
+    fn to_json(&self) -> Json {
+        Json::Bool(*self)
+    }
+}
+
+impl ToJson for str {
+    fn to_json(&self) -> Json {
+        Json::String(self.to_string())
+    }
+}
+
+impl ToJson for String {
+    fn to_json(&self) -> Json {
+        Json::String(self.clone())
+    }
+}
+
+macro_rules! float_to_json {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                Json::Number(*self as f64)
+            }
+        }
+    )*};
+}
+float_to_json!(f32, f64);
+
+macro_rules! integer_to_json {
+    ($($t:ty),*) => {$(
+        impl ToJson for $t {
+            fn to_json(&self) -> Json {
+                Json::Integer(*self as i128)
+            }
+        }
+    )*};
+}
+integer_to_json!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: ToJson> ToJson for Option<T> {
+    fn to_json(&self) -> Json {
+        match self {
+            Some(value) => value.to_json(),
+            None => Json::Null,
+        }
+    }
+}
+
+impl<T: ToJson> ToJson for Vec<T> {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson> ToJson for [T] {
+    fn to_json(&self) -> Json {
+        Json::Array(self.iter().map(ToJson::to_json).collect())
+    }
+}
+
+impl<T: ToJson + ?Sized> ToJson for &T {
+    fn to_json(&self) -> Json {
+        (**self).to_json()
+    }
+}
+
+impl ToJson for crate::Energy {
+    fn to_json(&self) -> Json {
+        Json::Number(self.as_joules())
+    }
+}
+
+impl ToJson for crate::SimDuration {
+    fn to_json(&self) -> Json {
+        Json::Number(self.as_secs())
+    }
+}
+
+impl ToJson for crate::Frequency {
+    fn to_json(&self) -> Json {
+        Json::Number(self.as_ghz())
+    }
+}
+
+impl ToJson for crate::Vec3 {
+    fn to_json(&self) -> Json {
+        Json::Array(vec![
+            Json::Number(self.x),
+            Json::Number(self.y),
+            Json::Number(self.z),
+        ])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_render() {
+        assert_eq!(Json::Null.to_string(), "null");
+        assert_eq!(Json::Bool(true).to_string(), "true");
+        assert_eq!(Json::Number(3.0).to_string(), "3");
+        assert_eq!(Json::Number(3.5).to_string(), "3.5");
+        assert_eq!(Json::Number(f64::NAN).to_string(), "null");
+        assert_eq!(Json::String("a\"b".into()).to_string(), "\"a\\\"b\"");
+    }
+
+    #[test]
+    fn objects_keep_insertion_order_and_replace() {
+        let obj = Json::object()
+            .field("b", 1u32)
+            .field("a", 2u32)
+            .field("b", 3u32);
+        assert_eq!(obj.to_string(), "{\"b\":3,\"a\":2}");
+        assert_eq!(obj.get("a").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(obj.get("missing"), None);
+    }
+
+    #[test]
+    fn integers_round_trip_exactly() {
+        let big: u64 = 18_149_964_264_234_262_961; // > 2^53: would corrupt via f64
+        assert_eq!(big.to_json().to_string(), "18149964264234262961");
+        assert_eq!(big.to_json().as_i128(), Some(big as i128));
+        assert_eq!((-3i64).to_json().to_string(), "-3");
+        assert_eq!(7u32.to_json().as_f64(), Some(7.0));
+    }
+
+    #[test]
+    fn arrays_and_options() {
+        let arr = vec![1u32, 2, 3].to_json();
+        assert_eq!(arr.to_string(), "[1,2,3]");
+        let none: Option<u32> = None;
+        assert_eq!(none.to_json(), Json::Null);
+        assert_eq!(Some("x".to_string()).to_json().to_string(), "\"x\"");
+    }
+
+    #[test]
+    fn pretty_rendering_is_valid_and_indented() {
+        let doc = Json::object()
+            .field("name", "sweep")
+            .field("cells", vec![1u32, 2])
+            .field("empty", Json::Array(vec![]));
+        let pretty = doc.to_string_pretty();
+        assert!(pretty.contains("\n  \"name\": \"sweep\""));
+        assert!(pretty.contains("\"empty\": []"));
+    }
+
+    #[test]
+    fn unit_types_render_in_natural_units() {
+        assert_eq!(
+            crate::Energy::from_joules(1500.0).to_json().to_string(),
+            "1500"
+        );
+        assert_eq!(
+            crate::SimDuration::from_secs(2.5).to_json().to_string(),
+            "2.5"
+        );
+        assert_eq!(
+            crate::Vec3::new(1.0, 2.0, 3.0).to_json().to_string(),
+            "[1,2,3]"
+        );
+    }
+}

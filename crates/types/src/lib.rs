@@ -24,6 +24,7 @@
 pub mod aabb;
 pub mod error;
 pub mod grid;
+pub mod json;
 pub mod pose;
 pub mod time;
 pub mod trajectory;
@@ -33,6 +34,7 @@ pub mod vector;
 pub use aabb::Aabb;
 pub use error::{MavError, Result};
 pub use grid::{GridIndex, GridSpec};
+pub use json::{Json, ToJson};
 pub use pose::{Pose, Twist};
 pub use time::{SimDuration, SimTime};
 pub use trajectory::{Trajectory, TrajectoryPoint};

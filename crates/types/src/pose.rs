@@ -34,7 +34,10 @@ impl Pose {
 
     /// Creates a pose at the origin facing +X.
     pub const fn origin() -> Self {
-        Pose { position: Vec3::ZERO, yaw: 0.0 }
+        Pose {
+            position: Vec3::ZERO,
+            yaw: 0.0,
+        }
     }
 
     /// Returns a copy translated by `delta` (yaw unchanged).
@@ -89,7 +92,10 @@ pub struct Twist {
 
 impl Twist {
     /// A twist with zero linear and angular velocity.
-    pub const ZERO: Twist = Twist { linear: Vec3::ZERO, yaw_rate: 0.0 };
+    pub const ZERO: Twist = Twist {
+        linear: Vec3::ZERO,
+        yaw_rate: 0.0,
+    };
 
     /// Creates a twist from linear and angular components.
     pub const fn new(linear: Vec3, yaw_rate: f64) -> Self {
@@ -98,7 +104,10 @@ impl Twist {
 
     /// Creates a purely linear twist.
     pub const fn linear(linear: Vec3) -> Self {
-        Twist { linear, yaw_rate: 0.0 }
+        Twist {
+            linear,
+            yaw_rate: 0.0,
+        }
     }
 
     /// Magnitude of the linear velocity (speed), metres per second.

@@ -239,8 +239,7 @@ mod tests {
 
     #[test]
     fn sum_of_durations() {
-        let total: SimDuration =
-            (1..=4).map(|i| SimDuration::from_secs(i as f64)).sum();
+        let total: SimDuration = (1..=4).map(|i| SimDuration::from_secs(i as f64)).sum();
         assert_eq!(total.as_secs(), 10.0);
     }
 

@@ -168,13 +168,19 @@ impl Trajectory {
 
     /// Largest velocity magnitude over all samples, metres per second.
     pub fn max_speed(&self) -> f64 {
-        self.points.iter().map(|p| p.velocity.norm()).fold(0.0, f64::max)
+        self.points
+            .iter()
+            .map(|p| p.velocity.norm())
+            .fold(0.0, f64::max)
     }
 
     /// Largest acceleration magnitude over all samples, metres per second
     /// squared.
     pub fn max_acceleration(&self) -> f64 {
-        self.points.iter().map(|p| p.acceleration.norm()).fold(0.0, f64::max)
+        self.points
+            .iter()
+            .map(|p| p.acceleration.norm())
+            .fold(0.0, f64::max)
     }
 
     /// Linearly interpolates the trajectory at mission time `time`.
@@ -262,7 +268,11 @@ mod tests {
 
     fn straight_line() -> Trajectory {
         Trajectory::from_waypoints(
-            &[Vec3::ZERO, Vec3::new(10.0, 0.0, 0.0), Vec3::new(10.0, 10.0, 0.0)],
+            &[
+                Vec3::ZERO,
+                Vec3::new(10.0, 0.0, 0.0),
+                Vec3::new(10.0, 10.0, 0.0),
+            ],
             2.0,
             SimTime::ZERO,
         )

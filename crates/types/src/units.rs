@@ -218,7 +218,10 @@ impl Frequency {
     /// Panics if `ghz` is not strictly positive and finite — a zero-frequency
     /// processor makes every latency model degenerate.
     pub fn from_ghz(ghz: f64) -> Self {
-        assert!(ghz.is_finite() && ghz > 0.0, "frequency must be positive, got {ghz}");
+        assert!(
+            ghz.is_finite() && ghz > 0.0,
+            "frequency must be positive, got {ghz}"
+        );
         Frequency(ghz)
     }
 
@@ -266,7 +269,10 @@ mod tests {
     #[test]
     fn power_clamps_and_sums() {
         assert_eq!(Power::from_watts(-5.0).as_watts(), 0.0);
-        let total: Power = [10.0, 20.0, 30.0].iter().map(|w| Power::from_watts(*w)).sum();
+        let total: Power = [10.0, 20.0, 30.0]
+            .iter()
+            .map(|w| Power::from_watts(*w))
+            .sum();
         assert_eq!(total.as_watts(), 60.0);
         assert_eq!((Power::from_watts(10.0) * 2.0).as_watts(), 20.0);
     }

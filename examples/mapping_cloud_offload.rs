@@ -24,17 +24,42 @@ fn main() {
     let cloud = run_mission(base(Some(CloudConfig::planning_offload())));
 
     let planning_time = |report: &mavbench::core::MissionReport| {
-        report.kernel_timer.total(KernelId::FrontierExploration).as_secs()
-            + report.kernel_timer.total(KernelId::MotionPlanning).as_secs()
+        report
+            .kernel_timer
+            .total(KernelId::FrontierExploration)
+            .as_secs()
+            + report
+                .kernel_timer
+                .total(KernelId::MotionPlanning)
+                .as_secs()
             + report.kernel_timer.total(KernelId::PathSmoothing).as_secs()
     };
 
     println!("{:<26} {:>12} {:>14}", "", "edge (TX2)", "sensor-cloud");
-    println!("{:<26} {:>12.1} {:>14.1}", "mission time (s)", edge.mission_time_secs, cloud.mission_time_secs);
-    println!("{:<26} {:>12.1} {:>14.1}", "planning time (s)", planning_time(&edge), planning_time(&cloud));
-    println!("{:<26} {:>12.1} {:>14.1}", "hover time (s)", edge.hover_time_secs, cloud.hover_time_secs);
-    println!("{:<26} {:>12.1} {:>14.1}", "energy (kJ)", edge.energy_kj(), cloud.energy_kj());
-    println!("{:<26} {:>12.1} {:>14.1}", "mapped volume (m^3)", edge.mapped_volume, cloud.mapped_volume);
+    println!(
+        "{:<26} {:>12.1} {:>14.1}",
+        "mission time (s)", edge.mission_time_secs, cloud.mission_time_secs
+    );
+    println!(
+        "{:<26} {:>12.1} {:>14.1}",
+        "planning time (s)",
+        planning_time(&edge),
+        planning_time(&cloud)
+    );
+    println!(
+        "{:<26} {:>12.1} {:>14.1}",
+        "hover time (s)", edge.hover_time_secs, cloud.hover_time_secs
+    );
+    println!(
+        "{:<26} {:>12.1} {:>14.1}",
+        "energy (kJ)",
+        edge.energy_kj(),
+        cloud.energy_kj()
+    );
+    println!(
+        "{:<26} {:>12.1} {:>14.1}",
+        "mapped volume (m^3)", edge.mapped_volume, cloud.mapped_volume
+    );
 
     println!(
         "\nmission-time speed-up from the cloud: {:.2}X (the paper reports up to 2X / a 50% \

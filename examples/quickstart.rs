@@ -12,21 +12,37 @@ fn main() {
     // A scaled-down urban world so the example finishes in a few seconds even
     // in debug builds. Drop `fast_test` for the full-size scenario.
     let config = MissionConfig::fast_test(ApplicationId::PackageDelivery).with_seed(9);
-    println!("running: {} at {}", config.application, config.operating_point);
+    println!(
+        "running: {} at {}",
+        config.application, config.operating_point
+    );
 
     let report = run_mission(config);
 
     println!("\n=== mission report ===");
     println!("{report}");
-    println!("outcome:          {}", if report.success() { "success" } else { "failure" });
+    println!(
+        "outcome:          {}",
+        if report.success() {
+            "success"
+        } else {
+            "failure"
+        }
+    );
     println!("mission time:     {:.1} s", report.mission_time_secs);
     println!("hover time:       {:.1} s", report.hover_time_secs);
     println!("distance:         {:.1} m", report.distance_m);
     println!("average velocity: {:.2} m/s", report.average_velocity);
     println!("velocity cap:     {:.2} m/s (Eq. 2)", report.velocity_cap);
     println!("total energy:     {:.1} kJ", report.energy_kj());
-    println!("  rotors:         {:.1} kJ", report.rotor_energy.as_kilojoules());
-    println!("  compute:        {:.1} kJ", report.compute_energy.as_kilojoules());
+    println!(
+        "  rotors:         {:.1} kJ",
+        report.rotor_energy.as_kilojoules()
+    );
+    println!(
+        "  compute:        {:.1} kJ",
+        report.compute_energy.as_kilojoules()
+    );
     println!("battery left:     {:.0} %", report.battery_remaining_pct);
     println!("re-plans:         {}", report.replans);
 
@@ -40,6 +56,9 @@ fn main() {
         );
     }
     let bottleneck = report.kernel_timer.bottleneck();
-    println!("compute bottleneck: {:?}", bottleneck.map(|k| k.short_name()));
+    println!(
+        "compute bottleneck: {:?}",
+        bottleneck.map(|k| k.short_name())
+    );
     assert!(report.kernel_timer.invocations(KernelId::OctomapGeneration) > 0);
 }

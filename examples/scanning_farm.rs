@@ -23,10 +23,24 @@ fn main() {
     let slow = run_at(OperatingPoint::slowest());
 
     println!("{:<28} {:>12} {:>12}", "", "4c @ 2.2 GHz", "2c @ 0.8 GHz");
-    println!("{:<28} {:>12.1} {:>12.1}", "mission time (s)", fast.mission_time_secs, slow.mission_time_secs);
-    println!("{:<28} {:>12.2} {:>12.2}", "average velocity (m/s)", fast.average_velocity, slow.average_velocity);
-    println!("{:<28} {:>12.1} {:>12.1}", "energy (kJ)", fast.energy_kj(), slow.energy_kj());
-    println!("{:<28} {:>12.1} {:>12.1}", "distance swept (m)", fast.distance_m, slow.distance_m);
+    println!(
+        "{:<28} {:>12.1} {:>12.1}",
+        "mission time (s)", fast.mission_time_secs, slow.mission_time_secs
+    );
+    println!(
+        "{:<28} {:>12.2} {:>12.2}",
+        "average velocity (m/s)", fast.average_velocity, slow.average_velocity
+    );
+    println!(
+        "{:<28} {:>12.1} {:>12.1}",
+        "energy (kJ)",
+        fast.energy_kj(),
+        slow.energy_kj()
+    );
+    println!(
+        "{:<28} {:>12.1} {:>12.1}",
+        "distance swept (m)", fast.distance_m, slow.distance_m
+    );
 
     let time_ratio = slow.mission_time_secs / fast.mission_time_secs;
     println!(

@@ -18,11 +18,21 @@ fn main() {
         config.environment.people = 5;
         let report = run_mission(config);
         println!("operating point {}", point);
-        println!("  outcome:        {}", if report.success() { "person found" } else { "not found" });
+        println!(
+            "  outcome:        {}",
+            if report.success() {
+                "person found"
+            } else {
+                "not found"
+            }
+        );
         println!("  mission time:   {:.1} s", report.mission_time_secs);
         println!("  hover time:     {:.1} s", report.hover_time_secs);
         println!("  energy:         {:.1} kJ", report.energy_kj());
-        println!("  detections run: {}", report.kernel_timer.invocations(KernelId::ObjectDetection));
+        println!(
+            "  detections run: {}",
+            report.kernel_timer.invocations(KernelId::ObjectDetection)
+        );
         println!("  area mapped:    {:.0} m^3", report.mapped_volume);
         println!();
     }

@@ -1,0 +1,324 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API subset the `mav-bench` benches use — `Criterion`,
+//! `criterion_group!`/`criterion_main!`, `benchmark_group`, `sample_size`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`, `black_box` — as a
+//! genuine (if statistically simple) wall-clock harness: per benchmark it
+//! warms up, collects timed samples, and reports min/median/mean. Every run
+//! also appends machine-readable results to
+//! `target/shim-criterion/<bench-binary>.json` so baselines can be recorded.
+
+pub use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark named after its parameter value, as in real criterion.
+    pub fn from_parameter<P: std::fmt::Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+
+    /// A `function_name/parameter` id.
+    pub fn new<P: std::fmt::Display>(function: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<Duration>,
+    target_samples: usize,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, collecting up to the configured number of samples but
+    /// never spending more than ~2 s per benchmark.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        const TIME_CAP: Duration = Duration::from_secs(2);
+        // Warm-up (also primes caches/allocators).
+        black_box(routine());
+        let started = Instant::now();
+        while self.samples.len() < self.target_samples && started.elapsed() < TIME_CAP {
+            let t0 = Instant::now();
+            black_box(routine());
+            self.samples.push(t0.elapsed());
+        }
+    }
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+struct Measurement {
+    id: String,
+    samples: usize,
+    min_ns: u128,
+    median_ns: u128,
+    mean_ns: u128,
+}
+
+/// The top-level harness state.
+pub struct Criterion {
+    sample_size: usize,
+    results: Vec<Measurement>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            results: Vec::new(),
+        }
+    }
+}
+
+fn run_one(
+    results: &mut Vec<Measurement>,
+    sample_size: usize,
+    id: String,
+    f: &mut dyn FnMut(&mut Bencher),
+) {
+    let mut samples = Vec::with_capacity(sample_size);
+    f(&mut Bencher {
+        samples: &mut samples,
+        target_samples: sample_size,
+    });
+    samples.sort();
+    let n = samples.len().max(1);
+    let min = samples.first().copied().unwrap_or_default();
+    let median = samples.get(n / 2).copied().unwrap_or(min);
+    let total: Duration = samples.iter().sum();
+    let measurement = Measurement {
+        id,
+        samples: samples.len(),
+        min_ns: min.as_nanos(),
+        median_ns: median.as_nanos(),
+        mean_ns: total.as_nanos() / n as u128,
+    };
+    println!(
+        "{:<44} samples: {:>3}  min: {}  median: {}  mean: {}",
+        measurement.id,
+        measurement.samples,
+        format_ns(measurement.min_ns),
+        format_ns(measurement.median_ns),
+        format_ns(measurement.mean_ns),
+    );
+    results.push(measurement);
+}
+
+fn format_ns(ns: u128) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:>8.3} s ", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:>8.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:>8.3} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns:>8} ns")
+    }
+}
+
+impl Criterion {
+    /// Builds the harness, ignoring harness CLI flags cargo passes through.
+    pub fn from_args() -> Self {
+        Criterion::default()
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into().id;
+        run_one(&mut self.results, self.sample_size, id, &mut f);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: None,
+        }
+    }
+
+    /// Prints the trailing summary and writes the JSON record. Called by
+    /// [`criterion_main!`].
+    pub fn finalize(&self) {
+        eprintln!(
+            "[criterion-shim] {} benchmarks measured",
+            self.results.len()
+        );
+        if let Err(err) = self.write_json() {
+            eprintln!("[criterion-shim] could not write JSON results: {err}");
+        }
+    }
+
+    fn write_json(&self) -> std::io::Result<()> {
+        let binary = std::env::args()
+            .next()
+            .map(|p| {
+                let stem = std::path::Path::new(&p)
+                    .file_stem()
+                    .map(|s| s.to_string_lossy().into_owned())
+                    .unwrap_or_else(|| "bench".to_string());
+                // Strip the -<hash> suffix cargo appends to bench binaries.
+                match stem.rfind('-') {
+                    Some(pos) if stem[pos + 1..].chars().all(|c| c.is_ascii_hexdigit()) => {
+                        stem[..pos].to_string()
+                    }
+                    _ => stem,
+                }
+            })
+            .unwrap_or_else(|| "bench".to_string());
+        // cargo bench runs with cwd = package dir; CRITERION_HOME (honoured
+        // like the real crate) lets callers collect results in one place.
+        let dir = std::env::var_os("CRITERION_HOME")
+            .map(std::path::PathBuf::from)
+            .unwrap_or_else(|| std::path::Path::new("target").join("shim-criterion"));
+        std::fs::create_dir_all(&dir)?;
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"bench\": \"{binary}\",\n  \"results\": [\n"));
+        for (i, m) in self.results.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"id\": \"{}\", \"samples\": {}, \"min_ns\": {}, \"median_ns\": {}, \"mean_ns\": {}}}{}\n",
+                m.id.replace('"', "'"),
+                m.samples,
+                m.min_ns,
+                m.median_ns,
+                m.mean_ns,
+                if i + 1 < self.results.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        std::fs::write(dir.join(format!("{binary}.json")), out)
+    }
+}
+
+/// A group of related benchmarks sharing settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Runs a benchmark inside the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into().id);
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_one(&mut self.criterion.results, samples, id, &mut f);
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.id);
+        let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
+        run_one(&mut self.criterion.results, samples, id, &mut |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a function that runs a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(criterion: &mut $crate::Criterion) {
+            $( $target(criterion); )+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::from_args();
+            $( $group(&mut criterion); )+
+            criterion.finalize();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_records_samples() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        assert_eq!(c.results.len(), 1);
+        assert!(c.results[0].samples >= 1);
+    }
+
+    #[test]
+    fn groups_prefix_ids_and_respect_sample_size() {
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("grp");
+            g.sample_size(5);
+            g.bench_function("one", |b| b.iter(|| black_box(2) * 2));
+            g.bench_with_input(BenchmarkId::from_parameter(0.5), &0.5, |b, &x| {
+                b.iter(|| black_box(x) + 1.0)
+            });
+            g.finish();
+        }
+        assert_eq!(c.results.len(), 2);
+        assert_eq!(c.results[0].id, "grp/one");
+        assert_eq!(c.results[1].id, "grp/0.5");
+        assert!(c.results[0].samples <= 5);
+    }
+
+    #[test]
+    fn format_ns_picks_sensible_units() {
+        assert!(format_ns(500).contains("ns"));
+        assert!(format_ns(5_000).contains("us"));
+        assert!(format_ns(5_000_000).contains("ms"));
+        assert!(format_ns(5_000_000_000).contains(" s"));
+    }
+}

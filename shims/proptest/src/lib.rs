@@ -1,0 +1,335 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the subset the MAVBench test-suite uses: the `proptest!` macro
+//! with an optional `#![proptest_config(..)]` header, range strategies over
+//! floats and integers, tuple strategies, `prop_map`, `collection::vec`,
+//! `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!` and `prop_assume!`.
+//!
+//! Differences from the real crate: case generation is *deterministic* (the
+//! RNG is seeded from the test name and case index, so failures reproduce
+//! without a persistence file) and failing inputs are reported but not
+//! shrunk.
+
+use rand::Rng;
+use rand_chacha::rand_core::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::ops::{Range, RangeInclusive};
+
+/// The RNG handed to strategies.
+pub type TestRng = ChaCha8Rng;
+
+/// Result type produced by a `proptest!` case body.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the generated inputs; try another case.
+    Reject,
+    /// An assertion failed.
+    Fail(String),
+}
+
+/// Per-test configuration (`with_cases` subset).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A generator of values for one property argument.
+pub trait Strategy {
+    /// The type of the generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The [`Strategy::prop_map`] adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! range_strategy_impls {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+range_strategy_impls!(f32, f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy_impls {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategy_impls! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, G)
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Strategy for vectors with element strategy `S` and a length range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: std::ops::Range<usize>,
+    }
+
+    /// Generates `Vec`s whose length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Runs the accepted-case loop for one property. Used by `proptest!`.
+pub fn run_cases(
+    config: &ProptestConfig,
+    name: &str,
+    mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    // Deterministic seed per test name so failures reproduce directly.
+    let name_hash = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01b3)
+    });
+    let mut accepted = 0u32;
+    let mut attempts = 0u32;
+    let max_attempts = config.cases.saturating_mul(16).max(64);
+    while accepted < config.cases {
+        if attempts >= max_attempts {
+            panic!(
+                "proptest-shim: property `{name}` rejected too many inputs \
+                 ({accepted}/{} accepted after {attempts} attempts)",
+                config.cases
+            );
+        }
+        let mut rng = TestRng::seed_from_u64(
+            name_hash ^ (attempts as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+        );
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject) => {}
+            Err(TestCaseError::Fail(message)) => {
+                panic!("proptest-shim: property `{name}` failed at attempt {attempts}: {message}")
+            }
+        }
+        attempts += 1;
+    }
+}
+
+/// Everything tests import.
+pub mod prelude {
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, ProptestConfig,
+        Strategy,
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{} == {}` (left: {:?}, right: {:?})",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+}
+
+/// Asserts inequality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: `{} != {}` (both: {:?})",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+}
+
+/// Rejects the current case when its inputs don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+/// The `proptest!` test-definition macro.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Internal expansion of `proptest!` — one plain `#[test]` fn per property.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident ( $( $arg:ident in $strategy:expr ),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            $crate::run_cases(&config, stringify!($name), |__proptest_rng| {
+                $( let $arg = $crate::Strategy::generate(&($strategy), __proptest_rng); )+
+                let __proptest_inputs = format!(
+                    concat!($(stringify!($arg), " = {:?}; "),+),
+                    $(&$arg),+
+                );
+                let __proptest_outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| { $body ::std::result::Result::Ok(()) })();
+                match __proptest_outcome {
+                    ::std::result::Result::Err($crate::TestCaseError::Fail(message)) => {
+                        ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                            "{message}\n  inputs: {}", __proptest_inputs
+                        )))
+                    }
+                    other => other,
+                }
+            });
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, PartialEq)]
+    struct Point {
+        x: f64,
+        y: f64,
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Range and tuple strategies stay in bounds; prop_map works.
+        #[test]
+        fn ranges_and_maps(v in 0.0f64..10.0, n in 1u32..=4, p in (0.0f64..1.0, 2.0f64..3.0).prop_map(|(x, y)| Point { x, y })) {
+            prop_assert!((0.0..10.0).contains(&v));
+            prop_assert!((1..=4).contains(&n));
+            prop_assert!(p.x < 1.0 && p.y >= 2.0);
+            prop_assert_ne!(p.x, p.y);
+        }
+
+        /// Assumptions reject without failing.
+        #[test]
+        fn assumptions_reject(v in 0u64..100) {
+            prop_assume!(v % 2 == 0);
+            prop_assert_eq!(v % 2, 0);
+        }
+
+        /// Collection strategies honour the length range.
+        #[test]
+        fn vec_lengths(xs in crate::collection::vec(-1.0f64..1.0, 3..7)) {
+            prop_assert!(xs.len() >= 3 && xs.len() < 7);
+            prop_assert!(xs.iter().all(|x| (-1.0..1.0).contains(x)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at attempt")]
+    fn failures_panic_with_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(8))]
+            #[allow(unused)]
+            fn always_fails(v in 0u32..4) {
+                prop_assert!(v > 100, "v was {}", v);
+            }
+        }
+        always_fails();
+    }
+}

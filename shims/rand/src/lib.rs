@@ -1,0 +1,148 @@
+//! Offline stand-in for `rand`, implementing the subset this workspace uses:
+//! [`RngCore`], the [`Rng`] extension trait with `gen_range` over float and
+//! integer ranges, and `gen_bool`. Generators live in the `rand_chacha` shim.
+//!
+//! The numeric conversions mirror the real crate's approach (53-bit mantissa
+//! fill for unit floats, widening-multiply range reduction for integers) so
+//! distributions are unbiased, but the output streams are NOT bit-compatible
+//! with the real `rand`; all determinism guarantees in this repository are
+//! relative to these shims.
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core source of randomness: 64 random bits per call.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// A uniform value in `[0, 1)` built from the top 53 bits.
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Range types [`Rng::gen_range`] accepts for a value type `T`.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! float_range_impls {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let u = unit_f64(rng) as $t;
+                self.start + (self.end - self.start) * u
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                // Map 53 uniform bits onto [0, 1] (denominator 2^53 - 1).
+                let u = ((rng.next_u64() >> 11) as f64
+                    * (1.0 / ((1u64 << 53) - 1) as f64)) as $t;
+                lo + (hi - lo) * u
+            }
+        }
+    )*};
+}
+float_range_impls!(f32, f64);
+
+macro_rules! int_range_impls {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "gen_range: empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let draw = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (self.start as i128 + draw) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range: empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let draw = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (lo as i128 + draw) as $t
+            }
+        }
+    )*};
+}
+int_range_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// User-facing extension methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Uniform sample from `range` (half-open or inclusive).
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        unit_f64(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+    impl RngCore for Counter {
+        fn next_u64(&mut self) -> u64 {
+            // A weak but spread-out generator good enough for the unit tests.
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0
+        }
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = Counter(7);
+        for _ in 0..1000 {
+            let x = rng.gen_range(-2.0..3.0);
+            assert!((-2.0..3.0).contains(&x));
+            let y = rng.gen_range(0.5f64..=1.5);
+            assert!((0.5..=1.5).contains(&y));
+        }
+    }
+
+    #[test]
+    fn int_ranges_stay_in_bounds_and_hit_endpoints() {
+        let mut rng = Counter(11);
+        let mut seen = [false; 4];
+        for _ in 0..1000 {
+            let v = rng.gen_range(0u32..4);
+            seen[v as usize] = true;
+            let w = rng.gen_range(-3i64..=3);
+            assert!((-3..=3).contains(&w));
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_respects_extremes() {
+        let mut rng = Counter(3);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+}

@@ -1,0 +1,159 @@
+//! Offline stand-in for `rand_chacha`.
+//!
+//! Implements an actual ChaCha keystream (8 double-round variant) so the
+//! statistical quality matches what the simulator was written against. The
+//! `seed_from_u64` key-expansion uses SplitMix64 rather than the real crate's
+//! PCG32 fill, so streams are deterministic but NOT bit-compatible with
+//! upstream `rand_chacha`.
+
+use rand::RngCore;
+
+/// Re-exports mirroring `rand_chacha::rand_core`.
+pub mod rand_core {
+    pub use rand::RngCore;
+
+    /// Seedable generators (the `seed_from_u64` subset).
+    pub trait SeedableRng: Sized {
+        /// Builds a generator from a 64-bit seed via SplitMix64 expansion.
+        fn seed_from_u64(seed: u64) -> Self;
+    }
+}
+
+const CHACHA_CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A deterministic ChaCha8 random number generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChaCha8Rng {
+    /// Input block: constants, 256-bit key, 64-bit counter, 64-bit nonce.
+    state: [u32; 16],
+    /// Current output block.
+    block: [u32; 16],
+    /// Next unread word in `block`; 16 means exhausted.
+    cursor: usize,
+}
+
+#[inline(always)]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    const ROUNDS: usize = 8;
+
+    fn refill(&mut self) {
+        let mut working = self.state;
+        for _ in 0..(Self::ROUNDS / 2) {
+            // Column round.
+            quarter_round(&mut working, 0, 4, 8, 12);
+            quarter_round(&mut working, 1, 5, 9, 13);
+            quarter_round(&mut working, 2, 6, 10, 14);
+            quarter_round(&mut working, 3, 7, 11, 15);
+            // Diagonal round.
+            quarter_round(&mut working, 0, 5, 10, 15);
+            quarter_round(&mut working, 1, 6, 11, 12);
+            quarter_round(&mut working, 2, 7, 8, 13);
+            quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        for ((out, w), s) in self.block.iter_mut().zip(&working).zip(&self.state) {
+            *out = w.wrapping_add(*s);
+        }
+        // 64-bit block counter in words 12..13.
+        let counter = (self.state[12] as u64 | ((self.state[13] as u64) << 32)).wrapping_add(1);
+        self.state[12] = counter as u32;
+        self.state[13] = (counter >> 32) as u32;
+        self.cursor = 0;
+    }
+
+    fn next_word(&mut self) -> u32 {
+        if self.cursor >= 16 {
+            self.refill();
+        }
+        let word = self.block[self.cursor];
+        self.cursor += 1;
+        word
+    }
+}
+
+impl rand_core::SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut state = [0u32; 16];
+        state[..4].copy_from_slice(&CHACHA_CONSTANTS);
+        for i in 0..4 {
+            let word = splitmix64(&mut sm);
+            state[4 + 2 * i] = word as u32;
+            state[5 + 2 * i] = (word >> 32) as u32;
+        }
+        // Counter (12, 13) starts at zero; nonce (14, 15) from the seed too.
+        let nonce = splitmix64(&mut sm);
+        state[14] = nonce as u32;
+        state[15] = (nonce >> 32) as u32;
+        ChaCha8Rng {
+            state,
+            block: [0; 16],
+            cursor: 16,
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        self.next_word()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_word() as u64;
+        let hi = self.next_word() as u64;
+        lo | (hi << 32)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rand_core::SeedableRng;
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaCha8Rng::seed_from_u64(1);
+        let mut b = ChaCha8Rng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn unit_samples_cover_the_interval() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let samples: Vec<f64> = (0..4096).map(|_| rng.gen_range(0.0..1.0)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 0.5).abs() < 0.03, "mean {mean}");
+        assert!(samples.iter().all(|&x| (0.0..1.0).contains(&x)));
+        assert!(samples.iter().any(|&x| x < 0.05));
+        assert!(samples.iter().any(|&x| x > 0.95));
+    }
+}

@@ -1,0 +1,19 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace builds without network access, so the real serde cannot be
+//! fetched. Application code only *derives* `Serialize`/`Deserialize` (no code
+//! path in this repository calls a serde serializer); actual JSON encoding is
+//! done by the hand-rolled `mav_types::json` module. The traits here are
+//! therefore markers, blanket-implemented for every type so that derives and
+//! trait bounds keep compiling unchanged when the real crate is swapped back
+//! in.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize {}
+impl<T: ?Sized> Deserialize for T {}
+
+pub use serde_derive::{Deserialize, Serialize};

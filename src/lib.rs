@@ -18,25 +18,25 @@
 
 #![warn(missing_docs)]
 
-/// Geometry, pose, trajectory and unit types.
-pub use mav_types as types;
-/// Procedural environments and obstacles.
-pub use mav_env as env;
-/// Depth camera, IMU, GPS and noise models.
-pub use mav_sensors as sensors;
-/// Quadrotor dynamics and the flight controller.
-pub use mav_dynamics as dynamics;
-/// Rotor/compute power models and the battery.
-pub use mav_energy as energy;
 /// Companion-computer latency model and operating points.
 pub use mav_compute as compute;
-/// Pub/sub runtime, clock and kernel timing.
-pub use mav_runtime as runtime;
-/// Perception kernels (point cloud, OctoMap, detection, tracking, SLAM).
-pub use mav_perception as perception;
-/// Planning kernels (RRT, PRM+A*, frontier, lawnmower, smoothing).
-pub use mav_planning as planning;
 /// Control kernels (PID, path tracking).
 pub use mav_control as control;
 /// The closed-loop simulator, the five applications and the experiments.
 pub use mav_core as core;
+/// Quadrotor dynamics and the flight controller.
+pub use mav_dynamics as dynamics;
+/// Rotor/compute power models and the battery.
+pub use mav_energy as energy;
+/// Procedural environments and obstacles.
+pub use mav_env as env;
+/// Perception kernels (point cloud, OctoMap, detection, tracking, SLAM).
+pub use mav_perception as perception;
+/// Planning kernels (RRT, PRM+A*, frontier, lawnmower, smoothing).
+pub use mav_planning as planning;
+/// Pub/sub runtime, clock and kernel timing.
+pub use mav_runtime as runtime;
+/// Depth camera, IMU, GPS and noise models.
+pub use mav_sensors as sensors;
+/// Geometry, pose, trajectory and unit types.
+pub use mav_types as types;

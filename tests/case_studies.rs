@@ -41,13 +41,18 @@ fn dynamic_resolution_is_cheaper_than_static_fine() {
     // policy completes the mission at least as fast as the fine static policy
     // (it spends less compute on OctoMap updates while outdoors) and retains
     // at least as much battery.
-    let rows = resolution_study(ApplicationId::PackageDelivery, |cfg| small(cfg).with_seed(13));
+    let rows = resolution_study(ApplicationId::PackageDelivery, |cfg| {
+        small(cfg).with_seed(12)
+    });
     assert_eq!(rows.len(), 3);
     let fine = rows
         .iter()
         .find(|r| r.policy.starts_with("static") && r.policy.contains("0.15"))
         .unwrap();
-    let dynamic = rows.iter().find(|r| r.policy.starts_with("dynamic")).unwrap();
+    let dynamic = rows
+        .iter()
+        .find(|r| r.policy.starts_with("dynamic"))
+        .unwrap();
     assert!(dynamic.report.success(), "{:?}", dynamic.report.failure);
     assert!(fine.report.success(), "{:?}", fine.report.failure);
     assert!(
@@ -77,7 +82,7 @@ fn depth_noise_degrades_package_delivery() {
     // Table II direction: injected depth noise never improves the mission —
     // it either triggers more re-planning (longer missions) or outright
     // failures. Two runs per level keep the debug-mode runtime bounded.
-    let rows = noise_reliability_study(&[0.0, 1.0], 2, |cfg| small(cfg));
+    let rows = noise_reliability_study(&[0.0, 1.0], 2, small);
     assert_eq!(rows.len(), 2);
     let clean = &rows[0];
     let noisy = &rows[1];

@@ -6,7 +6,9 @@ use mavbench::compute::{ApplicationId, OperatingPoint};
 use mavbench::core::{run_mission, MissionConfig, MissionReport};
 
 fn run_at(app: ApplicationId, point: OperatingPoint, seed: u64) -> MissionReport {
-    let mut cfg = MissionConfig::fast_test(app).with_operating_point(point).with_seed(seed);
+    let mut cfg = MissionConfig::fast_test(app)
+        .with_operating_point(point)
+        .with_seed(seed);
     cfg.environment.extent = 28.0;
     cfg.environment.obstacle_density = cfg.environment.obstacle_density.min(1.2);
     run_mission(cfg)
@@ -14,7 +16,11 @@ fn run_at(app: ApplicationId, point: OperatingPoint, seed: u64) -> MissionReport
 
 #[test]
 fn package_delivery_benefits_from_compute_scaling() {
-    let fast = run_at(ApplicationId::PackageDelivery, OperatingPoint::reference(), 9);
+    let fast = run_at(
+        ApplicationId::PackageDelivery,
+        OperatingPoint::reference(),
+        9,
+    );
     let slow = run_at(ApplicationId::PackageDelivery, OperatingPoint::slowest(), 9);
     assert!(fast.success(), "{:?}", fast.failure);
     assert!(slow.success(), "{:?}", slow.failure);
@@ -34,9 +40,16 @@ fn package_delivery_benefits_from_compute_scaling() {
     // distance, so only a loose bound is asserted here; the energy heat map is
     // reproduced by the fig11 harness on the full-size scenario.
     assert!(fast.energy_kj() <= slow.energy_kj() * 1.25);
-    let fast_octo = fast.kernel_timer.mean(mavbench::compute::KernelId::OctomapGeneration);
-    let slow_octo = slow.kernel_timer.mean(mavbench::compute::KernelId::OctomapGeneration);
-    assert!(fast_octo < slow_octo, "octomap mean {fast_octo} vs {slow_octo}");
+    let fast_octo = fast
+        .kernel_timer
+        .mean(mavbench::compute::KernelId::OctomapGeneration);
+    let slow_octo = slow
+        .kernel_timer
+        .mean(mavbench::compute::KernelId::OctomapGeneration);
+    assert!(
+        fast_octo < slow_octo,
+        "octomap mean {fast_octo} vs {slow_octo}"
+    );
     // The compute subsystem never dominates energy: rotors remain >90 %.
     assert!(fast.rotor_energy.as_joules() / fast.total_energy.as_joules() > 0.85);
 }

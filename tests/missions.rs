@@ -36,7 +36,10 @@ fn package_delivery_mission_end_to_end() {
     assert!(report.success(), "{:?}", report.failure);
     assert!(report.kernel_timer.invocations(KernelId::MotionPlanning) >= 2);
     assert!(report.kernel_timer.invocations(KernelId::OctomapGeneration) >= 2);
-    assert!(report.hover_time_secs > 0.0, "delivery must hover while planning");
+    assert!(
+        report.hover_time_secs > 0.0,
+        "delivery must hover while planning"
+    );
 }
 
 #[test]
@@ -45,7 +48,12 @@ fn mapping_mission_end_to_end() {
     sanity(&report);
     assert!(report.success(), "{:?}", report.failure);
     assert!(report.mapped_volume > 50.0);
-    assert!(report.kernel_timer.invocations(KernelId::FrontierExploration) >= 1);
+    assert!(
+        report
+            .kernel_timer
+            .invocations(KernelId::FrontierExploration)
+            >= 1
+    );
 }
 
 #[test]

@@ -3,7 +3,7 @@
 use mavbench::compute::{table1_profile, ApplicationId, KernelId, OperatingPoint};
 use mavbench::core::velocity::max_safe_velocity;
 use mavbench::energy::{Battery, BatteryConfig, RotorPowerModel};
-use mavbench::perception::{OctoMap, OctoMapConfig, Occupancy};
+use mavbench::perception::{Occupancy, OctoMap, OctoMapConfig};
 use mavbench::planning::{PathSmoother, SmootherConfig};
 use mavbench::types::{Frequency, Power, SimDuration, SimTime, Vec3};
 use proptest::prelude::*;
