@@ -1,0 +1,44 @@
+//! Validates harness JSON on stdin: `fig… --json | json_check`.
+//!
+//! CI pipes one `--fast --json` harness binary through this check so a
+//! malformed machine-readable document (a NaN rendered bare, a truncated
+//! object, an unescaped string) fails the build instead of surfacing weeks
+//! later in a figure script. Exits 0 and prints a one-line summary when the
+//! document parses via `mav_types::json`; exits 1 with the parse error
+//! otherwise.
+
+use mav_types::Json;
+use std::io::Read;
+
+fn main() {
+    let mut input = String::new();
+    if let Err(error) = std::io::stdin().read_to_string(&mut input) {
+        eprintln!("json_check: could not read stdin: {error}");
+        std::process::exit(1);
+    }
+    if input.trim().is_empty() {
+        eprintln!("json_check: empty input (did the harness binary run with --json?)");
+        std::process::exit(1);
+    }
+    match Json::parse(&input) {
+        Ok(document) => {
+            let shape = match &document {
+                Json::Object(fields) => format!("object with {} fields", fields.len()),
+                Json::Array(items) => format!("array with {} items", items.len()),
+                other => format!("{other:?}"),
+            };
+            let figure = document
+                .get("figure")
+                .and_then(Json::as_str)
+                .unwrap_or("<unnamed>");
+            println!(
+                "json_check: OK — {} bytes, {shape}, figure `{figure}`",
+                input.len()
+            );
+        }
+        Err(error) => {
+            eprintln!("json_check: {error}");
+            std::process::exit(1);
+        }
+    }
+}

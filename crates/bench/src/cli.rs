@@ -8,6 +8,9 @@
 //!   tables;
 //! * `--threads N` — number of worker threads for mission sweeps
 //!   (default: all cores, `1` reproduces the historical serial behaviour);
+//! * `--rates cam=15,map=4,plan=2,ctrl=50` — per-node closed-loop rates
+//!   (camera fps, OctoMap Hz, replan Hz, control Hz; any subset — omitted
+//!   nodes stay tick-synchronous, i.e. the legacy schedule);
 //! * `--help` — usage.
 //!
 //! A binary is a one-liner: `run_figure(NAME, DESCRIPTION, figures::NAME)`.
@@ -16,11 +19,11 @@
 //! user asked for.
 
 use mav_core::sweep::SweepRunner;
-use mav_core::MissionConfig;
+use mav_core::{MissionConfig, RateConfig};
 use mav_types::Json;
 
 /// Parsed command-line options shared by every harness binary.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Cli {
     /// Run scaled-down scenarios (`--fast`).
     pub fast: bool,
@@ -28,6 +31,9 @@ pub struct Cli {
     pub json: bool,
     /// Worker threads for sweeps; 0 means all cores (`--threads N`).
     pub threads: usize,
+    /// Closed-loop node rates to impose on every mission (`--rates`); `None`
+    /// leaves each figure's configuration (normally the legacy schedule).
+    pub rates: Option<RateConfig>,
 }
 
 /// What a figure builder hands back to the driver.
@@ -72,6 +78,12 @@ impl Cli {
                         CliError::Invalid(format!("invalid thread count `{value}`"))
                     })?;
                 }
+                "--rates" => {
+                    let value = args
+                        .next()
+                        .ok_or_else(|| CliError::Invalid("--rates needs a value".into()))?;
+                    cli.rates = Some(parse_rates(&value)?);
+                }
                 "--help" | "-h" => return Err(CliError::Help),
                 other => return Err(CliError::Invalid(format!("unknown argument `{other}`"))),
             }
@@ -84,14 +96,52 @@ impl Cli {
         SweepRunner::new().with_threads(self.threads)
     }
 
-    /// Applies `--fast` scaling to a mission configuration.
+    /// Applies `--fast` scaling and any `--rates` schedule to a mission
+    /// configuration. Every fig*/table* mission runs through here, so a
+    /// non-legacy schedule is one flag away on each of them.
     pub fn scale(&self, config: MissionConfig) -> MissionConfig {
-        if self.fast {
+        let config = if self.fast {
             mav_core::experiments::quick_config(config)
         } else {
             config
+        };
+        match self.rates {
+            Some(rates) => config.with_rates(rates),
+            None => config,
         }
     }
+}
+
+/// Parses a `cam=15,map=4,plan=2,ctrl=50` rate list (any non-empty subset of
+/// the four keys) into a [`RateConfig`].
+fn parse_rates(spec: &str) -> Result<RateConfig, CliError> {
+    let mut rates = RateConfig::legacy();
+    for part in spec.split(',') {
+        let Some((key, value)) = part.split_once('=') else {
+            return Err(CliError::Invalid(format!(
+                "rate `{part}` must look like key=hz (keys: cam, map, plan, ctrl)"
+            )));
+        };
+        let hz: f64 = value
+            .trim()
+            .parse()
+            .map_err(|_| CliError::Invalid(format!("invalid rate value `{value}`")))?;
+        match key.trim() {
+            "cam" => rates.camera_fps = Some(hz),
+            "map" => rates.mapping_hz = Some(hz),
+            "plan" => rates.replan_hz = Some(hz),
+            "ctrl" => rates.control_hz = Some(hz),
+            other => {
+                return Err(CliError::Invalid(format!(
+                    "unknown rate key `{other}` (expected cam, map, plan or ctrl)"
+                )))
+            }
+        }
+    }
+    rates
+        .validate()
+        .map_err(|reason| CliError::Invalid(format!("invalid --rates: {reason}")))?;
+    Ok(rates)
 }
 
 /// Why parsing stopped.
@@ -106,11 +156,13 @@ pub enum CliError {
 fn usage(name: &str, description: &str) -> String {
     format!(
         "{name} — {description}\n\n\
-         usage: {name} [--fast] [--json] [--threads N]\n\n\
+         usage: {name} [--fast] [--json] [--threads N] [--rates LIST]\n\n\
          options:\n  \
          --fast        run scaled-down scenarios that finish in seconds (alias: --quick)\n  \
          --json        print the figure data as JSON instead of text tables\n  \
          --threads N   worker threads for mission sweeps (default: all cores)\n  \
+         --rates LIST  closed-loop node rates, e.g. cam=15,map=4,plan=2,ctrl=50\n                \
+         (omitted keys stay tick-synchronous — the legacy schedule)\n  \
          --help        show this message"
     )
 }
@@ -120,11 +172,22 @@ pub fn run_figure(name: &str, description: &str, body: impl FnOnce(&Cli) -> Figu
     let cli = Cli::parse(name, description);
     let output = body(&cli);
     if cli.json {
+        // `rates` makes documents from different schedules distinguishable
+        // in archives: null for the (default) legacy schedule.
+        let rates_json = match cli.rates {
+            Some(rates) => Json::object()
+                .field("cam", rates.camera_fps)
+                .field("map", rates.mapping_hz)
+                .field("plan", rates.replan_hz)
+                .field("ctrl", rates.control_hz),
+            None => Json::Null,
+        };
         let document = Json::object()
             .field("figure", name)
             .field("description", description)
             .field("fast", cli.fast)
             .field("threads", cli.runner().threads())
+            .field("rates", rates_json)
             .field("data", output.json);
         println!("{}", document.to_string_pretty());
     } else {
@@ -173,6 +236,48 @@ mod tests {
             Err(CliError::Invalid(_))
         ));
         assert!(matches!(parse(&["--bogus"]), Err(CliError::Invalid(_))));
+    }
+
+    #[test]
+    fn rates_parse_full_and_partial_lists() {
+        let cli = parse(&["--rates", "cam=15,map=4,plan=2,ctrl=50"]).unwrap();
+        let rates = cli.rates.unwrap();
+        assert_eq!(rates.camera_fps, Some(15.0));
+        assert_eq!(rates.mapping_hz, Some(4.0));
+        assert_eq!(rates.replan_hz, Some(2.0));
+        assert_eq!(rates.control_hz, Some(50.0));
+
+        let cli = parse(&["--rates", "cam=7.5"]).unwrap();
+        let rates = cli.rates.unwrap();
+        assert_eq!(rates.camera_fps, Some(7.5));
+        assert_eq!(rates.mapping_hz, None);
+        // No flag: no override.
+        assert_eq!(parse(&[]).unwrap().rates, None);
+    }
+
+    #[test]
+    fn bad_rates_are_rejected() {
+        for spec in ["cam", "cam=x", "speed=3", "cam=0", "cam=-2", ""] {
+            assert!(
+                matches!(parse(&["--rates", spec]), Err(CliError::Invalid(_))),
+                "`{spec}` should be rejected"
+            );
+        }
+        assert!(matches!(parse(&["--rates"]), Err(CliError::Invalid(_))));
+    }
+
+    #[test]
+    fn scale_applies_rates_to_every_mission() {
+        use mav_compute::ApplicationId;
+        use mav_core::RateConfig;
+        let cli = Cli {
+            rates: Some(RateConfig::legacy().with_camera_fps(5.0)),
+            ..Cli::default()
+        };
+        let cfg = cli.scale(MissionConfig::new(ApplicationId::Mapping3D));
+        assert_eq!(cfg.rates.camera_fps, Some(5.0));
+        let plain = Cli::default().scale(MissionConfig::new(ApplicationId::Mapping3D));
+        assert!(plain.rates.is_legacy());
     }
 
     #[test]

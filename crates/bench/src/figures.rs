@@ -11,7 +11,8 @@ use crate::table::format_table;
 use mav_compute::{table1_profile, ApplicationId, KernelId, OperatingPoint};
 use mav_core::experiments::{
     cloud_offload_study_with, format_heatmap, noise_reliability_study_with,
-    operating_point_sweep_with, resolution_study_with, CloudComparison, HeatmapCell,
+    operating_point_sweep_with, perception_rate_sweep_with, resolution_study_with, CloudComparison,
+    HeatmapCell,
 };
 use mav_core::microbench::{hover_endurance_minutes, slam_fps_sweep, SlamMicrobenchConfig};
 use mav_core::velocity::velocity_vs_process_time;
@@ -183,8 +184,10 @@ pub fn fig08a_max_velocity(_cli: &Cli) -> FigureOutput {
     FigureOutput { text, json }
 }
 
-/// Fig. 8b — SLAM throughput vs maximum velocity and energy.
-pub fn fig08b_slam_fps(_cli: &Cli) -> FigureOutput {
+/// Fig. 8b — SLAM throughput vs maximum velocity and energy: the analytic
+/// microbenchmark plus, since PR 2, the emergent whole-mission counterpart
+/// (the perception-rate sweep on the node-graph executor).
+pub fn fig08b_slam_fps(cli: &Cli) -> FigureOutput {
     let sweep = slam_fps_sweep(
         &[0.5, 1.0, 2.0, 3.0, 4.0, 6.0, 8.0],
         SlamMicrobenchConfig::default(),
@@ -220,7 +223,7 @@ pub fn fig08b_slam_fps(_cli: &Cli) -> FigureOutput {
         last.fps,
         first.energy_kj / last.energy_kj
     ));
-    let json = Json::Array(
+    let microbench_json = Json::Array(
         sweep
             .iter()
             .map(|p| {
@@ -233,7 +236,55 @@ pub fn fig08b_slam_fps(_cli: &Cli) -> FigureOutput {
             })
             .collect(),
     );
-    FigureOutput { text, json }
+
+    // The closed-loop counterpart: whole Package Delivery missions whose
+    // camera + OctoMap node rates step down on the node-graph executor. The
+    // Eq. 2 cap reacts to the schedule's sensing staleness, so the same
+    // lower-rate ⇒ slower-and-longer trend emerges from full missions.
+    let rates: &[f64] = if cli.fast {
+        &[20.0, 5.0, 1.0]
+    } else {
+        &[30.0, 10.0, 5.0, 2.0, 1.0]
+    };
+    let closed_loop = perception_rate_sweep_with(
+        &cli.runner(),
+        rates,
+        mav_core::experiments::rate_sweep_scenario,
+    );
+    text.push_str(
+        "\n-- closed-loop counterpart: Package Delivery under perception-rate schedules --\n",
+    );
+    let rows: Vec<Vec<String>> = closed_loop
+        .iter()
+        .map(|row| {
+            vec![
+                format!("{:.1}", row.perception_hz),
+                format!("{:.2}", row.report.velocity_cap),
+                format!("{:.1}", row.report.mission_time_secs),
+                format!("{:.1}", row.report.energy_kj()),
+                format!("{}", row.report.success()),
+            ]
+        })
+        .collect();
+    text.push_str(&format_table(
+        &[
+            "camera+map rate (Hz)",
+            "velocity cap (m/s)",
+            "mission time (s)",
+            "energy (kJ)",
+            "success",
+        ],
+        &rows,
+    ));
+    text.push_str(
+        "paper direction: lower perception rate => lower safe velocity => longer mission\n",
+    );
+    FigureOutput {
+        text,
+        json: Json::object()
+            .field("microbench", microbench_json)
+            .field("closed_loop", closed_loop.to_json()),
+    }
 }
 
 fn power_trace(cruise: f64) -> EnergyAccount {

@@ -8,12 +8,14 @@
 //! the QoF error metric is the mean framing error.
 
 use crate::context::MissionContext;
+use crate::flight::{EnergyNode, FlightCtx, FlightEvent};
 use crate::qof::{MissionFailure, MissionReport};
 use mav_compute::KernelId;
 use mav_control::{Pid, PidConfig};
 use mav_env::ObstacleClass;
 use mav_perception::{DetectorConfig, ObjectDetector, TargetTracker, TrackerConfig};
-use mav_types::{SimDuration, Vec3};
+use mav_runtime::{Executor, FifoTopic, Node, NodeOutput, Topic};
+use mav_types::{Result, SimDuration, SimTime, Vec3};
 
 /// Stand-off distance behind the subject, metres.
 const STANDOFF: f64 = 6.0;
@@ -27,17 +29,154 @@ const MAX_LOST_TICKS: u32 = 12;
 /// Upper bound on the filming session, seconds of mission time.
 const MAX_SESSION_SECS: f64 = 150.0;
 
+/// The subject-following node: detection every few ticks, real-time tracking
+/// and PID control every tick. Publishes velocity commands (or zero while
+/// re-acquiring a lost subject) and [`FlightEvent::Completed`] once the
+/// subject escapes for good.
+struct SubjectFollowNode {
+    detector: ObjectDetector,
+    tracker: TargetTracker,
+    pid_x: Pid,
+    pid_y: Pid,
+    pid_z: Pid,
+    tick_index: u32,
+    lost_ticks: u32,
+    last_invocation: Option<SimTime>,
+    commands: Topic<Vec3>,
+    events: FifoTopic<FlightEvent>,
+    period: SimDuration,
+    min_tick: SimDuration,
+}
+
+impl SubjectFollowNode {
+    fn new(
+        seed: u64,
+        commands: Topic<Vec3>,
+        events: FifoTopic<FlightEvent>,
+        period: SimDuration,
+        min_tick: SimDuration,
+    ) -> Self {
+        SubjectFollowNode {
+            detector: ObjectDetector::new(DetectorConfig {
+                seed,
+                ..Default::default()
+            }),
+            tracker: TargetTracker::new(TrackerConfig::default()),
+            pid_x: Pid::new(PidConfig::new(0.9, 0.05, 0.2).with_output_limit(8.0)),
+            pid_y: Pid::new(PidConfig::new(0.9, 0.05, 0.2).with_output_limit(8.0)),
+            pid_z: Pid::new(PidConfig::new(1.0, 0.0, 0.1).with_output_limit(3.0)),
+            tick_index: 0,
+            lost_ticks: 0,
+            last_invocation: None,
+            commands,
+            events,
+            period,
+            min_tick,
+        }
+    }
+}
+
+impl Node<FlightCtx<'_>> for SubjectFollowNode {
+    fn name(&self) -> &str {
+        "subject_follow"
+    }
+
+    fn period(&self) -> SimDuration {
+        self.period
+    }
+
+    fn tick(&mut self, ctx: &mut FlightCtx<'_>, now: SimTime) -> Result<NodeOutput> {
+        // Perception: detection every few ticks, real-time tracking every tick.
+        let mut kernels = vec![
+            KernelId::TrackingRealTime,
+            KernelId::PidControl,
+            KernelId::PathTracking,
+        ];
+        let run_detector = self.tick_index.is_multiple_of(DETECTION_PERIOD);
+        if run_detector {
+            kernels.push(KernelId::ObjectDetection);
+            kernels.push(KernelId::TrackingBuffered);
+        }
+        let kernel_time: Vec<(KernelId, SimDuration)> = kernels
+            .iter()
+            .map(|&k| (k, ctx.mission.charge_kernel(k)))
+            .collect();
+        // The tracker and PID must integrate over the real time between
+        // invocations. Tick-synchronous (legacy) this node is the graph's
+        // only latency source, so the upcoming round tick is exactly its
+        // kernel total floored by the minimum round length; at an explicit
+        // control rate, rounds elapse between invocations, so use the
+        // measured inter-invocation interval instead.
+        let latency_tick = kernel_time
+            .iter()
+            .map(|(_, d)| *d)
+            .sum::<SimDuration>()
+            .max(self.min_tick);
+        let tick = if self.period.is_zero() {
+            latency_tick
+        } else {
+            match self.last_invocation {
+                Some(last) => now.since(last).max(latency_tick),
+                None => latency_tick,
+            }
+        };
+        self.last_invocation = Some(now);
+        self.tick_index += 1;
+
+        let pose = ctx.mission.pose();
+        let detection = if run_detector {
+            self.detector
+                .detect_class(&ctx.mission.world, &pose, ObstacleClass::PhotographySubject)
+        } else {
+            None
+        };
+        if detection.is_some() {
+            ctx.mission.note_detection();
+        }
+        if let Some(d) = &detection {
+            ctx.mission.note_tracking_error(d.image_offset.abs());
+        }
+        let track = if run_detector {
+            self.tracker.update(detection.as_ref(), tick)
+        } else {
+            self.tracker.predict(tick)
+        };
+
+        let Some(track) = track else {
+            self.lost_ticks += 1;
+            if self.lost_ticks > MAX_LOST_TICKS {
+                // The subject escaped: the session ends here. This is not a
+                // failure — the mission time *is* the metric — but shorter
+                // sessions indicate weaker compute.
+                self.events.publish(FlightEvent::Completed);
+                return Ok(NodeOutput::kernels(kernel_time));
+            }
+            // Hover while trying to re-acquire.
+            self.commands.publish(Vec3::ZERO);
+            return Ok(NodeOutput::kernels(kernel_time));
+        };
+        self.lost_ticks = 0;
+
+        // Planning/control: PID towards the stand-off point behind the subject,
+        // kept inside the world bounds (the subject may hug the boundary).
+        let raw_desired = follow_point(&track.position, &track.velocity);
+        let b = ctx.mission.world.bounds();
+        let desired = raw_desired.clamp(&(b.min + Vec3::splat(2.0)), &(b.max - Vec3::splat(2.0)));
+        let error = desired - pose.position;
+        let dt = tick.as_secs().max(1e-3);
+        let command = Vec3::new(
+            self.pid_x.update(error.x, dt),
+            self.pid_y.update(error.y, dt),
+            self.pid_z.update(error.z, dt),
+        );
+        let cap = ctx.mission.velocity_cap();
+        self.commands.publish(command.clamp_norm(cap));
+        Ok(NodeOutput::kernels(kernel_time))
+    }
+}
+
 /// Runs the Aerial Photography mission.
 pub fn run(mut ctx: MissionContext) -> MissionReport {
-    let mut detector = ObjectDetector::new(DetectorConfig {
-        seed: ctx.config.seed,
-        ..Default::default()
-    });
-    let mut tracker = TargetTracker::new(TrackerConfig::default());
-    let mut pid_x = Pid::new(PidConfig::new(0.9, 0.05, 0.2).with_output_limit(8.0));
-    let mut pid_y = Pid::new(PidConfig::new(0.9, 0.05, 0.2).with_output_limit(8.0));
-    let mut pid_z = Pid::new(PidConfig::new(1.0, 0.0, 0.1).with_output_limit(3.0));
-
     if ctx
         .world
         .dynamic_obstacle_of_class(ObstacleClass::PhotographySubject)
@@ -48,79 +187,42 @@ pub fn run(mut ctx: MissionContext) -> MissionReport {
         )));
     }
 
-    let mut tick_index = 0u32;
-    let mut lost_ticks = 0u32;
     let session_budget = MAX_SESSION_SECS.min(ctx.config.time_budget_secs);
-    loop {
-        if let Some(failure) = ctx.budget_failure() {
-            return ctx.finish(Some(failure));
-        }
-        if ctx.clock.now().as_secs() >= session_budget {
-            // Tracked the subject for the whole session: full success.
-            return ctx.finish(None);
-        }
-        // Perception: detection every few ticks, real-time tracking every tick.
-        let mut kernels = vec![
-            KernelId::TrackingRealTime,
-            KernelId::PidControl,
-            KernelId::PathTracking,
-        ];
-        let run_detector = tick_index.is_multiple_of(DETECTION_PERIOD);
-        if run_detector {
-            kernels.push(KernelId::ObjectDetection);
-            kernels.push(KernelId::TrackingBuffered);
-        }
-        let tick = ctx
-            .charge_kernels(&kernels)
-            .max(SimDuration::from_millis(50.0));
-        tick_index += 1;
-
-        let pose = ctx.pose();
-        let detection = if run_detector {
-            detector.detect_class(&ctx.world, &pose, ObstacleClass::PhotographySubject)
-        } else {
-            None
+    let min_tick = SimDuration::from_millis(50.0);
+    let event = {
+        let events: FifoTopic<FlightEvent> = FifoTopic::new("photo/events");
+        let commands: Topic<Vec3> = Topic::new("photo/velocity_cmd");
+        let mut exec: Executor<FlightCtx> = Executor::new();
+        exec.add_node(EnergyNode::new(events.clone()).with_session_end(session_budget));
+        exec.add_node(SubjectFollowNode::new(
+            ctx.config.seed,
+            commands.clone(),
+            events.clone(),
+            ctx.config.rates.control_period(),
+            min_tick,
+        ));
+        let mut flight_ctx = FlightCtx {
+            mission: &mut ctx,
+            events,
+            commands,
+            min_tick,
         };
-        if detection.is_some() {
-            ctx.note_detection();
+        crate::flight::run_to_event(&mut exec, &mut flight_ctx)
+    };
+    match event {
+        // Either the subject was tracked for the whole session (the energy
+        // node's session deadline) or it escaped: both end the session
+        // successfully — the mission time itself is the metric.
+        Ok(FlightEvent::Completed) => ctx.finish(None),
+        Ok(FlightEvent::Aborted | FlightEvent::NeedsReplan) => {
+            let failure = ctx
+                .budget_failure()
+                .unwrap_or(MissionFailure::Other("filming session aborted".to_string()));
+            ctx.finish(Some(failure))
         }
-        if let Some(d) = &detection {
-            ctx.note_tracking_error(d.image_offset.abs());
-        }
-        let track = if run_detector {
-            tracker.update(detection.as_ref(), tick)
-        } else {
-            tracker.predict(tick)
-        };
-
-        let Some(track) = track else {
-            lost_ticks += 1;
-            if lost_ticks > MAX_LOST_TICKS {
-                // The subject escaped: the session ends here. This is not a
-                // failure — the mission time *is* the metric — but shorter
-                // sessions indicate weaker compute.
-                return ctx.finish(None);
-            }
-            // Hover while trying to re-acquire.
-            ctx.advance(Vec3::ZERO, tick);
-            continue;
-        };
-        lost_ticks = 0;
-
-        // Planning/control: PID towards the stand-off point behind the subject,
-        // kept inside the world bounds (the subject may hug the boundary).
-        let raw_desired = follow_point(&track.position, &track.velocity);
-        let b = ctx.world.bounds();
-        let desired = raw_desired.clamp(&(b.min + Vec3::splat(2.0)), &(b.max - Vec3::splat(2.0)));
-        let error = desired - pose.position;
-        let dt = tick.as_secs().max(1e-3);
-        let command = Vec3::new(
-            pid_x.update(error.x, dt),
-            pid_y.update(error.y, dt),
-            pid_z.update(error.z, dt),
-        );
-        let cap = ctx.velocity_cap();
-        ctx.advance(command.clamp_norm(cap), tick);
+        Err(error) => ctx.finish(Some(MissionFailure::Other(format!(
+            "filming executor error: {error}"
+        )))),
     }
 }
 

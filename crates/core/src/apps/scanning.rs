@@ -6,10 +6,11 @@
 //! Fig. 10) compute scaling barely changes this workload's mission metrics.
 
 use crate::context::MissionContext;
+use crate::flight::{EnergyNode, FlightCtx, FlightEvent, PathTrackerNode, Timeline};
 use crate::qof::{MissionFailure, MissionReport};
 use mav_compute::KernelId;
-use mav_control::{PathTracker, PathTrackerConfig};
 use mav_planning::{plan_lawnmower, LawnmowerConfig, PathSmoother, SmootherConfig};
+use mav_runtime::{Executor, FifoTopic, Topic};
 use mav_types::{SimDuration, Vec3};
 
 /// Scan-area side length as a fraction of the world extent.
@@ -58,26 +59,46 @@ pub fn run(mut ctx: MissionContext) -> MissionReport {
         Err(e) => return ctx.finish(Some(MissionFailure::PlanningFailed(e.to_string()))),
     };
 
-    // Control: follow the sweep. Scanning flies over open ground, so the loop
-    // only charges localization and path tracking each tick — no occupancy
-    // map is maintained (matching the application's Table I kernel set).
-    let tracker = PathTracker::new(PathTrackerConfig::default());
-    loop {
-        if let Some(failure) = ctx.budget_failure() {
-            return ctx.finish(Some(failure));
+    // Control: follow the sweep on the executor. Scanning flies over open
+    // ground, so the graph is just the energy watchdog plus a tracker node
+    // charging localization and path tracking each tick — no camera, map or
+    // collision nodes (matching the application's Table I kernel set). The
+    // trajectory was smoothed "from now", so the tracker samples it at the
+    // mission clock directly.
+    let event = {
+        let events: FifoTopic<FlightEvent> = FifoTopic::new("scanning/events");
+        let commands: Topic<Vec3> = Topic::new("scanning/velocity_cmd");
+        let mut exec: Executor<FlightCtx> = Executor::new();
+        exec.add_node(EnergyNode::new(events.clone()));
+        exec.add_node(PathTrackerNode::new(
+            std::sync::Arc::new(trajectory),
+            Timeline::MissionClock,
+            vec![KernelId::Localization, KernelId::PathTracking],
+            speed,
+            commands.clone(),
+            events.clone(),
+            ctx.config.rates.control_period(),
+        ));
+        let mut flight_ctx = FlightCtx {
+            mission: &mut ctx,
+            events,
+            commands,
+            min_tick: SimDuration::from_millis(100.0),
+        };
+        crate::flight::run_to_event(&mut exec, &mut flight_ctx)
+    };
+    match event {
+        Ok(FlightEvent::Completed) => ctx.finish(None),
+        Ok(FlightEvent::Aborted | FlightEvent::NeedsReplan) => {
+            let failure = ctx
+                .budget_failure()
+                .unwrap_or(MissionFailure::Other("scanning sweep aborted".to_string()));
+            ctx.finish(Some(failure))
         }
-        let tick = ctx
-            .charge_kernels(&[KernelId::Localization, KernelId::PathTracking])
-            .max(SimDuration::from_millis(100.0));
-        let state = *ctx.quad.state();
-        let cmd = tracker.command(&trajectory, &state, ctx.clock.now());
-        if cmd.completed {
-            break;
-        }
-        let velocity = cmd.velocity.clamp_norm(speed);
-        ctx.advance(velocity, tick);
+        Err(error) => ctx.finish(Some(MissionFailure::Other(format!(
+            "scanning executor error: {error}"
+        )))),
     }
-    ctx.finish(None)
 }
 
 #[cfg(test)]

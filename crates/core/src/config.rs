@@ -5,7 +5,127 @@ use mav_dynamics::QuadrotorConfig;
 use mav_energy::BatteryConfig;
 use mav_env::EnvironmentConfig;
 use mav_sensors::DepthCameraConfig;
+use mav_types::SimDuration;
 use serde::{Deserialize, Serialize};
+
+/// Per-node invocation rates of the closed-loop graph (PR 2).
+///
+/// Every closed-loop node scheduled by the
+/// [`Executor`](mav_runtime::Executor) — depth camera, OctoMap update, the
+/// collision-monitor/planner pair and the path tracker — has its own period.
+/// `None` means *tick-synchronous*: the node runs every executor round, which
+/// is exactly the cadence of the historical sequential loop. Setting explicit
+/// rates decouples the stages and makes rate-interaction studies (the paper's
+/// Fig. 8b SLAM-fps trade-off, control-rate starvation, frame drops under a
+/// slow mapper) expressible in configuration instead of code.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct RateConfig {
+    /// Depth-camera capture rate, frames per second (`None`: every round).
+    pub camera_fps: Option<f64>,
+    /// OctoMap-update rate, Hz (`None`: every round, i.e. every frame).
+    pub mapping_hz: Option<f64>,
+    /// Collision-monitor / replan-trigger rate, Hz (`None`: every round).
+    pub replan_hz: Option<f64>,
+    /// Path-tracker (control) rate, Hz (`None`: every round).
+    pub control_hz: Option<f64>,
+}
+
+impl RateConfig {
+    /// The compatibility schedule: every node tick-synchronous with the loop,
+    /// reproducing the pre-refactor sequential closed loop bit-identically
+    /// (enforced by `tests/golden_legacy.rs`).
+    pub fn legacy() -> Self {
+        RateConfig::default()
+    }
+
+    /// Returns `true` when every node is tick-synchronous (the legacy loop).
+    pub fn is_legacy(&self) -> bool {
+        self.camera_fps.is_none()
+            && self.mapping_hz.is_none()
+            && self.replan_hz.is_none()
+            && self.control_hz.is_none()
+    }
+
+    /// Overrides the camera rate (builder style).
+    pub fn with_camera_fps(mut self, fps: f64) -> Self {
+        self.camera_fps = Some(fps);
+        self
+    }
+
+    /// Overrides the mapping rate (builder style).
+    pub fn with_mapping_hz(mut self, hz: f64) -> Self {
+        self.mapping_hz = Some(hz);
+        self
+    }
+
+    /// Overrides the replan rate (builder style).
+    pub fn with_replan_hz(mut self, hz: f64) -> Self {
+        self.replan_hz = Some(hz);
+        self
+    }
+
+    /// Overrides the control rate (builder style).
+    pub fn with_control_hz(mut self, hz: f64) -> Self {
+        self.control_hz = Some(hz);
+        self
+    }
+
+    fn period_of(rate: Option<f64>) -> SimDuration {
+        match rate {
+            Some(hz) => SimDuration::from_secs(1.0 / hz.max(1e-6)),
+            None => SimDuration::ZERO,
+        }
+    }
+
+    /// The depth-camera node period ([`SimDuration::ZERO`]: every round).
+    pub fn camera_period(&self) -> SimDuration {
+        RateConfig::period_of(self.camera_fps)
+    }
+
+    /// The OctoMap node period.
+    pub fn mapping_period(&self) -> SimDuration {
+        RateConfig::period_of(self.mapping_hz)
+    }
+
+    /// The collision-monitor / planner node period.
+    pub fn replan_period(&self) -> SimDuration {
+        RateConfig::period_of(self.replan_hz)
+    }
+
+    /// The path-tracker node period.
+    pub fn control_period(&self) -> SimDuration {
+        RateConfig::period_of(self.control_hz)
+    }
+
+    /// Worst-case sensing staleness added to the Eq. 2 reaction latency δt: a
+    /// new obstacle waits up to a full camera period to be observed and up to
+    /// a full mapping period to land in the occupancy map. Zero for the
+    /// legacy schedule, where perception is tick-synchronous.
+    pub fn sensing_interval(&self) -> SimDuration {
+        RateConfig::period_of(self.camera_fps) + RateConfig::period_of(self.mapping_hz)
+    }
+
+    /// Validates the rates.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive message for the first invalid rate.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, rate) in [
+            ("camera_fps", self.camera_fps),
+            ("mapping_hz", self.mapping_hz),
+            ("replan_hz", self.replan_hz),
+            ("control_hz", self.control_hz),
+        ] {
+            if let Some(hz) = rate {
+                if !(hz.is_finite() && hz > 0.0) {
+                    return Err(format!("{name} must be a positive rate, got {hz}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
 
 /// How the OctoMap resolution is chosen during the mission (the paper's
 /// energy case study, Fig. 19).
@@ -115,6 +235,9 @@ pub struct MissionConfig {
     pub cruise_velocity: f64,
     /// Physics integration step, seconds.
     pub physics_dt: f64,
+    /// Per-node rates of the closed-loop graph (PR 2). The default,
+    /// [`RateConfig::legacy`], reproduces the historical sequential loop.
+    pub rates: RateConfig,
     /// RNG seed shared by all stochastic components.
     pub seed: u64,
 }
@@ -145,6 +268,7 @@ impl MissionConfig {
             stopping_distance: 10.0,
             cruise_velocity: 8.0,
             physics_dt: 0.05,
+            rates: RateConfig::legacy(),
             seed: 42,
         }
     }
@@ -177,6 +301,12 @@ impl MissionConfig {
     /// Attaches a cloud offload configuration (builder style).
     pub fn with_cloud(mut self, cloud: CloudConfig) -> Self {
         self.cloud = Some(cloud);
+        self
+    }
+
+    /// Overrides the closed-loop node rates (builder style).
+    pub fn with_rates(mut self, rates: RateConfig) -> Self {
+        self.rates = rates;
         self
     }
 
@@ -222,6 +352,7 @@ impl MissionConfig {
         if self.depth_noise_std < 0.0 {
             return Err("depth noise std cannot be negative".to_string());
         }
+        self.rates.validate()?;
         Ok(())
     }
 }
@@ -277,6 +408,46 @@ mod tests {
         let fixed = ResolutionPolicy::static_fine();
         assert_eq!(fixed.resolution_for_density(0.0), 0.15);
         assert_eq!(fixed.resolution_for_density(1.0), 0.15);
+    }
+
+    #[test]
+    fn rate_config_legacy_is_tick_synchronous() {
+        let legacy = RateConfig::legacy();
+        assert!(legacy.is_legacy());
+        assert!(legacy.camera_period().is_zero());
+        assert!(legacy.mapping_period().is_zero());
+        assert!(legacy.replan_period().is_zero());
+        assert!(legacy.control_period().is_zero());
+        assert!(legacy.sensing_interval().is_zero());
+        assert!(legacy.validate().is_ok());
+    }
+
+    #[test]
+    fn rate_config_periods_and_staleness() {
+        let rates = RateConfig::legacy()
+            .with_camera_fps(20.0)
+            .with_mapping_hz(4.0)
+            .with_replan_hz(2.0)
+            .with_control_hz(50.0);
+        assert!(!rates.is_legacy());
+        assert!((rates.camera_period().as_millis() - 50.0).abs() < 1e-9);
+        assert!((rates.mapping_period().as_millis() - 250.0).abs() < 1e-9);
+        assert!((rates.replan_period().as_millis() - 500.0).abs() < 1e-9);
+        assert!((rates.control_period().as_millis() - 20.0).abs() < 1e-9);
+        // Staleness = camera interval + mapping interval.
+        assert!((rates.sensing_interval().as_millis() - 300.0).abs() < 1e-9);
+        assert!(rates.validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_rates_are_rejected() {
+        let bad = RateConfig::legacy().with_camera_fps(0.0);
+        assert!(bad.validate().is_err());
+        let mut cfg = MissionConfig::new(ApplicationId::Scanning);
+        cfg.rates.control_hz = Some(-3.0);
+        assert!(cfg.validate().is_err());
+        cfg.rates.control_hz = Some(f64::NAN);
+        assert!(cfg.validate().is_err());
     }
 
     #[test]

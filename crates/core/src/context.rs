@@ -6,18 +6,28 @@
 //! latency to the mission clock, hover while planning, fly a trajectory under
 //! the Eq. 2 velocity cap with continuous perception and collision checking,
 //! and produce the final QoF report.
+//!
+//! Since PR 2 the trajectory-following closed loop is not a hand-written
+//! `loop` any more: [`MissionContext::fly_trajectory`] assembles the
+//! [`crate::flight`] node graph (energy watchdog, depth camera, OctoMap,
+//! path tracker, collision monitor, planner trigger) and drives it on the
+//! [`mav_runtime::Executor`] at the per-node rates in
+//! [`crate::config::RateConfig`].
 
 use crate::config::{MissionConfig, ResolutionPolicy};
+use crate::flight::{
+    CollisionAlert, CollisionMonitorNode, DepthCameraNode, EnergyNode, FlightCtx, FlightEvent,
+    OctoMapNode, PathTrackerNode, PlannerNode, Timeline,
+};
 use crate::qof::{MissionFailure, MissionReport};
 use crate::velocity::max_safe_velocity;
 use mav_compute::{ComputePlatform, KernelId};
-use mav_control::{PathTracker, PathTrackerConfig};
 use mav_dynamics::Quadrotor;
 use mav_energy::{Battery, ComputePowerModel, EnergyAccount, FlightPhaseLabel, RotorPowerModel};
 use mav_env::World;
 use mav_perception::{OctoMap, OctoMapConfig, PointCloud};
 use mav_planning::{CollisionChecker, PlannerConfig, PlannerKind, ShortestPathPlanner};
-use mav_runtime::{KernelTimer, SimClock};
+use mav_runtime::{Executor, FifoTopic, KernelTimer, SimClock, Topic};
 use mav_sensors::{DepthCamera, DepthImage, DepthNoiseModel};
 use mav_types::{Aabb, Pose, SimDuration, Trajectory, Vec3};
 
@@ -57,7 +67,6 @@ pub struct MissionContext {
     compute_power: ComputePowerModel,
     camera: DepthCamera,
     depth_noise: DepthNoiseModel,
-    tracker: PathTracker,
     current_resolution: f64,
     hover_time: SimDuration,
     distance: f64,
@@ -108,7 +117,6 @@ impl MissionContext {
             compute_power: ComputePowerModel::tx2(),
             camera,
             depth_noise,
-            tracker: PathTracker::new(PathTrackerConfig::default()),
             current_resolution: resolution,
             hover_time: SimDuration::ZERO,
             distance: 0.0,
@@ -218,8 +226,26 @@ impl MissionContext {
     /// The Eq. 2 velocity cap the mission currently flies under: the minimum
     /// of the application cruise limit, the airframe limit and the
     /// compute-bounded maximum safe velocity.
+    ///
+    /// δt is the reactive-kernel latency plus, for explicit (non-legacy)
+    /// [`crate::config::RateConfig`] schedules, the worst-case sensing
+    /// staleness: an obstacle appearing right after a frame waits up to one
+    /// camera period to be seen and one mapping period to reach the map, so
+    /// a slower perception rate directly lowers the safe velocity — the
+    /// paper's Fig. 8b trade-off, now emerging from the schedule. The
+    /// staleness term only applies to applications whose flight graph
+    /// actually schedules the camera → OctoMap pipeline (Table I: the
+    /// OctoMap-generation kernel); Scanning and Aerial Photography fly
+    /// without an occupancy map, so camera/mapping rates cannot slow them.
     pub fn velocity_cap(&mut self) -> f64 {
-        let dt = self.reaction_latency();
+        let staleness = if mav_compute::table1_profile(self.config.application)
+            .uses(KernelId::OctomapGeneration)
+        {
+            self.config.rates.sensing_interval()
+        } else {
+            SimDuration::ZERO
+        };
+        let dt = self.reaction_latency() + staleness;
         let safe = max_safe_velocity(
             dt,
             self.config.stopping_distance,
@@ -299,6 +325,15 @@ impl MissionContext {
     /// Returns the combined simulated latency of the perception kernels
     /// (charged to the timer, not yet to the clock).
     pub fn update_map(&mut self, frame: &DepthImage) -> SimDuration {
+        self.update_map_detailed(frame)
+            .iter()
+            .map(|(_, latency)| *latency)
+            .sum()
+    }
+
+    /// [`MissionContext::update_map`] with the per-kernel latency breakdown —
+    /// what the [`crate::flight::OctoMapNode`] reports to the executor.
+    pub fn update_map_detailed(&mut self, frame: &DepthImage) -> Vec<(KernelId, SimDuration)> {
         // Dynamic resolution policy: sample the local obstacle density and
         // switch the map resolution when the policy asks for it.
         let density = self.world.obstacle_density_near(&self.pose().position, 8.0);
@@ -310,16 +345,19 @@ impl MissionContext {
             self.map = self.map.reresolved(wanted);
             self.current_resolution = wanted;
         }
-        let latency = self.charge_kernels(&[
+        let kernel_time: Vec<(KernelId, SimDuration)> = [
             KernelId::PointCloudGeneration,
             KernelId::OctomapGeneration,
             KernelId::CollisionCheck,
             KernelId::Localization,
-        ]);
+        ]
+        .iter()
+        .map(|&kernel| (kernel, self.charge_kernel(kernel)))
+        .collect();
         let cloud = PointCloud::from_depth_image(frame).downsample(self.current_resolution);
         self.map.insert_point_cloud(&cloud);
         self.mapped_volume = self.map.mapped_volume();
-        latency
+        kernel_time
     }
 
     /// Checks the mission-level budgets. Returns the failure that ends the
@@ -338,9 +376,13 @@ impl MissionContext {
     }
 
     /// Flies a planned trajectory under the Eq. 2 velocity cap with continuous
-    /// perception: every control tick the reactive kernels are charged, the
-    /// map is refreshed from a new depth frame, and the remainder of the plan
-    /// is collision-checked. Returns why the episode ended.
+    /// perception, by assembling the [`crate::flight`] node graph and driving
+    /// it on the [`Executor`]. Per-node periods come from
+    /// [`crate::config::RateConfig`]; the legacy schedule runs every node on
+    /// every round, reproducing the historical sequential loop bit-for-bit
+    /// (depth capture → map update → path tracking → collision check →
+    /// physics for the round's serialized kernel latency). Returns why the
+    /// episode ended.
     pub fn fly_trajectory(&mut self, trajectory: &Trajectory) -> FlightOutcome {
         if trajectory.is_empty() {
             return FlightOutcome::Completed;
@@ -351,43 +393,63 @@ impl MissionContext {
         let Some(first) = trajectory.first() else {
             return FlightOutcome::Completed;
         };
-        let traj_start = first.time;
+        let timeline = Timeline::EpisodeRelative {
+            episode_start: start_time,
+            traj_start: first.time,
+        };
         // Guard against pathological plans: bound the episode duration.
         let max_episode = trajectory.duration_secs() * 4.0 + 60.0;
-        loop {
-            if self.budget_failure().is_some() {
-                return FlightOutcome::Aborted;
-            }
-            if self.clock.now().since(start_time).as_secs() > max_episode {
-                return FlightOutcome::Aborted;
-            }
-            // One perception/control tick: reactive kernels set the tick
-            // length, and therefore how long the vehicle flies "blind".
-            let frame = self.capture_depth();
-            let mut tick = self.update_map(&frame);
-            tick += self.charge_kernel(KernelId::PathTracking);
-            let tick = tick.max(SimDuration::from_millis(50.0));
-            // Sample the plan at the trajectory-relative time.
-            let plan_time = traj_start + self.clock.now().since(start_time);
-            let state = *self.quad.state();
-            let cmd = self.tracker.command(trajectory, &state, plan_time);
-            if cmd.completed {
-                return FlightOutcome::Completed;
-            }
-            // Collision-check the remainder of the plan against the fresh map.
-            let from_index = trajectory
-                .points()
-                .iter()
-                .position(|p| p.time >= plan_time)
-                .unwrap_or(0);
-            if checker
-                .first_collision(&self.map, trajectory, from_index)
-                .is_some()
-            {
-                return FlightOutcome::NeedsReplan;
-            }
-            let velocity = cmd.velocity.clamp_norm(cap);
-            self.advance(velocity, tick);
+        let rates = self.config.rates;
+
+        let events: FifoTopic<FlightEvent> = FifoTopic::new("flight/events");
+        let commands: Topic<Vec3> = Topic::new("flight/velocity_cmd");
+        let frames: Topic<std::sync::Arc<DepthImage>> = Topic::new("flight/depth_frames");
+        let alerts: FifoTopic<CollisionAlert> = FifoTopic::new("flight/collision_alerts");
+        // One copy of the plan, shared read-only by tracker and monitor.
+        let trajectory = std::sync::Arc::new(trajectory.clone());
+
+        // Registration order is dispatch order: sensing feeds mapping feeds
+        // control feeds the collision monitor, with the energy watchdog ahead
+        // of everything (the budget check opens every round).
+        let mut exec: Executor<FlightCtx> = Executor::new();
+        exec.add_node(EnergyNode::new(events.clone()).with_watchdog(start_time, max_episode));
+        exec.add_node(DepthCameraNode::new(frames.clone(), rates.camera_period()));
+        exec.add_node(OctoMapNode::new(frames, rates.mapping_period()));
+        exec.add_node(PathTrackerNode::new(
+            std::sync::Arc::clone(&trajectory),
+            timeline,
+            vec![KernelId::PathTracking],
+            cap,
+            commands.clone(),
+            events.clone(),
+            rates.control_period(),
+        ));
+        exec.add_node(CollisionMonitorNode::new(
+            checker,
+            trajectory,
+            timeline,
+            alerts.clone(),
+            rates.replan_period(),
+        ));
+        exec.add_node(PlannerNode::new(
+            alerts,
+            events.clone(),
+            rates.replan_period(),
+        ));
+
+        let mut flight_ctx = FlightCtx {
+            mission: self,
+            events,
+            commands,
+            min_tick: SimDuration::from_millis(50.0),
+        };
+        match crate::flight::run_to_event(&mut exec, &mut flight_ctx) {
+            Ok(FlightEvent::Completed) => FlightOutcome::Completed,
+            Ok(FlightEvent::NeedsReplan) => FlightOutcome::NeedsReplan,
+            // An executor error cannot carry through the payload-free
+            // FlightOutcome; none of the built-in nodes fail, so a bare
+            // abort (the budget/watchdog outcome) is the correct collapse.
+            Ok(FlightEvent::Aborted) | Err(_) => FlightOutcome::Aborted,
         }
     }
 

@@ -12,7 +12,7 @@
 //! honour `--threads`. Results are bit-identical across thread counts — see
 //! [`crate::sweep`] for the determinism contract.
 
-use crate::config::{MissionConfig, ResolutionPolicy};
+use crate::config::{MissionConfig, RateConfig, ResolutionPolicy};
 use crate::qof::MissionReport;
 use crate::sweep::{SweepPoint, SweepRunner};
 use mav_compute::{ApplicationId, CloudConfig, KernelId, OperatingPoint};
@@ -324,6 +324,78 @@ pub fn noise_reliability_study_with(
             }
         })
         .collect()
+}
+
+/// One row of the closed-loop perception-rate sweep (the emergent,
+/// full-mission counterpart of the paper's Fig. 8b microbenchmark).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RateSweepRow {
+    /// Camera and mapping rate of this point, Hz (both nodes run at this
+    /// rate; control and replanning stay tick-synchronous).
+    pub perception_hz: f64,
+    /// The mission report produced under that schedule.
+    pub report: MissionReport,
+}
+
+impl ToJson for RateSweepRow {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .field("perception_hz", self.perception_hz)
+            .field("velocity_cap", self.report.velocity_cap)
+            .field("report", self.report.to_json())
+    }
+}
+
+/// Runs the perception-rate sweep: the same Package Delivery mission under
+/// node schedules whose camera + OctoMap rates step through `rates_hz`,
+/// every point in parallel.
+///
+/// This is the first experiment only expressible on the PR 2 node-graph
+/// executor: the schedule (not the code) sets how stale the occupancy map
+/// is, and the Eq. 2 cap reacts to that staleness — lower perception rate ⇒
+/// lower safe velocity ⇒ longer mission time, the paper's Fig. 8b trend at
+/// whole-mission scope.
+pub fn perception_rate_sweep(
+    rates_hz: &[f64],
+    configure: impl Fn(MissionConfig) -> MissionConfig,
+) -> Vec<RateSweepRow> {
+    perception_rate_sweep_with(&SweepRunner::new(), rates_hz, configure)
+}
+
+/// [`perception_rate_sweep`] on an explicit [`SweepRunner`].
+pub fn perception_rate_sweep_with(
+    runner: &SweepRunner,
+    rates_hz: &[f64],
+    configure: impl Fn(MissionConfig) -> MissionConfig,
+) -> Vec<RateSweepRow> {
+    let points: Vec<SweepPoint> = rates_hz
+        .iter()
+        .map(|&hz| {
+            let config = configure(MissionConfig::new(ApplicationId::PackageDelivery))
+                .with_rates(RateConfig::legacy().with_camera_fps(hz).with_mapping_hz(hz));
+            SweepPoint::new(format!("perception {hz:.1} Hz"), config)
+        })
+        .collect();
+    runner
+        .run(points)
+        .outcomes
+        .into_iter()
+        .zip(rates_hz)
+        .map(|(outcome, &hz)| RateSweepRow {
+            perception_hz: hz,
+            report: outcome.report,
+        })
+        .collect()
+}
+
+/// The scenario the perception-rate sweep (and its direction tests) run on:
+/// legs long enough that cruise time dominates planning noise, and sparse
+/// enough that every schedule completes.
+pub fn rate_sweep_scenario(config: MissionConfig) -> MissionConfig {
+    let mut cfg = quick_config(config).with_seed(9);
+    cfg.environment.extent = 70.0;
+    cfg.environment.obstacle_density = 0.3;
+    cfg
 }
 
 /// Scales a default configuration down so the full experiment sweeps finish

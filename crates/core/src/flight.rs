@@ -1,0 +1,617 @@
+//! The closed-loop flight graph: `mav_runtime` nodes over the live mission.
+//!
+//! Before PR 2 the closed loop lived in one sequential function
+//! (`MissionContext::fly_trajectory`): capture a frame, update the map,
+//! track the path, collision-check, integrate physics — all at one implicit
+//! rate. This module decomposes that loop into the ROS-style node graph of
+//! the paper's Fig. 7 and schedules it on the
+//! [`Executor`](mav_runtime::Executor):
+//!
+//! ```text
+//!   EnergyNode ─────────────▶ events (budget / watchdog aborts, telemetry)
+//!   DepthCameraNode ──frames─▶ OctoMapNode ──(map in MissionContext)
+//!   PathTrackerNode ─────────▶ commands (velocity), events (completed)
+//!   CollisionMonitorNode ──alerts─▶ PlannerNode ─▶ events (needs-replan)
+//! ```
+//!
+//! Each node has its own period from [`crate::config::RateConfig`]; nodes
+//! due at the same
+//! instant run in registration order (the executor's determinism contract),
+//! and the round's serialized kernel latency is charged to mission time by
+//! [`FlightCtx::charge`], which integrates vehicle physics, energy and
+//! battery drain for the charged duration — the drone literally flies
+//! (or hovers) while its compute runs.
+//!
+//! With [`crate::config::RateConfig::legacy`] every node is tick-synchronous
+//! and the graph
+//! reproduces the historical loop bit-for-bit (`tests/golden_legacy.rs`).
+//! With explicit rates, new phenomena emerge in configuration alone: a slow
+//! camera drops frames into a latched topic, a slow mapper starves the
+//! collision monitor, a slow planner lets the vehicle fly on a colliding
+//! plan until the next replan tick.
+
+use crate::context::MissionContext;
+use mav_compute::KernelId;
+use mav_control::{PathTracker, PathTrackerConfig};
+use mav_planning::CollisionChecker;
+use mav_runtime::{Executor, FifoTopic, Node, NodeContext, NodeOutput, Topic};
+use mav_sensors::DepthImage;
+use mav_types::{Result, SimDuration, SimTime, Trajectory, Vec3};
+use std::sync::Arc;
+
+/// A terminal event that ends a closed-loop episode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlightEvent {
+    /// The end of the trajectory (or session) was reached.
+    Completed,
+    /// The remaining plan is in collision; the application should re-plan.
+    NeedsReplan,
+    /// A mission-level budget (time, battery, collision, watchdog) was blown.
+    Aborted,
+}
+
+/// A collision alert raised by the monitor, consumed by the planner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CollisionAlert {
+    /// When the colliding plan segment was detected.
+    pub at: SimTime,
+}
+
+/// One energy/battery telemetry sample published by [`EnergyNode`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergySample {
+    /// Sample time.
+    pub at: SimTime,
+    /// Battery percentage remaining.
+    pub battery_pct: f64,
+    /// Total energy drawn so far, joules.
+    pub total_energy_j: f64,
+}
+
+/// How a node maps mission time onto the trajectory's timeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Timeline {
+    /// Sample the trajectory at the mission clock directly (trajectories
+    /// smoothed "from now", e.g. the Scanning sweep).
+    MissionClock,
+    /// Sample at `traj_start + (now - episode_start)` — the trajectory's own
+    /// timeline, offset by when the episode began (the historical
+    /// `fly_trajectory` arithmetic, kept verbatim for bit-identical replays).
+    EpisodeRelative {
+        /// Mission time at which the episode began.
+        episode_start: SimTime,
+        /// Timestamp of the trajectory's first point.
+        traj_start: SimTime,
+    },
+}
+
+impl Timeline {
+    /// The trajectory-timeline instant corresponding to mission time `now`.
+    pub fn plan_time(&self, now: SimTime) -> SimTime {
+        match *self {
+            Timeline::MissionClock => now,
+            Timeline::EpisodeRelative {
+                episode_start,
+                traj_start,
+            } => traj_start + now.since(episode_start),
+        }
+    }
+}
+
+/// The scheduling context of one closed-loop episode: the live mission plus
+/// the graph's shared topics. Implements the executor's latency-charging
+/// hook by flying the vehicle for the charged duration under the latest
+/// velocity command.
+pub struct FlightCtx<'m> {
+    /// The live mission state every node reads and writes.
+    pub mission: &'m mut MissionContext,
+    /// Terminal-event queue; any entry halts the executor round.
+    pub events: FifoTopic<FlightEvent>,
+    /// Latched latest velocity command from the control node.
+    pub commands: Topic<Vec3>,
+    /// Minimum round length: even a round of near-zero kernel latency flies
+    /// the vehicle this long (50 ms in the historical loop, 100 ms for the
+    /// Scanning sweep).
+    pub min_tick: SimDuration,
+}
+
+impl NodeContext for FlightCtx<'_> {
+    fn now(&self) -> SimTime {
+        self.mission.clock.now()
+    }
+
+    fn halted(&self) -> bool {
+        !self.events.is_empty()
+    }
+
+    fn charge(&mut self, consumed: SimDuration, _idle_step: SimDuration) -> Result<()> {
+        let velocity = self.commands.latest().unwrap_or(Vec3::ZERO);
+        self.mission.advance(velocity, consumed.max(self.min_tick));
+        Ok(())
+    }
+}
+
+/// Budget watchdog and energy telemetry.
+///
+/// Runs first in every graph (registration order), mirroring the historical
+/// loop's budget check at the top of each iteration: a blown mission budget
+/// (collision, battery, time) or an episode-watchdog overrun publishes
+/// [`FlightEvent::Aborted`]; an elapsed filming session publishes
+/// [`FlightEvent::Completed`]. Also publishes an [`EnergySample`] each tick.
+pub struct EnergyNode {
+    events: FifoTopic<FlightEvent>,
+    telemetry: Topic<EnergySample>,
+    /// Optional episode watchdog: abort once `now - start` exceeds the limit.
+    watchdog: Option<(SimTime, f64)>,
+    /// Optional session end (seconds of mission time): completing, not
+    /// aborting (aerial photography's "filmed the whole session" success).
+    session_end_secs: Option<f64>,
+}
+
+impl EnergyNode {
+    /// A plain budget monitor.
+    pub fn new(events: FifoTopic<FlightEvent>) -> Self {
+        EnergyNode {
+            events,
+            telemetry: Topic::new("flight/energy"),
+            watchdog: None,
+            session_end_secs: None,
+        }
+    }
+
+    /// Adds an episode watchdog: abort when more than `max_secs` of mission
+    /// time elapse after `start`.
+    pub fn with_watchdog(mut self, start: SimTime, max_secs: f64) -> Self {
+        self.watchdog = Some((start, max_secs));
+        self
+    }
+
+    /// Adds a session deadline: complete (successfully) at `end_secs`.
+    pub fn with_session_end(mut self, end_secs: f64) -> Self {
+        self.session_end_secs = Some(end_secs);
+        self
+    }
+
+    /// The telemetry topic (latest battery/energy sample).
+    pub fn telemetry(&self) -> Topic<EnergySample> {
+        self.telemetry.clone()
+    }
+}
+
+impl Node<FlightCtx<'_>> for EnergyNode {
+    fn name(&self) -> &str {
+        "energy"
+    }
+
+    fn period(&self) -> SimDuration {
+        SimDuration::ZERO
+    }
+
+    fn tick(&mut self, ctx: &mut FlightCtx<'_>, now: SimTime) -> Result<NodeOutput> {
+        self.telemetry.publish(EnergySample {
+            at: now,
+            battery_pct: ctx.mission.battery.percentage(),
+            total_energy_j: ctx.mission.energy.total_energy().as_joules(),
+        });
+        if ctx.mission.budget_failure().is_some() {
+            self.events.publish(FlightEvent::Aborted);
+            return Ok(NodeOutput::idle());
+        }
+        if let Some((start, max_secs)) = self.watchdog {
+            if now.since(start).as_secs() > max_secs {
+                self.events.publish(FlightEvent::Aborted);
+                return Ok(NodeOutput::idle());
+            }
+        }
+        if let Some(end_secs) = self.session_end_secs {
+            if now.as_secs() >= end_secs {
+                self.events.publish(FlightEvent::Completed);
+            }
+        }
+        Ok(NodeOutput::idle())
+    }
+}
+
+/// Captures a depth frame from the current pose and publishes it on the
+/// latched frame topic. At explicit camera rates, frames a slow mapper never
+/// consumes are simply overwritten — latest-value semantics are the frame
+/// drop model. Frames travel as `Arc`s so consuming the latched value is a
+/// pointer clone, not a pixel-buffer copy.
+pub struct DepthCameraNode {
+    frames: Topic<Arc<DepthImage>>,
+    period: SimDuration,
+}
+
+impl DepthCameraNode {
+    /// Creates the camera node publishing on `frames`.
+    pub fn new(frames: Topic<Arc<DepthImage>>, period: SimDuration) -> Self {
+        DepthCameraNode { frames, period }
+    }
+}
+
+impl Node<FlightCtx<'_>> for DepthCameraNode {
+    fn name(&self) -> &str {
+        "depth_camera"
+    }
+
+    fn period(&self) -> SimDuration {
+        self.period
+    }
+
+    fn tick(&mut self, ctx: &mut FlightCtx<'_>, _now: SimTime) -> Result<NodeOutput> {
+        let frame = ctx.mission.capture_depth();
+        self.frames.publish(Arc::new(frame));
+        Ok(NodeOutput::idle())
+    }
+}
+
+/// Integrates the newest unseen depth frame into the occupancy map, charging
+/// the perception kernels (point-cloud generation, OctoMap update, collision
+/// check, localization). Skips rounds with no new frame.
+pub struct OctoMapNode {
+    frames: Topic<Arc<DepthImage>>,
+    period: SimDuration,
+    last_sequence: u64,
+}
+
+impl OctoMapNode {
+    /// Creates the mapping node consuming `frames`.
+    pub fn new(frames: Topic<Arc<DepthImage>>, period: SimDuration) -> Self {
+        OctoMapNode {
+            frames,
+            period,
+            last_sequence: 0,
+        }
+    }
+}
+
+impl Node<FlightCtx<'_>> for OctoMapNode {
+    fn name(&self) -> &str {
+        "octomap"
+    }
+
+    fn period(&self) -> SimDuration {
+        self.period
+    }
+
+    fn tick(&mut self, ctx: &mut FlightCtx<'_>, _now: SimTime) -> Result<NodeOutput> {
+        let sequence = self.frames.sequence();
+        if sequence == self.last_sequence {
+            return Ok(NodeOutput::idle());
+        }
+        self.last_sequence = sequence;
+        let Some(frame) = self.frames.latest() else {
+            return Ok(NodeOutput::idle());
+        };
+        let kernel_time = ctx.mission.update_map_detailed(&frame);
+        Ok(NodeOutput::kernels(kernel_time))
+    }
+}
+
+/// Samples the trajectory at the current plan time and publishes a clamped
+/// velocity command; publishes [`FlightEvent::Completed`] when the end of
+/// the trajectory has been reached. Charges the configured control kernels
+/// each tick (path tracking alone in the mainline graph; localization + path
+/// tracking for the Scanning sweep).
+pub struct PathTrackerNode {
+    tracker: PathTracker,
+    trajectory: Arc<Trajectory>,
+    timeline: Timeline,
+    kernels: Vec<KernelId>,
+    cap: f64,
+    commands: Topic<Vec3>,
+    events: FifoTopic<FlightEvent>,
+    period: SimDuration,
+}
+
+impl PathTrackerNode {
+    /// Creates the control node for one trajectory-following episode. The
+    /// trajectory handle is shared (not copied) with the collision monitor.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        trajectory: Arc<Trajectory>,
+        timeline: Timeline,
+        kernels: Vec<KernelId>,
+        cap: f64,
+        commands: Topic<Vec3>,
+        events: FifoTopic<FlightEvent>,
+        period: SimDuration,
+    ) -> Self {
+        PathTrackerNode {
+            tracker: PathTracker::new(PathTrackerConfig::default()),
+            trajectory,
+            timeline,
+            kernels,
+            cap,
+            commands,
+            events,
+            period,
+        }
+    }
+}
+
+impl Node<FlightCtx<'_>> for PathTrackerNode {
+    fn name(&self) -> &str {
+        "path_tracker"
+    }
+
+    fn period(&self) -> SimDuration {
+        self.period
+    }
+
+    fn tick(&mut self, ctx: &mut FlightCtx<'_>, now: SimTime) -> Result<NodeOutput> {
+        let kernel_time: Vec<(KernelId, SimDuration)> = self
+            .kernels
+            .iter()
+            .map(|&k| (k, ctx.mission.charge_kernel(k)))
+            .collect();
+        let plan_time = self.timeline.plan_time(now);
+        let state = *ctx.mission.quad.state();
+        let cmd = self.tracker.command(&self.trajectory, &state, plan_time);
+        if cmd.completed {
+            self.events.publish(FlightEvent::Completed);
+            return Ok(NodeOutput::kernels(kernel_time));
+        }
+        self.commands.publish(cmd.velocity.clamp_norm(self.cap));
+        Ok(NodeOutput::kernels(kernel_time))
+    }
+}
+
+/// Collision-checks the remainder of the plan against the (continuously
+/// updated) occupancy map and raises a [`CollisionAlert`] when it is
+/// obstructed. The alert is consumed by the [`PlannerNode`]; at explicit
+/// replan rates the vehicle keeps flying the stale plan until the planner's
+/// next tick — replanning-rate starvation as a schedule property.
+pub struct CollisionMonitorNode {
+    checker: CollisionChecker,
+    trajectory: Arc<Trajectory>,
+    timeline: Timeline,
+    alerts: FifoTopic<CollisionAlert>,
+    period: SimDuration,
+}
+
+impl CollisionMonitorNode {
+    /// Creates the monitor for one episode (sharing the tracker's
+    /// trajectory handle).
+    pub fn new(
+        checker: CollisionChecker,
+        trajectory: Arc<Trajectory>,
+        timeline: Timeline,
+        alerts: FifoTopic<CollisionAlert>,
+        period: SimDuration,
+    ) -> Self {
+        CollisionMonitorNode {
+            checker,
+            trajectory,
+            timeline,
+            alerts,
+            period,
+        }
+    }
+}
+
+impl Node<FlightCtx<'_>> for CollisionMonitorNode {
+    fn name(&self) -> &str {
+        "collision_monitor"
+    }
+
+    fn period(&self) -> SimDuration {
+        self.period
+    }
+
+    fn tick(&mut self, ctx: &mut FlightCtx<'_>, now: SimTime) -> Result<NodeOutput> {
+        let plan_time = self.timeline.plan_time(now);
+        let from_index = self
+            .trajectory
+            .points()
+            .iter()
+            .position(|p| p.time >= plan_time)
+            .unwrap_or(0);
+        if self
+            .checker
+            .first_collision(&ctx.mission.map, &self.trajectory, from_index)
+            .is_some()
+        {
+            self.alerts.publish(CollisionAlert { at: now });
+        }
+        Ok(NodeOutput::idle())
+    }
+}
+
+/// Turns pending collision alerts into a [`FlightEvent::NeedsReplan`],
+/// ending the episode so the application can plan a fresh trajectory (while
+/// hovering, charging the planning kernels). Runs at the replan rate; in the
+/// legacy schedule it reacts in the same round the monitor raised the alert.
+pub struct PlannerNode {
+    alerts: FifoTopic<CollisionAlert>,
+    events: FifoTopic<FlightEvent>,
+    period: SimDuration,
+}
+
+impl PlannerNode {
+    /// Creates the planner trigger.
+    pub fn new(
+        alerts: FifoTopic<CollisionAlert>,
+        events: FifoTopic<FlightEvent>,
+        period: SimDuration,
+    ) -> Self {
+        PlannerNode {
+            alerts,
+            events,
+            period,
+        }
+    }
+}
+
+impl Node<FlightCtx<'_>> for PlannerNode {
+    fn name(&self) -> &str {
+        "planner"
+    }
+
+    fn period(&self) -> SimDuration {
+        self.period
+    }
+
+    fn tick(&mut self, _ctx: &mut FlightCtx<'_>, _now: SimTime) -> Result<NodeOutput> {
+        if !self.alerts.drain().is_empty() {
+            self.events.publish(FlightEvent::NeedsReplan);
+        }
+        Ok(NodeOutput::idle())
+    }
+}
+
+/// Drives an episode graph to its first terminal event.
+///
+/// Steps the executor until a node publishes a [`FlightEvent`]. A node or
+/// context error (none of the built-in nodes produce any) is propagated so
+/// the caller can put the real message into its mission report instead of a
+/// generic abort. The event queue is drained so the graph can be reused for
+/// a subsequent episode.
+///
+/// # Errors
+///
+/// Returns the first error raised by a node's `tick` or the context's
+/// `charge`.
+pub fn run_to_event<'m>(
+    exec: &mut Executor<FlightCtx<'m>>,
+    ctx: &mut FlightCtx<'m>,
+) -> Result<FlightEvent> {
+    loop {
+        exec.step(ctx)?;
+        if let Some(&event) = ctx.events.drain().first() {
+            return Ok(event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MissionConfig;
+    use mav_compute::ApplicationId;
+
+    fn mission() -> MissionContext {
+        let mut cfg = MissionConfig::fast_test(ApplicationId::PackageDelivery).with_seed(9);
+        cfg.environment.extent = 30.0;
+        cfg.environment.obstacle_density = 1.0;
+        MissionContext::new(cfg).unwrap()
+    }
+
+    fn graph_topics() -> (FifoTopic<FlightEvent>, Topic<Vec3>) {
+        (FifoTopic::new("t/events"), Topic::new("t/cmd"))
+    }
+
+    #[test]
+    fn timeline_arithmetic_matches_legacy_formula() {
+        let t = Timeline::EpisodeRelative {
+            episode_start: SimTime::from_secs(10.0),
+            traj_start: SimTime::from_secs(3.0),
+        };
+        assert_eq!(
+            t.plan_time(SimTime::from_secs(12.5)),
+            SimTime::from_secs(3.0) + SimTime::from_secs(12.5).since(SimTime::from_secs(10.0))
+        );
+        assert_eq!(
+            Timeline::MissionClock.plan_time(SimTime::from_secs(7.0)),
+            SimTime::from_secs(7.0)
+        );
+    }
+
+    #[test]
+    fn energy_node_aborts_on_blown_budget() {
+        let mut m = mission();
+        m.config.time_budget_secs = 1.0;
+        m.hover(SimDuration::from_secs(2.0));
+        let (events, commands) = graph_topics();
+        let mut node = EnergyNode::new(events.clone());
+        let telemetry = node.telemetry();
+        let mut fctx = FlightCtx {
+            mission: &mut m,
+            events: events.clone(),
+            commands,
+            min_tick: SimDuration::from_millis(50.0),
+        };
+        let now = fctx.now();
+        node.tick(&mut fctx, now).unwrap();
+        assert_eq!(events.drain(), vec![FlightEvent::Aborted]);
+        let sample = telemetry.latest().unwrap();
+        assert!(sample.battery_pct <= 100.0);
+        assert!(sample.total_energy_j > 0.0);
+    }
+
+    #[test]
+    fn energy_node_watchdog_and_session_end() {
+        let mut m = mission();
+        m.hover(SimDuration::from_secs(5.0));
+        let (events, commands) = graph_topics();
+        let mut node = EnergyNode::new(events.clone()).with_watchdog(mav_types::SimTime::ZERO, 2.0);
+        let mut fctx = FlightCtx {
+            mission: &mut m,
+            events: events.clone(),
+            commands: commands.clone(),
+            min_tick: SimDuration::from_millis(50.0),
+        };
+        let now = fctx.now();
+        node.tick(&mut fctx, now).unwrap();
+        assert_eq!(events.drain(), vec![FlightEvent::Aborted]);
+
+        let mut session = EnergyNode::new(events.clone()).with_session_end(4.0);
+        let mut fctx = FlightCtx {
+            mission: &mut m,
+            events: events.clone(),
+            commands,
+            min_tick: SimDuration::from_millis(50.0),
+        };
+        let now = fctx.now();
+        session.tick(&mut fctx, now).unwrap();
+        assert_eq!(events.drain(), vec![FlightEvent::Completed]);
+    }
+
+    #[test]
+    fn camera_feeds_octomap_through_the_frame_topic() {
+        let mut m = mission();
+        let (events, commands) = graph_topics();
+        let frames: Topic<Arc<DepthImage>> = Topic::new("t/frames");
+        let mut camera = DepthCameraNode::new(frames.clone(), SimDuration::ZERO);
+        let mut mapper = OctoMapNode::new(frames.clone(), SimDuration::ZERO);
+        let mut fctx = FlightCtx {
+            mission: &mut m,
+            events,
+            commands,
+            min_tick: SimDuration::from_millis(50.0),
+        };
+        // No frame yet: the mapper idles.
+        let out = mapper.tick(&mut fctx, SimTime::ZERO).unwrap();
+        assert!(out.total().is_zero());
+        camera.tick(&mut fctx, SimTime::ZERO).unwrap();
+        assert_eq!(frames.sequence(), 1);
+        let out = mapper.tick(&mut fctx, SimTime::ZERO).unwrap();
+        assert!(!out.total().is_zero(), "perception kernels must be charged");
+        assert!(fctx.mission.map.known_voxel_count() > 0);
+        // Same frame again: the mapper must not re-integrate it.
+        let out = mapper.tick(&mut fctx, SimTime::ZERO).unwrap();
+        assert!(out.total().is_zero());
+    }
+
+    #[test]
+    fn charge_flies_the_latest_command() {
+        let mut m = mission();
+        let (events, commands) = graph_topics();
+        commands.publish(Vec3::new(3.0, 0.0, 0.0));
+        let mut fctx = FlightCtx {
+            mission: &mut m,
+            events,
+            commands,
+            min_tick: SimDuration::from_millis(50.0),
+        };
+        fctx.charge(SimDuration::from_secs(2.0), SimDuration::from_millis(50.0))
+            .unwrap();
+        assert!(fctx.mission.clock.now().as_secs() >= 2.0 - 1e-9);
+        assert!(fctx.mission.distance() > 3.0);
+        // Zero consumed still advances by the minimum tick.
+        let before = fctx.mission.clock.now();
+        fctx.charge(SimDuration::ZERO, SimDuration::from_millis(50.0))
+            .unwrap();
+        assert!(fctx.mission.clock.now().since(before).as_millis() >= 50.0 - 1e-9);
+    }
+}

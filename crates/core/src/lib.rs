@@ -27,13 +27,15 @@ pub mod apps;
 pub mod config;
 pub mod context;
 pub mod experiments;
+pub mod flight;
 pub mod microbench;
 pub mod qof;
 pub mod sweep;
 pub mod velocity;
 
 pub use apps::run_mission;
-pub use config::{MissionConfig, ResolutionPolicy};
+pub use config::{MissionConfig, RateConfig, ResolutionPolicy};
 pub use context::{FlightOutcome, MissionContext};
+pub use flight::{FlightCtx, FlightEvent};
 pub use qof::{MissionFailure, MissionReport};
 pub use sweep::{SweepOutcome, SweepPoint, SweepReport, SweepRunner};

@@ -183,43 +183,151 @@ impl OctoMap {
             && point.z.abs() <= self.half_extent
     }
 
-    /// Integrates a single sensor ray: every voxel between `origin` and
-    /// `endpoint` (exclusive) is updated as free, the endpoint voxel as
-    /// occupied. Rays longer than `max_range` are truncated and their endpoint
-    /// treated as free space (no hit).
-    pub fn insert_ray(&mut self, origin: &Vec3, endpoint: &Vec3) {
+    /// Enumerates the in-domain (voxel index, voxel centre, log-odds delta)
+    /// updates of one sensor ray, without touching the tree. Shared by
+    /// [`OctoMap::insert_ray`] and the batched
+    /// [`OctoMap::insert_point_cloud`] so the two can never disagree on ray
+    /// semantics (truncation, hit vs miss, domain filtering). An associated
+    /// function over copies of the cheap geometry state, so callers may
+    /// mutate the tree from inside `apply`.
+    fn for_each_ray_update(
+        grid: GridSpec,
+        config: OctoMapConfig,
+        half_extent: f64,
+        origin: &Vec3,
+        endpoint: &Vec3,
+        mut apply: impl FnMut(GridIndex, Vec3, f64),
+    ) {
         let dir = *endpoint - *origin;
         let range = dir.norm();
         if range <= f64::EPSILON {
             return;
         }
-        let (end, hit) = if range > self.config.max_range {
-            (*origin + dir.normalized() * self.config.max_range, false)
+        let (end, hit) = if range > config.max_range {
+            (*origin + dir.normalized() * config.max_range, false)
         } else {
             (*endpoint, true)
         };
-        let cells = self.grid.traverse(origin, &end);
+        let cells = grid.traverse(origin, &end);
         let n = cells.len();
         for (i, cell) in cells.into_iter().enumerate() {
-            let center = self.grid.center_of(&cell);
-            if !self.in_domain(&center) {
+            let center = grid.center_of(&cell);
+            if center.x.abs() > half_extent
+                || center.y.abs() > half_extent
+                || center.z.abs() > half_extent
+            {
                 continue;
             }
             let is_endpoint = i + 1 == n;
             let delta = if is_endpoint && hit {
-                self.config.hit_log_odds
+                config.hit_log_odds
             } else {
-                -self.config.miss_log_odds
+                -config.miss_log_odds
             };
-            self.update_leaf(&center, delta);
+            apply(cell, center, delta);
         }
     }
 
+    /// Integrates a single sensor ray: every voxel between `origin` and
+    /// `endpoint` (exclusive) is updated as free, the endpoint voxel as
+    /// occupied. Rays longer than `max_range` are truncated and their endpoint
+    /// treated as free space (no hit).
+    pub fn insert_ray(&mut self, origin: &Vec3, endpoint: &Vec3) {
+        let (grid, config, half_extent) = (self.grid, self.config, self.half_extent);
+        Self::for_each_ray_update(
+            grid,
+            config,
+            half_extent,
+            origin,
+            endpoint,
+            |_cell, center, delta| self.update_leaf(&center, delta),
+        );
+    }
+
+    /// Batched insertion pays for its per-crossing bookkeeping only when many
+    /// rays cross each voxel. Sharing grows with ray density and voxel size;
+    /// `points × resolution²` is the calibrated proxy (criterion octomap
+    /// bench, BENCH_pr2.json): below ≈250 ray-by-ray insertion wins, above it
+    /// batching wins (up to ~1.45X on dense scans at coarse resolutions).
+    const BATCH_SHARING_THRESHOLD: f64 = 250.0;
+
     /// Integrates a whole point cloud captured from `cloud.origin`.
+    ///
+    /// When the scan is dense relative to the voxel size (see
+    /// [`OctoMap::BATCH_SHARING_THRESHOLD`]), updates are batched per voxel
+    /// before any tree traversal: voxels close to the sensor are crossed by
+    /// almost every ray of the scan, so grouping the scan's (voxel → ordered
+    /// deltas) first and descending the octree once per *voxel* instead of
+    /// once per *ray crossing* removes the bulk of the traversal work. Both
+    /// paths produce bit-identical maps (see the equivalence test): per-voxel
+    /// delta order (ray order) is preserved and each delta is clamped
+    /// individually.
     pub fn insert_point_cloud(&mut self, cloud: &PointCloud) {
+        let sharing = cloud.len() as f64 * self.config.resolution * self.config.resolution;
+        // The batched path packs voxel indices into 21 bits per axis; a
+        // domain wider than that (multi-km at centimetre resolution) must
+        // take the ray-by-ray path or distinct voxels would alias.
+        let packable = self.half_extent / self.config.resolution < (1u64 << 20) as f64;
+        if sharing < Self::BATCH_SHARING_THRESHOLD || !packable {
+            let origin = cloud.origin;
+            for point in cloud.points() {
+                self.insert_ray(&origin, point);
+            }
+        } else {
+            self.insert_point_cloud_batched(cloud);
+        }
+    }
+
+    /// The batched insertion path: group per-voxel deltas across the whole
+    /// scan, then apply each voxel's ordered sequence in one tree descent.
+    fn insert_point_cloud_batched(&mut self, cloud: &PointCloud) {
         let origin = cloud.origin;
-        for p in cloud.points() {
-            self.insert_ray(&origin, p);
+        let (grid, config, half_extent) = (self.grid, self.config, self.half_extent);
+        // Group per-voxel updates in first-touch order (hash-map iteration
+        // order never leaks into the tree). The first delta is stored inline:
+        // far voxels are crossed by a single ray, so the common case needs no
+        // spill allocation at all. In-domain voxel indices are bounded by
+        // half_extent / resolution, so the key packs into one u64 and costs a
+        // single hash mix per crossing.
+        // Size the table for *distinct* voxels, not crossings: this path only
+        // runs when many rays share each voxel (the sharing gate above), so
+        // dividing the crossing estimate by a conservative sharing factor
+        // avoids allocating a table an order of magnitude too large on every
+        // mapping tick.
+        let crossings_estimate =
+            (cloud.len() as f64 * (config.max_range / config.resolution)) as usize;
+        let mut grouped: Vec<(Vec3, f64, Vec<f64>)> = Vec::new();
+        let mut index_of: HashMap<u64, u32, VoxelHashBuilder> = HashMap::with_capacity_and_hasher(
+            (crossings_estimate / 8).clamp(64, 1 << 18),
+            VoxelHashBuilder::default(),
+        );
+        for point in cloud.points() {
+            Self::for_each_ray_update(
+                grid,
+                config,
+                half_extent,
+                &origin,
+                point,
+                |cell, center, delta| match index_of.entry(pack_voxel_key(&cell)) {
+                    std::collections::hash_map::Entry::Occupied(slot) => {
+                        grouped[*slot.get() as usize].2.push(delta);
+                    }
+                    std::collections::hash_map::Entry::Vacant(slot) => {
+                        slot.insert(grouped.len() as u32);
+                        grouped.push((center, delta, Vec::new()));
+                    }
+                },
+            );
+        }
+        let clamp = config.clamp;
+        for (center, first, rest) in grouped {
+            let count = 1 + rest.len() as u64;
+            self.update_leaf_apply(&center, count, move |log_odds| {
+                *log_odds = (*log_odds + first).clamp(clamp.0, clamp.1);
+                for delta in &rest {
+                    *log_odds = (*log_odds + delta).clamp(clamp.0, clamp.1);
+                }
+            });
         }
     }
 
@@ -365,22 +473,30 @@ impl OctoMap {
     }
 
     fn update_leaf(&mut self, point: &Vec3, delta: f64) {
+        let clamp = self.config.clamp;
+        self.update_leaf_apply(point, 1, move |log_odds| {
+            *log_odds = (*log_odds + delta).clamp(clamp.0, clamp.1);
+        });
+    }
+
+    /// Applies `apply` to the leaf value containing `point` in a single tree
+    /// descent, recording `count` leaf updates. Batched scan insertion folds
+    /// a whole voxel's ordered delta sequence through one descent this way.
+    fn update_leaf_apply<F: FnOnce(&mut f64)>(&mut self, point: &Vec3, count: u64, apply: F) {
         if !self.in_domain(point) {
             return;
         }
-        let clamp = self.config.clamp;
         let depth = self.depth;
         let half = self.half_extent;
         let root = self.root.get_or_insert_with(OctreeNode::new_inner);
-        Self::update_recursive(root, point, delta, clamp, Vec3::ZERO, half, depth);
-        self.updates += 1;
+        Self::update_recursive(root, point, apply, Vec3::ZERO, half, depth);
+        self.updates += count;
     }
 
-    fn update_recursive(
+    fn update_recursive<F: FnOnce(&mut f64)>(
         node: &mut OctreeNode,
         point: &Vec3,
-        delta: f64,
-        clamp: (f64, f64),
+        apply: F,
         center: Vec3,
         half: f64,
         remaining_depth: u32,
@@ -389,12 +505,12 @@ impl OctoMap {
             // Should be a leaf; replace an inner node if one snuck in.
             match node {
                 OctreeNode::Leaf { log_odds } => {
-                    *log_odds = (*log_odds + delta).clamp(clamp.0, clamp.1);
+                    apply(log_odds);
                 }
                 OctreeNode::Inner { .. } => {
-                    *node = OctreeNode::Leaf {
-                        log_odds: delta.clamp(clamp.0, clamp.1),
-                    };
+                    let mut log_odds = 0.0;
+                    apply(&mut log_odds);
+                    *node = OctreeNode::Leaf { log_odds };
                 }
             }
             return;
@@ -412,8 +528,7 @@ impl OctoMap {
                     Self::update_recursive(
                         child,
                         point,
-                        delta,
-                        clamp,
+                        apply,
                         child_center,
                         half / 2.0,
                         remaining_depth - 1,
@@ -432,8 +547,7 @@ impl OctoMap {
                 Self::update_recursive(
                     child,
                     point,
-                    delta,
-                    clamp,
+                    apply,
                     child_center,
                     half / 2.0,
                     remaining_depth - 1,
@@ -467,6 +581,48 @@ impl OctoMap {
         v
     }
 }
+
+/// Packs an in-domain voxel index into one u64 key (21 bits per axis,
+/// offset-biased). Domain-filtered indices are far below the 2^20 bound:
+/// even a 200 m domain at 0.10 m resolution spans only ±2000 cells.
+fn pack_voxel_key(cell: &GridIndex) -> u64 {
+    const BIAS: i64 = 1 << 20;
+    debug_assert!(
+        cell.x.abs() < BIAS && cell.y.abs() < BIAS && cell.z.abs() < BIAS,
+        "voxel index out of packing range: {cell:?}"
+    );
+    (((cell.x + BIAS) as u64) << 42) | (((cell.y + BIAS) as u64) << 21) | ((cell.z + BIAS) as u64)
+}
+
+/// A cheap multiply-xor hasher for packed voxel keys.
+///
+/// Batched scan insertion hashes every ray/voxel crossing; the standard
+/// SipHash costs more per crossing than the tree descent it is meant to
+/// save. Voxel keys are single, adversary-free integers, so one SplitMix-
+/// style mix is plenty.
+#[derive(Clone, Copy, Default)]
+struct VoxelHasher(u64);
+
+impl std::hash::Hasher for VoxelHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.0 = (self.0 ^ u64::from(byte)).wrapping_mul(0x0100_0000_01b3);
+        }
+    }
+
+    fn write_u64(&mut self, value: u64) {
+        let mut x = self.0 ^ value;
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        self.0 = x ^ (x >> 31);
+    }
+}
+
+type VoxelHashBuilder = std::hash::BuildHasherDefault<VoxelHasher>;
 
 /// Index (0..8) and centre of the child octant containing `point`.
 fn child_of(point: &Vec3, center: &Vec3, half: f64) -> (usize, Vec3) {
@@ -698,6 +854,38 @@ mod tests {
         fine.insert_ray(&origin, &end);
         coarse.insert_ray(&origin, &end);
         assert!(fine.update_count() > 3 * coarse.update_count());
+    }
+
+    #[test]
+    fn batched_cloud_insertion_is_bit_identical_to_ray_by_ray() {
+        // The PR 2 perf optimisation groups a scan's updates per voxel before
+        // any tree traversal. The resulting map must be indistinguishable
+        // from the historical ray-by-ray path: same leaf values (ordered
+        // deltas under the same clamp), same update count, same queries.
+        let mut points = Vec::new();
+        for y in -14..=14 {
+            for z in 0..5 {
+                points.push(Vec3::new(11.0, y as f64 * 0.4, z as f64 * 0.45));
+            }
+        }
+        // Include a beyond-max-range ray and a degenerate one.
+        points.push(Vec3::new(200.0, 0.0, 1.0));
+        points.push(Vec3::new(0.0, 0.0, 1.0));
+        let origin = Vec3::new(0.0, 0.0, 1.0);
+        let cloud = PointCloud::new(origin, points.clone());
+
+        let mut batched = small_map(0.3);
+        batched.insert_point_cloud_batched(&cloud);
+        let mut serial = small_map(0.3);
+        for p in &points {
+            serial.insert_ray(&origin, p);
+        }
+        assert_eq!(batched.update_count(), serial.update_count());
+        assert_eq!(batched, serial, "batched insertion changed the map");
+        // And the public (adaptively gated) entry point agrees with both.
+        let mut gated = small_map(0.3);
+        gated.insert_point_cloud(&cloud);
+        assert_eq!(gated, serial, "gated insertion changed the map");
     }
 
     #[test]

@@ -1,11 +1,32 @@
-//! A deterministic closed-loop node executor.
+//! The deterministic closed-loop node executor.
 //!
 //! The executor mirrors the structure of a ROS application: a set of named
-//! nodes, each with an invocation period, run round-robin against the
-//! simulated clock. Each invocation reports the simulated compute latency it
-//! consumed; the executor charges that latency to the clock and to the
-//! [`KernelTimer`], which is exactly how compute speed turns into mission time
-//! in MAVBench.
+//! nodes, each with an invocation period, scheduled against a simulated
+//! mission clock. Every invocation reports the simulated compute latency it
+//! consumed; at the end of each round the executor charges the round's
+//! serialized latency to the scheduling context, which is exactly how compute
+//! speed turns into mission time in MAVBench. Since PR 2 this is the engine
+//! the five benchmark applications actually fly on: `mav_core::flight` wires
+//! camera, mapping, planning, control and energy nodes onto an
+//! [`Executor`] over the live mission state, so kernel latency, frame
+//! staleness and control-rate starvation all emerge from the schedule instead
+//! of being hand-coded into one loop.
+//!
+//! # Determinism contract
+//!
+//! Runs are reproducible by construction:
+//!
+//! * **Same-tick ordering.** All nodes due at the same instant run in
+//!   *registration order*, every time. There is no priority field and no
+//!   hash-ordered container anywhere in the dispatch path.
+//! * **Time only moves through [`NodeContext::charge`].** Nodes never touch
+//!   the clock directly; the context advances it by the round's serialized
+//!   compute latency (or the idle step when nothing ran), so a schedule is a
+//!   pure function of the node set and the context's initial state.
+//! * **Halting is checked after every node.** When the context reports
+//!   [`NodeContext::halted`], the round stops before any later node runs and
+//!   before any latency is charged — mirroring a sequential loop's early
+//!   `return`.
 
 use crate::clock::SimClock;
 use crate::kernel_timer::KernelTimer;
@@ -35,18 +56,72 @@ impl NodeOutput {
         }
     }
 
+    /// An invocation that consumed time in several kernels.
+    pub fn kernels(kernel_time: Vec<(KernelId, SimDuration)>) -> Self {
+        NodeOutput { kernel_time }
+    }
+
     /// Total compute time of this invocation.
     pub fn total(&self) -> SimDuration {
         self.kernel_time.iter().map(|(_, d)| *d).sum()
     }
 }
 
-/// A node in the application graph.
-pub trait Node {
+/// The scheduling context an [`Executor`] runs against.
+///
+/// The context owns mission time. The plain [`SimClock`] implementation turns
+/// the executor into the standalone scheduler used in unit tests and
+/// examples; `mav_core`'s flight context integrates vehicle physics, energy
+/// and battery drain for the charged duration, so "the planner took 600 ms"
+/// literally becomes "the drone flew 600 ms on a stale plan".
+pub trait NodeContext {
+    /// The current mission time.
+    fn now(&self) -> SimTime;
+
+    /// Returns `true` when the run must stop immediately (e.g. a node
+    /// published a terminal event). Checked before every node invocation; a
+    /// halted round charges nothing.
+    fn halted(&self) -> bool {
+        false
+    }
+
+    /// Charges one round's serialized compute latency to mission time.
+    /// `consumed` is the sum over every node that ran this round;
+    /// `idle_step` is the executor's fallback granularity for rounds in which
+    /// no node was due.
+    ///
+    /// # Errors
+    ///
+    /// Contexts may fail the run (e.g. a physics integration error).
+    fn charge(&mut self, consumed: SimDuration, idle_step: SimDuration) -> Result<()>;
+}
+
+impl NodeContext for SimClock {
+    fn now(&self) -> SimTime {
+        SimClock::now(self)
+    }
+
+    fn charge(&mut self, consumed: SimDuration, idle_step: SimDuration) -> Result<()> {
+        self.advance(if consumed.is_zero() {
+            idle_step
+        } else {
+            consumed
+        });
+        Ok(())
+    }
+}
+
+/// A node in the application graph, generic over the scheduling context `C`
+/// it reads and writes (shared state such as the occupancy map lives in the
+/// context; streams such as depth frames travel over
+/// [`Topic`](crate::Topic)s whose handles each node owns).
+pub trait Node<C> {
     /// The node's name (unique within an executor).
     fn name(&self) -> &str;
 
-    /// How often the node wants to run.
+    /// How often the node wants to run. [`SimDuration::ZERO`] means "every
+    /// round" — the node is tick-synchronous with the loop, which is how the
+    /// legacy sequential pipeline is expressed.
     fn period(&self) -> SimDuration;
 
     /// Runs the node once at simulated time `now`.
@@ -55,11 +130,11 @@ pub trait Node {
     ///
     /// Nodes may fail (e.g. a planner that cannot find a path); the executor
     /// surfaces the first error to its caller.
-    fn tick(&mut self, now: SimTime) -> Result<NodeOutput>;
+    fn tick(&mut self, ctx: &mut C, now: SimTime) -> Result<NodeOutput>;
 }
 
-struct Registration {
-    node: Box<dyn Node>,
+struct Registration<C> {
+    node: Box<dyn Node<C>>,
     next_due: SimTime,
 }
 
@@ -69,59 +144,53 @@ struct Registration {
 ///
 /// ```
 /// use mav_compute::KernelId;
-/// use mav_runtime::{Executor, Node, NodeOutput};
+/// use mav_runtime::{Executor, Node, NodeOutput, SimClock};
 /// use mav_types::{Result, SimDuration, SimTime};
 ///
 /// struct Heartbeat(u32);
-/// impl Node for Heartbeat {
+/// impl Node<SimClock> for Heartbeat {
 ///     fn name(&self) -> &str { "heartbeat" }
 ///     fn period(&self) -> SimDuration { SimDuration::from_millis(100.0) }
-///     fn tick(&mut self, _now: SimTime) -> Result<NodeOutput> {
+///     fn tick(&mut self, _ctx: &mut SimClock, _now: SimTime) -> Result<NodeOutput> {
 ///         self.0 += 1;
 ///         Ok(NodeOutput::kernel(KernelId::PathTracking, SimDuration::from_millis(1.0)))
 ///     }
 /// }
 ///
+/// let mut clock = SimClock::new();
 /// let mut exec = Executor::new();
 /// exec.add_node(Heartbeat(0));
-/// exec.run_for(SimDuration::from_secs(1.0)).unwrap();
+/// exec.run_for(&mut clock, SimDuration::from_secs(1.0)).unwrap();
 /// assert!(exec.timer().invocations(KernelId::PathTracking) >= 9);
 /// ```
-pub struct Executor {
-    clock: SimClock,
-    nodes: Vec<Registration>,
+pub struct Executor<C> {
+    nodes: Vec<Registration<C>>,
     timer: KernelTimer,
-    /// The physics/step granularity the executor advances by when no node is
-    /// due. Defaults to 50 ms.
+    /// The granularity the context is asked to advance by when no node is
+    /// due in a round. Defaults to 50 ms.
     pub idle_step: SimDuration,
 }
 
-impl Executor {
-    /// Creates an empty executor at mission time zero.
+impl<C: NodeContext> Executor<C> {
+    /// Creates an empty executor.
     pub fn new() -> Self {
         Executor {
-            clock: SimClock::new(),
             nodes: Vec::new(),
             timer: KernelTimer::new(),
             idle_step: SimDuration::from_millis(50.0),
         }
     }
 
-    /// Registers a node. Nodes run in registration order when due at the same
-    /// instant, which keeps runs reproducible.
-    pub fn add_node<N: Node + 'static>(&mut self, node: N) {
+    /// Registers a node. Nodes due at the same instant run in registration
+    /// order — the same-tick ordering contract that keeps runs reproducible.
+    pub fn add_node<N: Node<C> + 'static>(&mut self, node: N) {
         self.nodes.push(Registration {
             node: Box::new(node),
             next_due: SimTime::ZERO,
         });
     }
 
-    /// The mission clock.
-    pub fn clock(&self) -> &SimClock {
-        &self.clock
-    }
-
-    /// The accumulated per-kernel timing.
+    /// The accumulated per-kernel timing across every node invocation.
     pub fn timer(&self) -> &KernelTimer {
         &self.timer
     }
@@ -131,59 +200,70 @@ impl Executor {
         self.nodes.len()
     }
 
-    /// Runs every due node once and advances the clock.
+    /// Registered node names in registration (dispatch) order.
+    pub fn node_names(&self) -> Vec<&str> {
+        self.nodes.iter().map(|r| r.node.name()).collect()
+    }
+
+    /// Runs every due node once (registration order) and charges the round's
+    /// serialized latency to the context. Returns the charged compute time;
+    /// a round halted by the context charges nothing and returns zero.
     ///
     /// # Errors
     ///
-    /// Propagates the first node error.
-    pub fn step(&mut self) -> Result<()> {
-        let now = self.clock.now();
+    /// Propagates the first node or context error.
+    pub fn step(&mut self, ctx: &mut C) -> Result<SimDuration> {
+        if ctx.halted() {
+            return Ok(SimDuration::ZERO);
+        }
+        let now = ctx.now();
         let mut consumed = SimDuration::ZERO;
         for reg in &mut self.nodes {
             if reg.next_due <= now {
-                let output = reg.node.tick(now)?;
+                let output = reg.node.tick(ctx, now)?;
                 for (kernel, duration) in &output.kernel_time {
                     self.timer.record(*kernel, *duration);
                 }
                 consumed += output.total();
                 reg.next_due = now + reg.node.period();
+                // A terminal event ends the round exactly where a sequential
+                // loop would `return`: later nodes do not run and the clock
+                // does not move.
+                if ctx.halted() {
+                    return Ok(SimDuration::ZERO);
+                }
             }
         }
-        // The serialized compute time of this round plus (if nothing ran) an
-        // idle step moves the clock forward.
-        if consumed.is_zero() {
-            self.clock.advance(self.idle_step);
-        } else {
-            self.clock.advance(consumed);
-        }
-        Ok(())
+        ctx.charge(consumed, self.idle_step)?;
+        Ok(consumed)
     }
 
-    /// Runs until the mission clock has advanced by `duration`.
+    /// Runs rounds until the context's clock has advanced by `duration` (or
+    /// the context halts).
     ///
     /// # Errors
     ///
-    /// Propagates the first node error.
-    pub fn run_for(&mut self, duration: SimDuration) -> Result<()> {
-        let deadline = self.clock.now() + duration;
-        while self.clock.now() < deadline {
-            self.step()?;
+    /// Propagates the first node or context error.
+    pub fn run_for(&mut self, ctx: &mut C, duration: SimDuration) -> Result<()> {
+        let deadline = ctx.now() + duration;
+        while ctx.now() < deadline && !ctx.halted() {
+            self.step(ctx)?;
         }
         Ok(())
     }
 }
 
-impl Default for Executor {
+impl<C: NodeContext> Default for Executor<C> {
     fn default() -> Self {
         Executor::new()
     }
 }
 
-impl fmt::Debug for Executor {
+impl<C> fmt::Debug for Executor<C> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Executor")
-            .field("now", &self.clock.now())
             .field("nodes", &self.nodes.len())
+            .field("idle_step", &self.idle_step)
             .finish()
     }
 }
@@ -215,14 +295,14 @@ mod tests {
         }
     }
 
-    impl Node for Counter {
+    impl Node<SimClock> for Counter {
         fn name(&self) -> &str {
             &self.name
         }
         fn period(&self) -> SimDuration {
             self.period
         }
-        fn tick(&mut self, _now: SimTime) -> Result<NodeOutput> {
+        fn tick(&mut self, _ctx: &mut SimClock, _now: SimTime) -> Result<NodeOutput> {
             self.count += 1;
             if Some(self.count) == self.fail_at {
                 return Err(MavError::runtime("node failed"));
@@ -233,6 +313,7 @@ mod tests {
 
     #[test]
     fn nodes_run_at_their_period() {
+        let mut clock = SimClock::new();
         let mut exec = Executor::new();
         exec.add_node(Counter::new("fast", 100.0, 10.0, KernelId::PathTracking));
         exec.add_node(Counter::new(
@@ -241,7 +322,8 @@ mod tests {
             200.0,
             KernelId::MotionPlanning,
         ));
-        exec.run_for(SimDuration::from_secs(5.0)).unwrap();
+        exec.run_for(&mut clock, SimDuration::from_secs(5.0))
+            .unwrap();
         let fast = exec.timer().invocations(KernelId::PathTracking);
         let slow = exec.timer().invocations(KernelId::MotionPlanning);
         assert!(
@@ -250,10 +332,12 @@ mod tests {
         );
         assert!(slow >= 3);
         assert_eq!(exec.node_count(), 2);
+        assert_eq!(exec.node_names(), vec!["fast", "slow"]);
     }
 
     #[test]
     fn compute_time_advances_the_clock() {
+        let mut clock = SimClock::new();
         let mut exec = Executor::new();
         exec.add_node(Counter::new(
             "heavy",
@@ -261,7 +345,8 @@ mod tests {
             500.0,
             KernelId::OctomapGeneration,
         ));
-        exec.run_for(SimDuration::from_secs(2.0)).unwrap();
+        exec.run_for(&mut clock, SimDuration::from_secs(2.0))
+            .unwrap();
         // The kernel's simulated time must be accounted on the clock: at
         // least 2 s / 0.5 s = 4 invocations happened, but not many more since
         // each invocation costs 0.5 s of mission time.
@@ -271,18 +356,23 @@ mod tests {
 
     #[test]
     fn idle_executor_still_advances() {
-        let mut exec = Executor::new();
-        exec.run_for(SimDuration::from_secs(1.0)).unwrap();
-        assert!(exec.clock().now().as_secs() >= 1.0);
+        let mut clock = SimClock::new();
+        let mut exec: Executor<SimClock> = Executor::new();
+        exec.run_for(&mut clock, SimDuration::from_secs(1.0))
+            .unwrap();
+        assert!(NodeContext::now(&clock).as_secs() >= 1.0);
     }
 
     #[test]
     fn node_errors_propagate() {
+        let mut clock = SimClock::new();
         let mut exec = Executor::new();
         let mut failing = Counter::new("flaky", 100.0, 1.0, KernelId::PidControl);
         failing.fail_at = Some(3);
         exec.add_node(failing);
-        let err = exec.run_for(SimDuration::from_secs(10.0)).unwrap_err();
+        let err = exec
+            .run_for(&mut clock, SimDuration::from_secs(10.0))
+            .unwrap_err();
         assert!(matches!(err, MavError::Runtime { .. }));
     }
 
@@ -291,6 +381,96 @@ mod tests {
         assert!(NodeOutput::idle().total().is_zero());
         let o = NodeOutput::kernel(KernelId::PathSmoothing, SimDuration::from_millis(55.0));
         assert!((o.total().as_millis() - 55.0).abs() < 1e-9);
-        assert!(!format!("{:?}", Executor::new()).is_empty());
+        let many = NodeOutput::kernels(vec![
+            (KernelId::PathSmoothing, SimDuration::from_millis(5.0)),
+            (KernelId::MotionPlanning, SimDuration::from_millis(7.0)),
+        ]);
+        assert!((many.total().as_millis() - 12.0).abs() < 1e-9);
+        assert!(!format!("{:?}", Executor::<SimClock>::new()).is_empty());
+    }
+
+    /// A context that records the order nodes ran in and can halt on demand.
+    struct Script {
+        clock: SimClock,
+        log: Vec<String>,
+        halt_after: Option<usize>,
+    }
+
+    impl NodeContext for Script {
+        fn now(&self) -> SimTime {
+            self.clock.now()
+        }
+        fn halted(&self) -> bool {
+            self.halt_after.is_some_and(|n| self.log.len() >= n)
+        }
+        fn charge(&mut self, consumed: SimDuration, idle_step: SimDuration) -> Result<()> {
+            self.clock.advance(if consumed.is_zero() {
+                idle_step
+            } else {
+                consumed
+            });
+            Ok(())
+        }
+    }
+
+    struct Tracer(String);
+    impl Node<Script> for Tracer {
+        fn name(&self) -> &str {
+            &self.0
+        }
+        fn period(&self) -> SimDuration {
+            SimDuration::ZERO
+        }
+        fn tick(&mut self, ctx: &mut Script, _now: SimTime) -> Result<NodeOutput> {
+            ctx.log.push(self.0.clone());
+            Ok(NodeOutput::kernel(
+                KernelId::PathTracking,
+                SimDuration::from_millis(10.0),
+            ))
+        }
+    }
+
+    #[test]
+    fn same_tick_nodes_run_in_registration_order() {
+        let mut ctx = Script {
+            clock: SimClock::new(),
+            log: Vec::new(),
+            halt_after: None,
+        };
+        let mut exec = Executor::new();
+        for name in ["sense", "map", "plan", "control"] {
+            exec.add_node(Tracer(name.to_string()));
+        }
+        for _ in 0..3 {
+            exec.step(&mut ctx).unwrap();
+        }
+        assert_eq!(
+            ctx.log,
+            vec![
+                "sense", "map", "plan", "control", // round 1
+                "sense", "map", "plan", "control", // round 2
+                "sense", "map", "plan", "control", // round 3
+            ]
+        );
+    }
+
+    #[test]
+    fn halting_stops_the_round_before_later_nodes_and_charges_nothing() {
+        let mut ctx = Script {
+            clock: SimClock::new(),
+            log: Vec::new(),
+            halt_after: Some(2),
+        };
+        let mut exec = Executor::new();
+        for name in ["a", "b", "c"] {
+            exec.add_node(Tracer(name.to_string()));
+        }
+        let charged = exec.step(&mut ctx).unwrap();
+        assert_eq!(ctx.log, vec!["a", "b"], "node c must not run after halt");
+        assert!(charged.is_zero(), "halted rounds charge nothing");
+        assert!(ctx.clock.now().as_secs() == 0.0, "clock must not move");
+        // A halted context makes further steps no-ops.
+        assert!(exec.step(&mut ctx).unwrap().is_zero());
+        assert_eq!(ctx.log.len(), 2);
     }
 }

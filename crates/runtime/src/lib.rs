@@ -5,8 +5,12 @@
 //! The original MAVBench structures each workload as a ROS graph whose nodes
 //! exchange messages over publish/subscribe topics and whose kernel latencies
 //! directly shape mission time. This crate provides the same structure without
-//! ROS: nodes are trait objects, topics are typed in-process channels, and all
-//! time is simulated so runs are reproducible.
+//! ROS: nodes are trait objects generic over a scheduling context, topics are
+//! typed in-process channels, and all time is simulated so runs are
+//! reproducible. The five MAVBench applications fly on this executor — see
+//! `mav_core::flight` for the camera/mapping/planning/control node graph and
+//! [`executor`] for the determinism contract (same-tick registration
+//! ordering, latency charging through [`NodeContext`]).
 //!
 //! # Example
 //!
@@ -30,6 +34,6 @@ pub mod kernel_timer;
 pub mod topic;
 
 pub use clock::SimClock;
-pub use executor::{Executor, Node, NodeOutput};
+pub use executor::{Executor, Node, NodeContext, NodeOutput};
 pub use kernel_timer::KernelTimer;
 pub use topic::{FifoTopic, Topic};

@@ -1,11 +1,14 @@
-//! A minimal JSON document model and the [`ToJson`] trait.
+//! A minimal JSON document model, parser and the [`ToJson`] trait.
 //!
 //! The offline build cannot use `serde_json`, so machine-readable output
 //! (`--json` on the harness binaries, sweep reports, bench baselines) goes
 //! through this hand-rolled value type instead. Each crate implements
 //! [`ToJson`] for its own types; rendering is deterministic (object keys keep
 //! insertion order, floats use Rust's shortest-roundtrip formatting) so equal
-//! values always render to identical text.
+//! values always render to identical text. [`Json::parse`] is the matching
+//! reader — CI pipes harness `--json` output through it (the `json_check`
+//! binary) so a malformed document fails the build instead of a figure
+//! script.
 
 use std::fmt;
 
@@ -97,6 +100,30 @@ impl Json {
         }
     }
 
+    /// Parses a JSON document: accepts every rendering the `Display`/pretty
+    /// writers produce. Note one asymmetry in the value model rather than
+    /// the text: whole-valued floats render without a decimal point
+    /// (`Json::Number(8.0)` → `8`), so they parse back as [`Json::Integer`];
+    /// the *text* round-trips exactly, the enum variant may not.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`JsonParseError`] with a byte offset and message for the
+    /// first syntax error, trailing garbage, or excessive nesting.
+    pub fn parse(input: &str) -> Result<Json, JsonParseError> {
+        let mut parser = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        parser.skip_whitespace();
+        let value = parser.parse_value(0)?;
+        parser.skip_whitespace();
+        if parser.pos != parser.bytes.len() {
+            return Err(parser.error("trailing characters after the document"));
+        }
+        Ok(value)
+    }
+
     /// Compact single-line rendering.
     pub fn to_string_compact(&self) -> String {
         format!("{self}")
@@ -149,6 +176,306 @@ impl Json {
             }
             other => out.push_str(&other.to_string()),
         }
+    }
+}
+
+/// A JSON syntax error with the byte offset it occurred at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonParseError {
+    /// Byte offset into the input where parsing failed.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for JsonParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for JsonParseError {}
+
+/// Maximum nesting depth accepted by [`Json::parse`] (keeps the recursive
+/// parser clear of the stack guard on adversarial input).
+const MAX_PARSE_DEPTH: usize = 256;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn error(&self, message: impl Into<String>) -> JsonParseError {
+        JsonParseError {
+            offset: self.pos,
+            message: message.into(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonParseError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn consume_literal(&mut self, literal: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(literal.as_bytes()) {
+            self.pos += literal.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self, depth: usize) -> Result<Json, JsonParseError> {
+        if depth > MAX_PARSE_DEPTH {
+            return Err(self.error("document nested too deeply"));
+        }
+        match self.peek() {
+            None => Err(self.error("unexpected end of input")),
+            Some(b'n') => {
+                if self.consume_literal("null") {
+                    Ok(Json::Null)
+                } else {
+                    Err(self.error("invalid literal"))
+                }
+            }
+            Some(b't') => {
+                if self.consume_literal("true") {
+                    Ok(Json::Bool(true))
+                } else {
+                    Err(self.error("invalid literal"))
+                }
+            }
+            Some(b'f') => {
+                if self.consume_literal("false") {
+                    Ok(Json::Bool(false))
+                } else {
+                    Err(self.error("invalid literal"))
+                }
+            }
+            Some(b'"') => self.parse_string().map(Json::String),
+            Some(b'[') => self.parse_array(depth),
+            Some(b'{') => self.parse_object(depth),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(other) => Err(self.error(format!("unexpected character `{}`", other as char))),
+        }
+    }
+
+    fn parse_array(&mut self, depth: usize) -> Result<Json, JsonParseError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.parse_value(depth + 1)?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.error("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self, depth: usize) -> Result<Json, JsonParseError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            let value = self.parse_value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                _ => return Err(self.error("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, JsonParseError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000C}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let unit = self.parse_hex4()?;
+                            // Combine a surrogate pair when one follows.
+                            let c = if (0xD800..0xDC00).contains(&unit) {
+                                if !self.consume_literal("\\u") {
+                                    return Err(self.error("unpaired surrogate"));
+                                }
+                                let low = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(self.error("invalid low surrogate"));
+                                }
+                                let code = 0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(code)
+                            } else {
+                                char::from_u32(unit)
+                            };
+                            match c {
+                                Some(c) => out.push(c),
+                                None => return Err(self.error("invalid unicode escape")),
+                            }
+                            continue; // parse_hex4 already advanced past the digits
+                        }
+                        _ => return Err(self.error("invalid escape sequence")),
+                    }
+                    self.pos += 1;
+                }
+                // Strict JSON: control characters must be escaped; a raw one
+                // means the renderer regressed — exactly what CI's
+                // json_check exists to catch.
+                Some(byte) if byte < 0x20 => {
+                    return Err(self.error("unescaped control character in string"));
+                }
+                Some(_) => {
+                    // Consume one UTF-8 character (input is a &str, so the
+                    // byte stream is valid UTF-8; find the char boundary).
+                    let start = self.pos;
+                    let mut end = start + 1;
+                    while end < self.bytes.len() && (self.bytes[end] & 0xC0) == 0x80 {
+                        end += 1;
+                    }
+                    let slice = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| self.error("invalid UTF-8"))?;
+                    out.push_str(slice);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, JsonParseError> {
+        let end = self.pos + 4;
+        if end > self.bytes.len() {
+            return Err(self.error("truncated unicode escape"));
+        }
+        // Exactly four ASCII hex digits — from_str_radix alone would also
+        // accept a leading `+`, which strict JSON forbids.
+        if !self.bytes[self.pos..end]
+            .iter()
+            .all(|byte| byte.is_ascii_hexdigit())
+        {
+            return Err(self.error("invalid unicode escape"));
+        }
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| self.error("invalid unicode escape"))?;
+        let value =
+            u32::from_str_radix(hex, 16).map_err(|_| self.error("invalid unicode escape"))?;
+        self.pos = end;
+        Ok(value)
+    }
+
+    /// Consumes one or more ASCII digits; errors if none are present.
+    fn parse_digits(&mut self) -> Result<(), JsonParseError> {
+        if !matches!(self.peek(), Some(b'0'..=b'9')) {
+            return Err(self.error("expected a digit"));
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        Ok(())
+    }
+
+    /// Parses a number under the strict JSON grammar
+    /// (`-?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?`): lenient forms such
+    /// as `1.`, `-.5` or `007` are rejected so the CI validator flags a
+    /// renderer emitting them before a stricter downstream parser does.
+    fn parse_number(&mut self) -> Result<Json, JsonParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        // Integer part: a lone zero, or a non-zero digit followed by more.
+        match self.peek() {
+            Some(b'0') => self.pos += 1,
+            Some(b'1'..=b'9') => self.parse_digits()?,
+            _ => return Err(self.error("expected a digit")),
+        }
+        if matches!(self.peek(), Some(b'0'..=b'9')) {
+            return Err(self.error("leading zeros are not allowed"));
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            self.parse_digits()?;
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            self.parse_digits()?;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("invalid number"))?;
+        if !is_float {
+            if let Ok(value) = text.parse::<i128>() {
+                return Ok(Json::Integer(value));
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Number)
+            .map_err(|_| self.error(format!("invalid number `{text}`")))
     }
 }
 
@@ -368,6 +695,105 @@ mod tests {
         let pretty = doc.to_string_pretty();
         assert!(pretty.contains("\n  \"name\": \"sweep\""));
         assert!(pretty.contains("\"empty\": []"));
+    }
+
+    #[test]
+    fn parse_round_trips_compact_and_pretty_renderings() {
+        let doc = Json::object()
+            .field("figure", "fig08b")
+            .field("fast", true)
+            .field("seed", 18_149_964_264_234_262_961u64)
+            .field("nothing", Json::Null)
+            .field("velocity", 7.4532)
+            .field(
+                "cells",
+                vec![
+                    Json::object().field("cores", 4u32).field("ghz", 2.2),
+                    Json::object().field("cores", 2u32).field("ghz", 0.8),
+                ],
+            )
+            .field("empty_array", Json::Array(vec![]))
+            .field("empty_object", Json::object())
+            .field("escape\n\"me\"", "tab\there");
+        assert_eq!(Json::parse(&doc.to_string_compact()).unwrap(), doc);
+        assert_eq!(Json::parse(&doc.to_string_pretty()).unwrap(), doc);
+    }
+
+    #[test]
+    fn parse_accepts_standard_json_forms() {
+        assert_eq!(Json::parse(" null ").unwrap(), Json::Null);
+        assert_eq!(Json::parse("-0.5e2").unwrap(), Json::Number(-50.0));
+        assert_eq!(Json::parse("42").unwrap(), Json::Integer(42));
+        assert_eq!(
+            Json::parse("\"\\u00e9\\u20ac\"").unwrap(),
+            Json::String("é€".to_string())
+        );
+        // Surrogate pair (🚁, U+1F681).
+        assert_eq!(
+            Json::parse("\"\\ud83d\\ude81\"").unwrap(),
+            Json::String("🚁".to_string())
+        );
+        // Raw (non-escaped) multi-byte UTF-8 passes through.
+        assert_eq!(
+            Json::parse("\"héli\"").unwrap(),
+            Json::String("héli".to_string())
+        );
+        assert_eq!(
+            Json::parse("[1, [2, [3]]]").unwrap(),
+            Json::Array(vec![
+                Json::Integer(1),
+                Json::Array(vec![Json::Integer(2), Json::Array(vec![Json::Integer(3)])]),
+            ])
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        for bad in [
+            "",
+            "{",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\" 1}",
+            "nul",
+            "truefalse",
+            "\"unterminated",
+            "\"bad escape \\q\"",
+            "\"\\ud83d\"", // unpaired surrogate
+            "1 2",
+            "{\"a\":1} extra",
+            "--5",
+            "[1 2]",
+            // Strict number grammar: lenient forms a stricter downstream
+            // parser (e.g. Python json.loads) would reject must fail here.
+            "1.",
+            "-.5",
+            ".5",
+            "007",
+            "01",
+            "1e",
+            "1e+",
+            "-",
+            "1.e3",
+            "\"raw\ncontrol\"",
+            "\"raw\tcontrol\"",
+            "\"\\u+041\"",
+            "\"\\u00 1\"",
+        ] {
+            let err = Json::parse(bad).expect_err(&format!("`{bad}` should fail"));
+            assert!(!err.message.is_empty());
+            assert!(!format!("{err}").is_empty());
+        }
+    }
+
+    #[test]
+    fn parse_depth_limit_holds() {
+        let deep = "[".repeat(5000) + &"]".repeat(5000);
+        let err = Json::parse(&deep).unwrap_err();
+        assert!(err.message.contains("deep"));
+        // A reasonable depth still parses.
+        let fine = "[".repeat(100) + &"]".repeat(100);
+        assert!(Json::parse(&fine).is_ok());
     }
 
     #[test]

@@ -1,0 +1,86 @@
+//! The perception-rate sweep: the first experiment only expressible on the
+//! PR 2 node-graph executor, and its paper-predicted direction.
+//!
+//! The paper's Fig. 8b says perception throughput bounds safe velocity:
+//! fewer frames per second mean a staler occupancy map, a larger effective
+//! perception-to-actuation latency, and therefore (Eq. 2) a lower safe
+//! velocity and a longer mission. Here that trend emerges from whole
+//! closed-loop Package Delivery missions whose camera and OctoMap *node
+//! rates* are set in configuration — no code differs between the points.
+
+use mav_core::experiments::{perception_rate_sweep, rate_sweep_scenario};
+use mav_core::{run_mission, MissionConfig, RateConfig};
+
+use mav_compute::ApplicationId;
+
+#[test]
+fn lower_perception_rate_lowers_velocity_and_lengthens_the_mission() {
+    let sweep = perception_rate_sweep(&[20.0, 1.0], rate_sweep_scenario);
+    assert_eq!(sweep.len(), 2);
+    let fast = &sweep[0];
+    let slow = &sweep[1];
+    assert!(
+        fast.report.success(),
+        "20 Hz run failed: {:?}",
+        fast.report.failure
+    );
+    assert!(
+        slow.report.success(),
+        "1 Hz run failed: {:?}",
+        slow.report.failure
+    );
+    // Eq. 2 with the schedule's sensing staleness: the cap must drop hard.
+    assert!(
+        slow.report.velocity_cap < fast.report.velocity_cap * 0.75,
+        "cap did not react to the perception rate: {:.2} vs {:.2} m/s",
+        slow.report.velocity_cap,
+        fast.report.velocity_cap,
+    );
+    // And the mission-level consequence: a longer mission at lower rate.
+    assert!(
+        slow.report.mission_time_secs > fast.report.mission_time_secs * 1.1,
+        "mission time did not lengthen: {:.1} vs {:.1} s",
+        slow.report.mission_time_secs,
+        fast.report.mission_time_secs,
+    );
+}
+
+#[test]
+fn non_legacy_schedules_are_deterministic() {
+    // The multi-rate executor path must be as reproducible as the legacy
+    // one: identical configuration, bit-identical report.
+    let config = || {
+        rate_sweep_scenario(MissionConfig::new(ApplicationId::PackageDelivery)).with_rates(
+            RateConfig::legacy()
+                .with_camera_fps(5.0)
+                .with_mapping_hz(2.0)
+                .with_replan_hz(2.0)
+                .with_control_hz(20.0),
+        )
+    };
+    let a = run_mission(config());
+    let b = run_mission(config());
+    assert_eq!(a, b, "two runs of the same multi-rate schedule diverged");
+    assert!(a.success(), "multi-rate schedule failed: {:?}", a.failure);
+}
+
+#[test]
+fn explicit_legacy_equivalent_rates_still_use_the_executor() {
+    // A schedule with every rate set very high degenerates towards (but need
+    // not equal) the legacy cadence; this pins down that non-legacy plumbing
+    // produces sane missions rather than asserting equality.
+    let cfg = rate_sweep_scenario(MissionConfig::new(ApplicationId::PackageDelivery)).with_rates(
+        RateConfig::legacy()
+            .with_camera_fps(100.0)
+            .with_mapping_hz(100.0)
+            .with_replan_hz(100.0)
+            .with_control_hz(100.0),
+    );
+    let report = run_mission(cfg);
+    assert!(
+        report.success(),
+        "high-rate schedule failed: {:?}",
+        report.failure
+    );
+    assert!(report.distance_m > 40.0);
+}
