@@ -11,6 +11,9 @@
 //! * `--rates cam=15,map=4,plan=2,ctrl=50` — per-node closed-loop rates
 //!   (camera fps, OctoMap Hz, replan Hz, control Hz; any subset — omitted
 //!   nodes stay tick-synchronous, i.e. the legacy schedule);
+//! * `--replan-mode hover-to-plan|plan-in-motion` — what the closed loop
+//!   does on a collision alert (default: the figure's configuration,
+//!   normally hover-to-plan);
 //! * `--help` — usage.
 //!
 //! A binary is a one-liner: `run_figure(NAME, DESCRIPTION, figures::NAME)`.
@@ -19,7 +22,7 @@
 //! user asked for.
 
 use mav_core::sweep::SweepRunner;
-use mav_core::{MissionConfig, RateConfig};
+use mav_core::{MissionConfig, RateConfig, ReplanMode};
 use mav_types::Json;
 
 /// Parsed command-line options shared by every harness binary.
@@ -34,6 +37,10 @@ pub struct Cli {
     /// Closed-loop node rates to impose on every mission (`--rates`); `None`
     /// leaves each figure's configuration (normally the legacy schedule).
     pub rates: Option<RateConfig>,
+    /// Collision-alert replanning policy to impose on every mission
+    /// (`--replan-mode`); `None` leaves each figure's configuration
+    /// (normally hover-to-plan).
+    pub replan_mode: Option<ReplanMode>,
 }
 
 /// What a figure builder hands back to the driver.
@@ -84,6 +91,12 @@ impl Cli {
                         .ok_or_else(|| CliError::Invalid("--rates needs a value".into()))?;
                     cli.rates = Some(parse_rates(&value)?);
                 }
+                "--replan-mode" => {
+                    let value = args
+                        .next()
+                        .ok_or_else(|| CliError::Invalid("--replan-mode needs a value".into()))?;
+                    cli.replan_mode = Some(parse_replan_mode(&value)?);
+                }
                 "--help" | "-h" => return Err(CliError::Help),
                 other => return Err(CliError::Invalid(format!("unknown argument `{other}`"))),
             }
@@ -105,10 +118,25 @@ impl Cli {
         } else {
             config
         };
-        match self.rates {
+        let config = match self.rates {
             Some(rates) => config.with_rates(rates),
             None => config,
+        };
+        match self.replan_mode {
+            Some(mode) => config.with_replan_mode(mode),
+            None => config,
         }
+    }
+}
+
+/// Parses a `--replan-mode` value.
+fn parse_replan_mode(value: &str) -> Result<ReplanMode, CliError> {
+    match value.trim() {
+        "hover-to-plan" | "hover" => Ok(ReplanMode::HoverToPlan),
+        "plan-in-motion" | "motion" => Ok(ReplanMode::PlanInMotion),
+        other => Err(CliError::Invalid(format!(
+            "unknown replan mode `{other}` (expected hover-to-plan or plan-in-motion)"
+        ))),
     }
 }
 
@@ -156,13 +184,16 @@ pub enum CliError {
 fn usage(name: &str, description: &str) -> String {
     format!(
         "{name} — {description}\n\n\
-         usage: {name} [--fast] [--json] [--threads N] [--rates LIST]\n\n\
+         usage: {name} [--fast] [--json] [--threads N] [--rates LIST] [--replan-mode MODE]\n\n\
          options:\n  \
          --fast        run scaled-down scenarios that finish in seconds (alias: --quick)\n  \
          --json        print the figure data as JSON instead of text tables\n  \
          --threads N   worker threads for mission sweeps (default: all cores)\n  \
          --rates LIST  closed-loop node rates, e.g. cam=15,map=4,plan=2,ctrl=50\n                \
          (omitted keys stay tick-synchronous — the legacy schedule)\n  \
+         --replan-mode MODE\n                \
+         collision-alert policy: hover-to-plan (default) ends the episode\n                \
+         and plans while hovering; plan-in-motion replans while flying\n  \
          --help        show this message"
     )
 }
@@ -182,12 +213,17 @@ pub fn run_figure(name: &str, description: &str, body: impl FnOnce(&Cli) -> Figu
                 .field("ctrl", rates.control_hz),
             None => Json::Null,
         };
+        let replan_mode_json = match cli.replan_mode {
+            Some(mode) => Json::String(mode.label().to_string()),
+            None => Json::Null,
+        };
         let document = Json::object()
             .field("figure", name)
             .field("description", description)
             .field("fast", cli.fast)
             .field("threads", cli.runner().threads())
             .field("rates", rates_json)
+            .field("replan_mode", replan_mode_json)
             .field("data", output.json);
         println!("{}", document.to_string_pretty());
     } else {
@@ -264,6 +300,45 @@ mod tests {
             );
         }
         assert!(matches!(parse(&["--rates"]), Err(CliError::Invalid(_))));
+    }
+
+    #[test]
+    fn replan_mode_parses_both_values_and_aliases() {
+        let cli = parse(&["--replan-mode", "plan-in-motion"]).unwrap();
+        assert_eq!(cli.replan_mode, Some(ReplanMode::PlanInMotion));
+        let cli = parse(&["--replan-mode", "hover-to-plan"]).unwrap();
+        assert_eq!(cli.replan_mode, Some(ReplanMode::HoverToPlan));
+        assert_eq!(
+            parse(&["--replan-mode", "motion"]).unwrap().replan_mode,
+            Some(ReplanMode::PlanInMotion)
+        );
+        assert_eq!(
+            parse(&["--replan-mode", "hover"]).unwrap().replan_mode,
+            Some(ReplanMode::HoverToPlan)
+        );
+        // No flag: no override.
+        assert_eq!(parse(&[]).unwrap().replan_mode, None);
+        assert!(matches!(
+            parse(&["--replan-mode", "teleport"]),
+            Err(CliError::Invalid(_))
+        ));
+        assert!(matches!(
+            parse(&["--replan-mode"]),
+            Err(CliError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn scale_applies_replan_mode_to_every_mission() {
+        use mav_compute::ApplicationId;
+        let cli = Cli {
+            replan_mode: Some(ReplanMode::PlanInMotion),
+            ..Cli::default()
+        };
+        let cfg = cli.scale(MissionConfig::new(ApplicationId::PackageDelivery));
+        assert_eq!(cfg.replan_mode, ReplanMode::PlanInMotion);
+        let plain = Cli::default().scale(MissionConfig::new(ApplicationId::PackageDelivery));
+        assert_eq!(plain.replan_mode, ReplanMode::HoverToPlan);
     }
 
     #[test]

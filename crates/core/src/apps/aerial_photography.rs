@@ -5,7 +5,10 @@
 //! a PID controller steers the vehicle to keep the subject centred in frame at
 //! a fixed stand-off distance. The mission lasts as long as the subject can be
 //! tracked; unlike the other workloads a *longer* mission time is better, and
-//! the QoF error metric is the mean framing error.
+//! the QoF error metric is the mean framing error. There is no planned
+//! trajectory to swap, so this is the one application the PR 3 plan topic
+//! does not reach: the follow node *is* the planner, re-aiming every tick —
+//! plan-in-motion by construction.
 
 use crate::context::MissionContext;
 use crate::flight::{EnergyNode, FlightCtx, FlightEvent};

@@ -91,7 +91,10 @@ pub fn explore(
         };
 
         // Control: fly towards the frontier; a re-plan request simply moves on
-        // to the next iteration (the map has changed anyway).
+        // to the next iteration (the map has changed anyway). Under
+        // ReplanMode::PlanInMotion the episode replans towards the frontier
+        // in-flight over the plan topic and only surfaces NeedsReplan as a
+        // fallback when no in-flight plan could be found.
         match ctx.fly_trajectory(&trajectory) {
             FlightOutcome::Completed => {}
             FlightOutcome::NeedsReplan => ctx.note_replan(),

@@ -37,6 +37,14 @@ pub fn pick_destination(ctx: &MissionContext, fraction: f64) -> Option<Vec3> {
 
 /// Flies one leg (current position → `goal`), re-planning as needed.
 /// Returns `Ok(())` on arrival or the mission-ending failure.
+///
+/// Under [`crate::config::ReplanMode::HoverToPlan`] (default) every
+/// collision alert surfaces here as [`FlightOutcome::NeedsReplan`] and this
+/// loop re-plans while the vehicle hovers. Under
+/// [`crate::config::ReplanMode::PlanInMotion`] the episode's planner node
+/// answers alerts in-flight through the plan topic (counting its own
+/// replans), so this loop only sees `NeedsReplan` as the fallback when no
+/// in-flight plan could be found.
 pub fn fly_leg(ctx: &mut MissionContext, goal: Vec3) -> Result<(), MissionFailure> {
     let checker = ctx.collision_checker();
     let planner = ctx.shortest_path_planner(PlannerKind::Rrt);

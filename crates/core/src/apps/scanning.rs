@@ -64,14 +64,17 @@ pub fn run(mut ctx: MissionContext) -> MissionReport {
     // charging localization and path tracking each tick — no camera, map or
     // collision nodes (matching the application's Table I kernel set). The
     // trajectory was smoothed "from now", so the tracker samples it at the
-    // mission clock directly.
+    // mission clock directly. The plan still travels over the latched plan
+    // topic (PR 3) — scanning just never publishes a second plan on it.
     let event = {
         let events: FifoTopic<FlightEvent> = FifoTopic::new("scanning/events");
         let commands: Topic<Vec3> = Topic::new("scanning/velocity_cmd");
+        let plan: Topic<std::sync::Arc<mav_types::Trajectory>> = Topic::new("scanning/plan");
+        plan.publish(std::sync::Arc::new(trajectory));
         let mut exec: Executor<FlightCtx> = Executor::new();
         exec.add_node(EnergyNode::new(events.clone()));
         exec.add_node(PathTrackerNode::new(
-            std::sync::Arc::new(trajectory),
+            plan,
             Timeline::MissionClock,
             vec![KernelId::Localization, KernelId::PathTracking],
             speed,

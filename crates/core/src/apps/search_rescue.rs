@@ -4,6 +4,9 @@
 //! perception stage additionally runs an object-detection kernel every
 //! iteration; the mission ends successfully as soon as a person has been
 //! found (or unsuccessfully when exploration is exhausted without a find).
+//! The flight episodes ride on the shared [`explore`] loop, so the PR 3
+//! replanning modes (hover-to-plan vs plan-in-motion over the latched plan
+//! topic) apply here unchanged.
 
 use crate::apps::mapping::{explore, MappingGoal};
 use crate::context::MissionContext;

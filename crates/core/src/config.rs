@@ -127,6 +127,45 @@ impl RateConfig {
     }
 }
 
+/// What the closed loop does when the collision monitor finds the remaining
+/// plan obstructed (PR 3).
+///
+/// The paper charges planning latency at zero velocity: the vehicle hovers
+/// while the mission planner runs, which is the most expensive place to
+/// spend compute time. [`ReplanMode::PlanInMotion`] makes the alternative a
+/// schedulable policy: the [`crate::flight::PlannerNode`] runs the planning
+/// kernels across executor rounds *while the vehicle keeps flying the stale
+/// plan*, then swaps the fresh trajectory in through the latched plan topic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ReplanMode {
+    /// A collision alert ends the episode; the application re-plans while the
+    /// vehicle hovers (the paper's policy, and the historical behaviour —
+    /// bit-identical under [`RateConfig::legacy`]).
+    #[default]
+    HoverToPlan,
+    /// A collision alert starts an in-flight planning job: the planner
+    /// charges `MotionPlanning`/`PathSmoothing` latency over successive
+    /// rounds while the tracker keeps flying the stale plan, then publishes
+    /// the fresh trajectory on the plan topic.
+    PlanInMotion,
+}
+
+impl ReplanMode {
+    /// The CLI/figure label of this mode.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ReplanMode::HoverToPlan => "hover-to-plan",
+            ReplanMode::PlanInMotion => "plan-in-motion",
+        }
+    }
+}
+
+impl std::fmt::Display for ReplanMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 /// How the OctoMap resolution is chosen during the mission (the paper's
 /// energy case study, Fig. 19).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -238,6 +277,10 @@ pub struct MissionConfig {
     /// Per-node rates of the closed-loop graph (PR 2). The default,
     /// [`RateConfig::legacy`], reproduces the historical sequential loop.
     pub rates: RateConfig,
+    /// What the closed loop does on a collision alert (PR 3). The default,
+    /// [`ReplanMode::HoverToPlan`], reproduces the historical
+    /// end-the-episode-and-hover behaviour.
+    pub replan_mode: ReplanMode,
     /// RNG seed shared by all stochastic components.
     pub seed: u64,
 }
@@ -269,6 +312,7 @@ impl MissionConfig {
             cruise_velocity: 8.0,
             physics_dt: 0.05,
             rates: RateConfig::legacy(),
+            replan_mode: ReplanMode::default(),
             seed: 42,
         }
     }
@@ -307,6 +351,12 @@ impl MissionConfig {
     /// Overrides the closed-loop node rates (builder style).
     pub fn with_rates(mut self, rates: RateConfig) -> Self {
         self.rates = rates;
+        self
+    }
+
+    /// Overrides the collision-alert replanning policy (builder style).
+    pub fn with_replan_mode(mut self, mode: ReplanMode) -> Self {
+        self.replan_mode = mode;
         self
     }
 
@@ -448,6 +498,16 @@ mod tests {
         assert!(cfg.validate().is_err());
         cfg.rates.control_hz = Some(f64::NAN);
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn replan_mode_defaults_to_hover_and_overrides() {
+        let cfg = MissionConfig::new(ApplicationId::PackageDelivery);
+        assert_eq!(cfg.replan_mode, ReplanMode::HoverToPlan);
+        let cfg = cfg.with_replan_mode(ReplanMode::PlanInMotion);
+        assert_eq!(cfg.replan_mode, ReplanMode::PlanInMotion);
+        assert_eq!(ReplanMode::HoverToPlan.label(), "hover-to-plan");
+        assert_eq!(format!("{}", ReplanMode::PlanInMotion), "plan-in-motion");
     }
 
     #[test]

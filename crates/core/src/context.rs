@@ -17,7 +17,7 @@
 use crate::config::{MissionConfig, ResolutionPolicy};
 use crate::flight::{
     CollisionAlert, CollisionMonitorNode, DepthCameraNode, EnergyNode, FlightCtx, FlightEvent,
-    OctoMapNode, PathTrackerNode, PlannerNode, Timeline,
+    InMotionPlanner, OctoMapNode, PathTrackerNode, PlannerNode, Timeline,
 };
 use crate::qof::{MissionFailure, MissionReport};
 use crate::velocity::max_safe_velocity;
@@ -30,6 +30,11 @@ use mav_planning::{CollisionChecker, PlannerConfig, PlannerKind, ShortestPathPla
 use mav_runtime::{Executor, FifoTopic, KernelTimer, SimClock, Topic};
 use mav_sensors::{DepthCamera, DepthImage, DepthNoiseModel};
 use mav_types::{Aabb, Pose, SimDuration, Trajectory, Vec3};
+
+/// In-flight replans allowed per episode under
+/// [`crate::config::ReplanMode::PlanInMotion`] before the planner falls back
+/// to ending the episode (matching the applications' per-leg replan budgets).
+const MAX_INFLIGHT_REPLANS: u32 = 12;
 
 /// Why a trajectory-following episode ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -381,8 +386,12 @@ impl MissionContext {
     /// [`crate::config::RateConfig`]; the legacy schedule runs every node on
     /// every round, reproducing the historical sequential loop bit-for-bit
     /// (depth capture → map update → path tracking → collision check →
-    /// physics for the round's serialized kernel latency). Returns why the
-    /// episode ended.
+    /// physics for the round's serialized kernel latency). The plan travels
+    /// on a latched `Topic<Arc<Trajectory>>`; under
+    /// [`crate::config::ReplanMode::PlanInMotion`] the planner node answers
+    /// collision alerts by publishing a fresh trajectory on that topic while
+    /// the vehicle keeps flying, instead of ending the episode. Returns why
+    /// the episode ended.
     pub fn fly_trajectory(&mut self, trajectory: &Trajectory) -> FlightOutcome {
         if trajectory.is_empty() {
             return FlightOutcome::Completed;
@@ -393,49 +402,81 @@ impl MissionContext {
         let Some(first) = trajectory.first() else {
             return FlightOutcome::Completed;
         };
+        let goal = trajectory.last().map(|p| p.position);
         let timeline = Timeline::EpisodeRelative {
             episode_start: start_time,
             traj_start: first.time,
         };
         // Guard against pathological plans: bound the episode duration.
-        let max_episode = trajectory.duration_secs() * 4.0 + 60.0;
+        let max_episode = crate::flight::episode_watchdog_budget(trajectory);
         let rates = self.config.rates;
+        let replan_mode = self.config.replan_mode;
 
         let events: FifoTopic<FlightEvent> = FifoTopic::new("flight/events");
         let commands: Topic<Vec3> = Topic::new("flight/velocity_cmd");
         let frames: Topic<std::sync::Arc<DepthImage>> = Topic::new("flight/depth_frames");
         let alerts: FifoTopic<CollisionAlert> = FifoTopic::new("flight/collision_alerts");
-        // One copy of the plan, shared read-only by tracker and monitor.
-        let trajectory = std::sync::Arc::new(trajectory.clone());
+        // The latched plan topic: seeded with the episode's trajectory,
+        // re-published by the planner on an in-motion replan, observed by
+        // tracker and monitor through sequence-numbered subscriptions.
+        let plan: Topic<std::sync::Arc<Trajectory>> = Topic::new("flight/plan");
+        plan.publish(std::sync::Arc::new(trajectory.clone()));
+        // Latched threat topic: the nearest flagged obstruction while an
+        // in-motion planning job runs (`None` once released). The tracker
+        // checks its distance on every tick and brakes inside the stopping
+        // distance. Never published in hover-to-plan mode.
+        let threats: Topic<Option<Vec3>> = Topic::new("flight/replan_threats");
 
         // Registration order is dispatch order: sensing feeds mapping feeds
         // control feeds the collision monitor, with the energy watchdog ahead
         // of everything (the budget check opens every round).
         let mut exec: Executor<FlightCtx> = Executor::new();
-        exec.add_node(EnergyNode::new(events.clone()).with_watchdog(start_time, max_episode));
+        let mut energy = EnergyNode::new(events.clone()).with_watchdog(start_time, max_episode);
+        if replan_mode == crate::config::ReplanMode::PlanInMotion {
+            // An in-flight replan re-arms the watchdog for the fresh plan.
+            energy = energy.with_plan_watchdog(plan.clone());
+        }
+        exec.add_node(energy);
         exec.add_node(DepthCameraNode::new(frames.clone(), rates.camera_period()));
         exec.add_node(OctoMapNode::new(frames, rates.mapping_period()));
-        exec.add_node(PathTrackerNode::new(
-            std::sync::Arc::clone(&trajectory),
+        let mut tracker_node = PathTrackerNode::new(
+            plan.clone(),
             timeline,
             vec![KernelId::PathTracking],
             cap,
             commands.clone(),
             events.clone(),
             rates.control_period(),
-        ));
+        );
+        if replan_mode == crate::config::ReplanMode::PlanInMotion {
+            tracker_node =
+                tracker_node.with_brake_guard(threats.clone(), self.config.stopping_distance);
+        }
+        exec.add_node(tracker_node);
         exec.add_node(CollisionMonitorNode::new(
             checker,
-            trajectory,
+            plan.clone(),
             timeline,
             alerts.clone(),
             rates.replan_period(),
         ));
-        exec.add_node(PlannerNode::new(
-            alerts,
-            events.clone(),
-            rates.replan_period(),
-        ));
+        let mut planner_node = PlannerNode::new(alerts, events.clone(), rates.replan_period());
+        if replan_mode == crate::config::ReplanMode::PlanInMotion {
+            if let Some(goal) = goal {
+                planner_node = planner_node.with_in_motion(InMotionPlanner {
+                    plan,
+                    planner: self.shortest_path_planner(PlannerKind::Rrt),
+                    checker,
+                    goal,
+                    max_acceleration: self.config.quadrotor.max_acceleration,
+                    max_replans: MAX_INFLIGHT_REPLANS,
+                    commands: commands.clone(),
+                    threats,
+                    stopping_distance: self.config.stopping_distance,
+                });
+            }
+        }
+        exec.add_node(planner_node);
 
         let mut flight_ctx = FlightCtx {
             mission: self,

@@ -12,7 +12,7 @@
 //! honour `--threads`. Results are bit-identical across thread counts — see
 //! [`crate::sweep`] for the determinism contract.
 
-use crate::config::{MissionConfig, RateConfig, ResolutionPolicy};
+use crate::config::{MissionConfig, RateConfig, ReplanMode, ResolutionPolicy};
 use crate::qof::MissionReport;
 use crate::sweep::{SweepPoint, SweepRunner};
 use mav_compute::{ApplicationId, CloudConfig, KernelId, OperatingPoint};
@@ -386,6 +386,80 @@ pub fn perception_rate_sweep_with(
             report: outcome.report,
         })
         .collect()
+}
+
+/// One row of the replanning-policy comparison (PR 3): the same mission under
+/// [`ReplanMode::HoverToPlan`] and [`ReplanMode::PlanInMotion`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReplanModeRow {
+    /// The policy this mission flew under.
+    pub mode: ReplanMode,
+    /// The mission report it produced.
+    pub report: MissionReport,
+}
+
+impl ToJson for ReplanModeRow {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .field("mode", self.mode.label())
+            .field("replans", self.report.replans)
+            .field("mission_time_secs", self.report.mission_time_secs)
+            .field("hover_time_secs", self.report.hover_time_secs)
+            .field("energy_kj", self.report.energy_kj())
+            .field("report", self.report.to_json())
+    }
+}
+
+/// Runs the replanning-policy comparison: the identical Package Delivery
+/// mission once per [`ReplanMode`], both missions in parallel.
+///
+/// The paper charges planning latency while hovering — the most expensive
+/// possible policy, since every planner millisecond is a millisecond of
+/// zero progress at full rotor power. Plan-in-motion runs the same planning
+/// kernels on the node-graph executor *while the vehicle keeps flying the
+/// stale plan*, so at equal collision(-alert) counts the mission strictly
+/// shortens — compare the rows' `replans` to confirm the counts match.
+pub fn replan_mode_sweep(configure: impl Fn(MissionConfig) -> MissionConfig) -> Vec<ReplanModeRow> {
+    replan_mode_sweep_with(&SweepRunner::new(), configure)
+}
+
+/// [`replan_mode_sweep`] on an explicit [`SweepRunner`].
+pub fn replan_mode_sweep_with(
+    runner: &SweepRunner,
+    configure: impl Fn(MissionConfig) -> MissionConfig,
+) -> Vec<ReplanModeRow> {
+    let modes = [ReplanMode::HoverToPlan, ReplanMode::PlanInMotion];
+    let points: Vec<SweepPoint> = modes
+        .iter()
+        .map(|&mode| {
+            let config = configure(MissionConfig::new(ApplicationId::PackageDelivery))
+                .with_replan_mode(mode);
+            SweepPoint::new(mode.label(), config)
+        })
+        .collect();
+    runner
+        .run(points)
+        .outcomes
+        .into_iter()
+        .zip(modes)
+        .map(|(outcome, mode)| ReplanModeRow {
+            mode,
+            report: outcome.report,
+        })
+        .collect()
+}
+
+/// The scenario the replanning-policy comparison (and its direction test)
+/// runs on: a dense, initially-unknown obstacle field, so the optimistic
+/// initial plan (planned through unexplored space) is reliably obstructed by
+/// real obstacles discovered at camera range mid-flight — the situation in
+/// which the two policies differ. Legs are long enough that the replanning
+/// policy visibly moves the mission time.
+pub fn replan_scenario(config: MissionConfig) -> MissionConfig {
+    let mut cfg = quick_config(config).with_seed(1);
+    cfg.environment.extent = 70.0;
+    cfg.environment.obstacle_density = 3.0;
+    cfg
 }
 
 /// The scenario the perception-rate sweep (and its direction tests) run on:

@@ -12,7 +12,25 @@
 //!   DepthCameraNode ──frames─▶ OctoMapNode ──(map in MissionContext)
 //!   PathTrackerNode ─────────▶ commands (velocity), events (completed)
 //!   CollisionMonitorNode ──alerts─▶ PlannerNode ─▶ events (needs-replan)
+//!                                        │
+//!                 plan topic (latched)   ▼  PlanInMotion only
+//!   PathTrackerNode ◀──── Topic<Arc<Trajectory>> ◀──── fresh trajectory
+//!   CollisionMonitorNode ◀──┘  (swap detected by sequence number)
 //! ```
+//!
+//! Since PR 3 the trajectory the tracker and monitor fly is not a frozen
+//! `Arc<Trajectory>` handle but a *latched plan topic*
+//! (`Topic<Arc<Trajectory>>`): both nodes hold a [`PlanSubscription`] and
+//! swap to the newest plan whenever the topic's sequence number advances.
+//! Under [`crate::config::ReplanMode::PlanInMotion`] the [`PlannerNode`]
+//! reacts to a collision alert by running a multi-round planning job —
+//! charging the `MotionPlanning` and `PathSmoothing` kernels across
+//! successive executor rounds while the vehicle keeps flying the stale plan —
+//! and then publishes the fresh trajectory on the plan topic, so planning
+//! latency is paid at cruise velocity instead of at hover. Under the default
+//! [`crate::config::ReplanMode::HoverToPlan`] the planner keeps the
+//! historical behaviour: the alert ends the episode and the application
+//! re-plans while hovering.
 //!
 //! Each node has its own period from [`crate::config::RateConfig`]; nodes
 //! due at the same
@@ -33,7 +51,7 @@
 use crate::context::MissionContext;
 use mav_compute::KernelId;
 use mav_control::{PathTracker, PathTrackerConfig};
-use mav_planning::CollisionChecker;
+use mav_planning::{CollisionChecker, PathSmoother, ShortestPathPlanner, SmootherConfig};
 use mav_runtime::{Executor, FifoTopic, Node, NodeContext, NodeOutput, Topic};
 use mav_sensors::DepthImage;
 use mav_types::{Result, SimDuration, SimTime, Trajectory, Vec3};
@@ -50,11 +68,28 @@ pub enum FlightEvent {
     Aborted,
 }
 
+impl FlightEvent {
+    /// Severity used by [`run_to_event`] to resolve rounds that drained more
+    /// than one terminal event: an abort always outranks a replan request,
+    /// which outranks completion, independent of node registration order.
+    fn severity(self) -> u8 {
+        match self {
+            FlightEvent::Aborted => 2,
+            FlightEvent::NeedsReplan => 1,
+            FlightEvent::Completed => 0,
+        }
+    }
+}
+
 /// A collision alert raised by the monitor, consumed by the planner.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CollisionAlert {
     /// When the colliding plan segment was detected.
     pub at: SimTime,
+    /// Position of the first colliding plan sample: the in-motion planner
+    /// brakes when this threat is inside the stopping distance instead of
+    /// blind-flying the stale plan into it.
+    pub position: Vec3,
 }
 
 /// One energy/battery telemetry sample published by [`EnergyNode`].
@@ -95,6 +130,85 @@ impl Timeline {
                 traj_start,
             } => traj_start + now.since(episode_start),
         }
+    }
+}
+
+/// The episode watchdog budget for a plan: generous slack over the plan's
+/// own duration, so tracking corrections never trip a healthy episode.
+/// Shared by [`MissionContext::fly_trajectory`](crate::context::MissionContext::fly_trajectory)
+/// (the initial guard) and [`EnergyNode`]'s plan-watchdog re-arm, so an
+/// in-flight replan always restarts the watchdog with the same formula the
+/// episode began with.
+pub fn episode_watchdog_budget(trajectory: &Trajectory) -> f64 {
+    trajectory.duration_secs() * 4.0 + 60.0
+}
+
+/// A node's subscription to the latched plan topic.
+///
+/// The tracker and monitor do not hold frozen `Arc<Trajectory>` handles any
+/// more: they hold one of these, and [`PlanSubscription::refresh`] swaps in
+/// the newest published plan whenever the topic's sequence number advances —
+/// which is how an in-flight replan propagates through the graph. The
+/// initial plan (published before the nodes are constructed) keeps the
+/// episode's constructor-supplied [`Timeline`]; every *later* plan was
+/// smoothed "from now" at publication, so subscribers sample it at
+/// [`Timeline::MissionClock`]. Cloned `Topic` handles share state across
+/// threads, so subscriptions work unchanged on the `SweepRunner` path.
+#[derive(Debug)]
+pub struct PlanSubscription {
+    topic: Topic<Arc<Trajectory>>,
+    sequence: u64,
+    trajectory: Arc<Trajectory>,
+    timeline: Timeline,
+}
+
+impl PlanSubscription {
+    /// Subscribes to `topic`, snapshotting the currently latched plan (the
+    /// episode's initial trajectory) and sampling it on `timeline`.
+    pub fn new(topic: Topic<Arc<Trajectory>>, timeline: Timeline) -> Self {
+        let trajectory = topic
+            .latest()
+            .unwrap_or_else(|| Arc::new(Trajectory::new()));
+        let sequence = topic.sequence();
+        PlanSubscription {
+            topic,
+            sequence,
+            trajectory,
+            timeline,
+        }
+    }
+
+    /// Swaps in the newest plan if the topic's sequence number advanced since
+    /// the last call. Returns `true` when a swap happened.
+    pub fn refresh(&mut self) -> bool {
+        let sequence = self.topic.sequence();
+        if sequence == self.sequence {
+            return false;
+        }
+        self.sequence = sequence;
+        if let Some(trajectory) = self.topic.latest() {
+            self.trajectory = trajectory;
+            // Replanned trajectories are smoothed from the mission clock at
+            // publication time, so every subscriber samples them there —
+            // no per-subscriber re-anchoring, hence no tracker/monitor skew.
+            self.timeline = Timeline::MissionClock;
+        }
+        true
+    }
+
+    /// The currently subscribed plan.
+    pub fn trajectory(&self) -> &Arc<Trajectory> {
+        &self.trajectory
+    }
+
+    /// How mission time maps onto the current plan's timeline.
+    pub fn timeline(&self) -> Timeline {
+        self.timeline
+    }
+
+    /// The topic sequence number of the current plan.
+    pub fn sequence(&self) -> u64 {
+        self.sequence
     }
 }
 
@@ -143,6 +257,10 @@ pub struct EnergyNode {
     telemetry: Topic<EnergySample>,
     /// Optional episode watchdog: abort once `now - start` exceeds the limit.
     watchdog: Option<(SimTime, f64)>,
+    /// Optional plan-topic subscription: an in-flight replan re-arms the
+    /// watchdog for the fresh trajectory instead of aborting a healthy
+    /// episode that merely outlived the *original* plan's budget.
+    watchdog_plan: Option<(Topic<Arc<Trajectory>>, u64)>,
     /// Optional session end (seconds of mission time): completing, not
     /// aborting (aerial photography's "filmed the whole session" success).
     session_end_secs: Option<f64>,
@@ -155,6 +273,7 @@ impl EnergyNode {
             events,
             telemetry: Topic::new("flight/energy"),
             watchdog: None,
+            watchdog_plan: None,
             session_end_secs: None,
         }
     }
@@ -163,6 +282,15 @@ impl EnergyNode {
     /// time elapse after `start`.
     pub fn with_watchdog(mut self, start: SimTime, max_secs: f64) -> Self {
         self.watchdog = Some((start, max_secs));
+        self
+    }
+
+    /// Re-arms the watchdog whenever a new plan appears on `plan`: the
+    /// deadline restarts at the swap with the fresh trajectory's own budget
+    /// (the same `duration × 4 + 60 s` guard the episode started with).
+    pub fn with_plan_watchdog(mut self, plan: Topic<Arc<Trajectory>>) -> Self {
+        let sequence = plan.sequence();
+        self.watchdog_plan = Some((plan, sequence));
         self
     }
 
@@ -196,6 +324,15 @@ impl Node<FlightCtx<'_>> for EnergyNode {
         if ctx.mission.budget_failure().is_some() {
             self.events.publish(FlightEvent::Aborted);
             return Ok(NodeOutput::idle());
+        }
+        if let Some((plan, last_sequence)) = &mut self.watchdog_plan {
+            let sequence = plan.sequence();
+            if sequence != *last_sequence {
+                *last_sequence = sequence;
+                if let (Some(trajectory), Some(_)) = (plan.latest(), self.watchdog) {
+                    self.watchdog = Some((now, episode_watchdog_budget(&trajectory)));
+                }
+            }
         }
         if let Some((start, max_secs)) = self.watchdog {
             if now.since(start).as_secs() > max_secs {
@@ -288,28 +425,33 @@ impl Node<FlightCtx<'_>> for OctoMapNode {
     }
 }
 
-/// Samples the trajectory at the current plan time and publishes a clamped
+/// Samples the current plan at the current plan time and publishes a clamped
 /// velocity command; publishes [`FlightEvent::Completed`] when the end of
-/// the trajectory has been reached. Charges the configured control kernels
+/// the plan has been reached. Charges the configured control kernels
 /// each tick (path tracking alone in the mainline graph; localization + path
-/// tracking for the Scanning sweep).
+/// tracking for the Scanning sweep). The plan arrives through a
+/// [`PlanSubscription`], so an in-flight replan swaps the trajectory under
+/// the tracker between two ticks without ending the episode.
 pub struct PathTrackerNode {
     tracker: PathTracker,
-    trajectory: Arc<Trajectory>,
-    timeline: Timeline,
+    plan: PlanSubscription,
     kernels: Vec<KernelId>,
     cap: f64,
     commands: Topic<Vec3>,
     events: FifoTopic<FlightEvent>,
     period: SimDuration,
+    /// In-motion brake guard: the latched threat topic plus the stopping
+    /// distance the tracker checks it against on every tick.
+    brake_guard: Option<(Topic<Option<Vec3>>, f64)>,
 }
 
 impl PathTrackerNode {
     /// Creates the control node for one trajectory-following episode. The
-    /// trajectory handle is shared (not copied) with the collision monitor.
+    /// episode's initial trajectory must already be latched on `plan`; the
+    /// same topic handle is shared (not copied) with the collision monitor.
     #[allow(clippy::too_many_arguments)]
     pub fn new(
-        trajectory: Arc<Trajectory>,
+        plan: Topic<Arc<Trajectory>>,
         timeline: Timeline,
         kernels: Vec<KernelId>,
         cap: f64,
@@ -319,14 +461,36 @@ impl PathTrackerNode {
     ) -> Self {
         PathTrackerNode {
             tracker: PathTracker::new(PathTrackerConfig::default()),
-            trajectory,
-            timeline,
+            plan: PlanSubscription::new(plan, timeline),
             kernels,
             cap,
             commands,
             events,
             period,
+            brake_guard: None,
         }
+    }
+
+    /// Honours the in-motion planner's latched threat topic (builder style):
+    /// while a planning job keeps a threat latched, the tracker checks the
+    /// threat's distance against `stopping_distance` on *every* tick and
+    /// publishes a stop instead of its tracking command when it is close.
+    /// Evaluating proximity here — at the control rate — is what closes the
+    /// gap between planner ticks: a threat that crosses into the stopping
+    /// distance mid-job brakes the vehicle within one control period, not
+    /// one replan period.
+    pub fn with_brake_guard(
+        mut self,
+        threats: Topic<Option<Vec3>>,
+        stopping_distance: f64,
+    ) -> Self {
+        self.brake_guard = Some((threats, stopping_distance));
+        self
+    }
+
+    /// The sequence number of the plan the tracker currently flies.
+    pub fn plan_sequence(&self) -> u64 {
+        self.plan.sequence()
     }
 }
 
@@ -340,16 +504,32 @@ impl Node<FlightCtx<'_>> for PathTrackerNode {
     }
 
     fn tick(&mut self, ctx: &mut FlightCtx<'_>, now: SimTime) -> Result<NodeOutput> {
+        self.plan.refresh();
         let kernel_time: Vec<(KernelId, SimDuration)> = self
             .kernels
             .iter()
             .map(|&k| (k, ctx.mission.charge_kernel(k)))
             .collect();
-        let plan_time = self.timeline.plan_time(now);
+        let plan_time = self.plan.timeline().plan_time(now);
         let state = *ctx.mission.quad.state();
-        let cmd = self.tracker.command(&self.trajectory, &state, plan_time);
+        let cmd = self
+            .tracker
+            .command(self.plan.trajectory(), &state, plan_time);
         if cmd.completed {
             self.events.publish(FlightEvent::Completed);
+            return Ok(NodeOutput::kernels(kernel_time));
+        }
+        // A latched threat (in-motion planning job in progress) inside the
+        // stopping distance overrides the tracking command with a stop until
+        // the planner releases the latch.
+        let braked = self.brake_guard.as_ref().is_some_and(|(threats, stop)| {
+            threats
+                .latest()
+                .flatten()
+                .is_some_and(|threat| state.pose.position.distance(&threat) < *stop)
+        });
+        if braked {
+            self.commands.publish(Vec3::ZERO);
             return Ok(NodeOutput::kernels(kernel_time));
         }
         self.commands.publish(cmd.velocity.clamp_norm(self.cap));
@@ -364,29 +544,32 @@ impl Node<FlightCtx<'_>> for PathTrackerNode {
 /// next tick — replanning-rate starvation as a schedule property.
 pub struct CollisionMonitorNode {
     checker: CollisionChecker,
-    trajectory: Arc<Trajectory>,
-    timeline: Timeline,
+    plan: PlanSubscription,
     alerts: FifoTopic<CollisionAlert>,
     period: SimDuration,
 }
 
 impl CollisionMonitorNode {
-    /// Creates the monitor for one episode (sharing the tracker's
-    /// trajectory handle).
+    /// Creates the monitor for one episode (subscribing to the same plan
+    /// topic as the tracker).
     pub fn new(
         checker: CollisionChecker,
-        trajectory: Arc<Trajectory>,
+        plan: Topic<Arc<Trajectory>>,
         timeline: Timeline,
         alerts: FifoTopic<CollisionAlert>,
         period: SimDuration,
     ) -> Self {
         CollisionMonitorNode {
             checker,
-            trajectory,
-            timeline,
+            plan: PlanSubscription::new(plan, timeline),
             alerts,
             period,
         }
+    }
+
+    /// The sequence number of the plan the monitor currently checks.
+    pub fn plan_sequence(&self) -> u64 {
+        self.plan.sequence()
     }
 }
 
@@ -400,36 +583,96 @@ impl Node<FlightCtx<'_>> for CollisionMonitorNode {
     }
 
     fn tick(&mut self, ctx: &mut FlightCtx<'_>, now: SimTime) -> Result<NodeOutput> {
-        let plan_time = self.timeline.plan_time(now);
-        let from_index = self
-            .trajectory
-            .points()
+        self.plan.refresh();
+        let plan_time = self.plan.timeline().plan_time(now);
+        let points = self.plan.trajectory().points();
+        // Only the *remaining* plan is checked. A plan time past the last
+        // sample means nothing is left to check; falling back to index 0
+        // (the historical bug) re-checked already-flown segments and raised
+        // spurious alerts at the end of every episode.
+        let from_index = points
             .iter()
             .position(|p| p.time >= plan_time)
-            .unwrap_or(0);
-        if self
-            .checker
-            .first_collision(&ctx.mission.map, &self.trajectory, from_index)
-            .is_some()
+            .unwrap_or(points.len());
+        if let Some(index) =
+            self.checker
+                .first_collision(&ctx.mission.map, self.plan.trajectory(), from_index)
         {
-            self.alerts.publish(CollisionAlert { at: now });
+            self.alerts.publish(CollisionAlert {
+                at: now,
+                position: points[index].position,
+            });
         }
         Ok(NodeOutput::idle())
     }
 }
 
-/// Turns pending collision alerts into a [`FlightEvent::NeedsReplan`],
-/// ending the episode so the application can plan a fresh trajectory (while
-/// hovering, charging the planning kernels). Runs at the replan rate; in the
+/// The in-motion planning machinery handed to [`PlannerNode::with_in_motion`]:
+/// everything the planner needs to produce and publish a fresh plan while
+/// the vehicle keeps flying.
+pub struct InMotionPlanner {
+    /// The latched plan topic shared with tracker and monitor.
+    pub plan: Topic<Arc<Trajectory>>,
+    /// The path planner (seeded from the mission config — deterministic).
+    pub planner: ShortestPathPlanner,
+    /// Collision checker matched to the vehicle.
+    pub checker: CollisionChecker,
+    /// The episode goal: the final waypoint of the original plan.
+    pub goal: Vec3,
+    /// Airframe acceleration limit for re-smoothing.
+    pub max_acceleration: f64,
+    /// In-flight replans allowed per episode before falling back to a
+    /// [`FlightEvent::NeedsReplan`] (the hover-to-plan escape hatch).
+    pub max_replans: u32,
+    /// The velocity-command topic: while a job runs with the threat inside
+    /// [`InMotionPlanner::stopping_distance`], the planner overrides the
+    /// tracker's command with a stop — plan in motion only when it is safe
+    /// to keep moving.
+    pub commands: Topic<Vec3>,
+    /// The latched threat topic the tracker honours via
+    /// [`PathTrackerNode::with_brake_guard`]: `Some(position)` of the
+    /// nearest flagged obstruction while a job runs, `None` once released.
+    /// Latching the *threat* (not a brake flag) lets the tracker re-check
+    /// proximity at the control rate, so a threat that crosses into the
+    /// stopping distance between two planner ticks still brakes the vehicle
+    /// within one control period.
+    pub threats: Topic<Option<Vec3>>,
+    /// The Eq. 2 stopping-distance budget (metres): closer threats brake the
+    /// vehicle for the remainder of the planning job.
+    pub stopping_distance: f64,
+}
+
+/// The planning node.
+///
+/// In the default hover-to-plan configuration it is a pure trigger: pending
+/// collision alerts become a [`FlightEvent::NeedsReplan`], ending the episode
+/// so the application can plan a fresh trajectory while hovering (charging
+/// the planning kernels at zero velocity). Runs at the replan rate; in the
 /// legacy schedule it reacts in the same round the monitor raised the alert.
+///
+/// With [`PlannerNode::with_in_motion`] it becomes a real planning node: a
+/// collision alert starts a *multi-round planning job* that charges the
+/// `MotionPlanning` and `PathSmoothing` kernels on successive executor rounds
+/// — mission time during which the tracker keeps flying the stale plan — and
+/// then plans from the vehicle's current position to the episode goal on the
+/// current map, smooths from the mission clock, and publishes the result on
+/// the latched plan topic. Planning failures (blocked goal, exhausted sample
+/// budget, too many in-flight replans) fall back to the hover-to-plan
+/// episode end instead of aborting the mission.
 pub struct PlannerNode {
     alerts: FifoTopic<CollisionAlert>,
     events: FifoTopic<FlightEvent>,
     period: SimDuration,
+    in_motion: Option<InMotionPlanner>,
+    /// Remaining kernel charges of the active planning job (in charge order).
+    job: Vec<KernelId>,
+    /// First colliding sample of the plan the active job is replacing.
+    threat: Option<Vec3>,
+    replans: u32,
 }
 
 impl PlannerNode {
-    /// Creates the planner trigger.
+    /// Creates the (hover-to-plan) planner trigger.
     pub fn new(
         alerts: FifoTopic<CollisionAlert>,
         events: FifoTopic<FlightEvent>,
@@ -439,6 +682,101 @@ impl PlannerNode {
             alerts,
             events,
             period,
+            in_motion: None,
+            job: Vec::new(),
+            threat: None,
+            replans: 0,
+        }
+    }
+
+    /// Upgrades the trigger into an in-motion planning node (builder style).
+    pub fn with_in_motion(mut self, in_motion: InMotionPlanner) -> Self {
+        self.in_motion = Some(in_motion);
+        self
+    }
+
+    /// `true` while a planning job is charging kernels across rounds.
+    pub fn planning_in_progress(&self) -> bool {
+        !self.job.is_empty()
+    }
+
+    /// In-flight replans published so far by this node.
+    pub fn replans(&self) -> u32 {
+        self.replans
+    }
+
+    /// Completes the active job: plans from the current position to the goal
+    /// on the current map and publishes the smoothed trajectory, or falls
+    /// back to ending the episode when no plan can be found.
+    fn finish_plan(&mut self, ctx: &mut FlightCtx<'_>) {
+        let Some(im) = &self.in_motion else { return };
+        let start = ctx.mission.pose().position;
+        let cap = ctx.mission.velocity_cap();
+        let smoothed = im
+            .planner
+            .plan(&ctx.mission.map, &im.checker, start, im.goal)
+            .map(|path| path.shortcut(&ctx.mission.map, &im.checker))
+            .and_then(|path| {
+                PathSmoother::new(SmootherConfig::new(cap.max(0.5), im.max_acceleration))
+                    .smooth(&path.waypoints, ctx.mission.clock.now())
+            });
+        match smoothed {
+            Ok(trajectory) => {
+                ctx.mission.note_replan();
+                self.replans += 1;
+                im.plan.publish(Arc::new(trajectory));
+            }
+            // No in-flight plan available: hand the episode back to the
+            // application, which replans while hovering (the historical
+            // path). This keeps blocked-goal scenarios mission-safe.
+            Err(_) => self.events.publish(FlightEvent::NeedsReplan),
+        }
+        // The threat is NOT cleared here: the tracker already published this
+        // round's command from the stale plan (it runs earlier in the round),
+        // so the publication round must still brake if the threat is close.
+        // The caller clears it after that last brake check.
+    }
+
+    /// Folds newly drained alerts into the tracked threat, keeping whichever
+    /// flagged obstruction is nearest to the vehicle right now.
+    fn track_nearest_threat(&mut self, ctx: &FlightCtx<'_>, alerts: &[CollisionAlert]) {
+        let pose = ctx.mission.pose().position;
+        for alert in alerts {
+            let closer = match self.threat {
+                Some(threat) => alert.position.distance(&pose) < threat.distance(&pose),
+                None => true,
+            };
+            if closer {
+                self.threat = Some(alert.position);
+            }
+        }
+    }
+
+    /// `true` while the tracked threat sits inside the stopping distance.
+    fn threat_is_close(&self, ctx: &FlightCtx<'_>) -> bool {
+        let (Some(im), Some(threat)) = (&self.in_motion, self.threat) else {
+            return false;
+        };
+        ctx.mission.pose().position.distance(&threat) < im.stopping_distance
+    }
+
+    /// While a job runs, flying on towards a threat inside the stopping
+    /// distance would blind-fly the vehicle into an obstacle it has already
+    /// seen. Latches the nearest threat for the tracker's per-tick proximity
+    /// check and, when already close, zeroes the command for the current
+    /// round's charge (the tracker ran earlier in this round).
+    fn brake_if_threat_close(&self, ctx: &mut FlightCtx<'_>) {
+        let Some(im) = &self.in_motion else { return };
+        im.threats.publish(self.threat);
+        if self.threat_is_close(ctx) {
+            im.commands.publish(Vec3::ZERO);
+        }
+    }
+
+    /// Releases the latched threat so the tracker resumes on its next tick.
+    fn release_brake(&self) {
+        if let Some(im) = &self.in_motion {
+            im.threats.publish(None);
         }
     }
 }
@@ -452,9 +790,62 @@ impl Node<FlightCtx<'_>> for PlannerNode {
         self.period
     }
 
-    fn tick(&mut self, _ctx: &mut FlightCtx<'_>, _now: SimTime) -> Result<NodeOutput> {
-        if !self.alerts.drain().is_empty() {
-            self.events.publish(FlightEvent::NeedsReplan);
+    fn tick(&mut self, ctx: &mut FlightCtx<'_>, _now: SimTime) -> Result<NodeOutput> {
+        let Some(max_replans) = self.in_motion.as_ref().map(|im| im.max_replans) else {
+            // Hover-to-plan: a pending alert ends the episode (bit-identical
+            // to the pre-PR 3 trigger).
+            if !self.alerts.drain().is_empty() {
+                self.events.publish(FlightEvent::NeedsReplan);
+            }
+            return Ok(NodeOutput::idle());
+        };
+        // An active job charges one planning kernel per round; the executor
+        // turns that latency into flight time on the stale plan (or braking,
+        // when the threat is close). The final charge completes the job and
+        // publishes the fresh plan.
+        if !self.job.is_empty() {
+            // The monitor keeps checking the stale plan while the job runs:
+            // an alert raised mid-job may flag a *closer* obstruction than
+            // the one that started the job, and the brake guard must react
+            // to whichever threat is nearest. Draining here also retires the
+            // alerts for good — once the fresh plan publishes, the monitor
+            // re-checks it from scratch.
+            self.track_nearest_threat(ctx, &self.alerts.drain());
+            let kernel = self.job.remove(0);
+            let latency = ctx.mission.charge_kernel(kernel);
+            if self.job.is_empty() {
+                self.finish_plan(ctx);
+                // The fresh plan only reaches the tracker *next* round; this
+                // round's charge still flies the tracker's stale-plan
+                // command, so a close threat zeroes it one last time. The
+                // latch is released either way — from the next round the
+                // tracker flies whatever the plan topic now holds.
+                if self.threat_is_close(ctx) {
+                    if let Some(im) = &self.in_motion {
+                        im.commands.publish(Vec3::ZERO);
+                    }
+                }
+                self.release_brake();
+                self.threat = None;
+            } else {
+                self.brake_if_threat_close(ctx);
+            }
+            return Ok(NodeOutput::kernel(kernel, latency));
+        }
+        let pending = self.alerts.drain();
+        if !pending.is_empty() {
+            if self.replans >= max_replans {
+                self.events.publish(FlightEvent::NeedsReplan);
+                return Ok(NodeOutput::idle());
+            }
+            // Start the planning job in the alert round itself: motion
+            // planning now, smoothing (and publication) next round.
+            self.track_nearest_threat(ctx, &pending);
+            self.job = vec![KernelId::MotionPlanning, KernelId::PathSmoothing];
+            let kernel = self.job.remove(0);
+            let latency = ctx.mission.charge_kernel(kernel);
+            self.brake_if_threat_close(ctx);
+            return Ok(NodeOutput::kernel(kernel, latency));
         }
         Ok(NodeOutput::idle())
     }
@@ -462,11 +853,15 @@ impl Node<FlightCtx<'_>> for PlannerNode {
 
 /// Drives an episode graph to its first terminal event.
 ///
-/// Steps the executor until a node publishes a [`FlightEvent`]. A node or
-/// context error (none of the built-in nodes produce any) is propagated so
-/// the caller can put the real message into its mission report instead of a
-/// generic abort. The event queue is drained so the graph can be reused for
-/// a subsequent episode.
+/// Steps the executor until a node publishes a [`FlightEvent`]. When a round
+/// drains *several* terminal events (one node publishing more than one, or a
+/// future graph with several event sources), the winner is decided by
+/// severity — `Aborted > NeedsReplan > Completed` — not by the registration
+/// order of whichever nodes happened to publish, so episode outcomes stay
+/// deterministic under graph refactors. A node or context error (none of the
+/// built-in nodes produce any) is propagated so the caller can put the real
+/// message into its mission report instead of a generic abort. The event
+/// queue is drained so the graph can be reused for a subsequent episode.
 ///
 /// # Errors
 ///
@@ -478,7 +873,10 @@ pub fn run_to_event<'m>(
 ) -> Result<FlightEvent> {
     loop {
         exec.step(ctx)?;
-        if let Some(&event) = ctx.events.drain().first() {
+        let drained = ctx.events.drain();
+        // Ties can only be duplicates of the same variant, so max_by_key's
+        // last-wins tie-breaking cannot introduce nondeterminism.
+        if let Some(&event) = drained.iter().max_by_key(|event| event.severity()) {
             return Ok(event);
         }
     }
@@ -591,6 +989,415 @@ mod tests {
         // Same frame again: the mapper must not re-integrate it.
         let out = mapper.tick(&mut fctx, SimTime::ZERO).unwrap();
         assert!(out.total().is_zero());
+    }
+
+    #[test]
+    fn monitor_does_not_rescan_flown_segments_past_plan_end() {
+        let mut m = mission();
+        // A two-point plan whose first sample sits inside an occupied voxel:
+        // exactly the state at the end of an episode, where the vehicle has
+        // flown past (and mapped) its own departure corridor.
+        let p0 = Vec3::new(2.0, 0.0, 2.0);
+        let p1 = Vec3::new(12.0, 0.0, 2.0);
+        m.map
+            .insert_ray(&Vec3::new(0.0, 0.0, 2.0), &Vec3::new(2.0, 0.0, 2.0));
+        let mut traj = Trajectory::new();
+        traj.push(mav_types::TrajectoryPoint::stationary(p0, SimTime::ZERO));
+        traj.push(mav_types::TrajectoryPoint::stationary(
+            p1,
+            SimTime::from_secs(1.0),
+        ));
+        let plan: Topic<Arc<Trajectory>> = Topic::new("t/plan");
+        plan.publish(Arc::new(traj));
+        let alerts: FifoTopic<CollisionAlert> = FifoTopic::new("t/alerts");
+        let mut monitor = CollisionMonitorNode::new(
+            m.collision_checker(),
+            plan,
+            Timeline::MissionClock,
+            alerts.clone(),
+            SimDuration::ZERO,
+        );
+        let (events, commands) = graph_topics();
+        let mut fctx = FlightCtx {
+            mission: &mut m,
+            events,
+            commands,
+            min_tick: SimDuration::from_millis(50.0),
+        };
+        // Mid-plan: the occupied first sample is behind the plan time, the
+        // remainder is free — no alert.
+        monitor.tick(&mut fctx, SimTime::from_secs(0.5)).unwrap();
+        // Past the end of the plan: nothing is left to check. The historical
+        // `.unwrap_or(0)` fell back to re-checking the whole (already-flown)
+        // trajectory here and raised a spurious alert.
+        monitor.tick(&mut fctx, SimTime::from_secs(10.0)).unwrap();
+        assert!(
+            alerts.drain().is_empty(),
+            "monitor re-checked already-flown segments"
+        );
+        // And at the very start the occupied sample *is* the remaining plan:
+        // the monitor must still alert.
+        monitor.tick(&mut fctx, SimTime::ZERO).unwrap();
+        assert_eq!(alerts.len(), 1, "genuine collision must still alert");
+    }
+
+    #[test]
+    fn run_to_event_resolves_multi_event_rounds_by_severity() {
+        for (published, expected) in [
+            (
+                vec![FlightEvent::Completed, FlightEvent::Aborted],
+                FlightEvent::Aborted,
+            ),
+            (
+                vec![FlightEvent::Aborted, FlightEvent::Completed],
+                FlightEvent::Aborted,
+            ),
+            (
+                vec![FlightEvent::Completed, FlightEvent::NeedsReplan],
+                FlightEvent::NeedsReplan,
+            ),
+            (
+                vec![FlightEvent::NeedsReplan, FlightEvent::Aborted],
+                FlightEvent::Aborted,
+            ),
+            (vec![FlightEvent::Completed], FlightEvent::Completed),
+        ] {
+            let mut m = mission();
+            let (events, commands) = graph_topics();
+            for event in &published {
+                events.publish(*event);
+            }
+            let mut fctx = FlightCtx {
+                mission: &mut m,
+                events,
+                commands,
+                min_tick: SimDuration::from_millis(50.0),
+            };
+            let mut exec: Executor<FlightCtx> = Executor::new();
+            assert_eq!(
+                run_to_event(&mut exec, &mut fctx).unwrap(),
+                expected,
+                "wrong winner for {published:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn plan_swap_propagates_to_tracker_and_monitor_by_sequence() {
+        let mut m = mission();
+        let (events, commands) = graph_topics();
+        let start = m.pose().position;
+        let original = Trajectory::from_waypoints(
+            &[start, start + Vec3::new(20.0, 0.0, 0.0)],
+            4.0,
+            SimTime::ZERO,
+        );
+        let plan: Topic<Arc<Trajectory>> = Topic::new("t/plan");
+        plan.publish(Arc::new(original));
+        let alerts: FifoTopic<CollisionAlert> = FifoTopic::new("t/alerts");
+        let mut tracker = PathTrackerNode::new(
+            plan.clone(),
+            Timeline::MissionClock,
+            vec![KernelId::PathTracking],
+            8.0,
+            commands.clone(),
+            events.clone(),
+            SimDuration::ZERO,
+        );
+        let mut monitor = CollisionMonitorNode::new(
+            m.collision_checker(),
+            plan.clone(),
+            Timeline::MissionClock,
+            alerts,
+            SimDuration::ZERO,
+        );
+        let mut fctx = FlightCtx {
+            mission: &mut m,
+            events,
+            commands: commands.clone(),
+            min_tick: SimDuration::from_millis(50.0),
+        };
+        tracker.tick(&mut fctx, SimTime::from_secs(1.0)).unwrap();
+        monitor.tick(&mut fctx, SimTime::from_secs(1.0)).unwrap();
+        assert_eq!(tracker.plan_sequence(), 1);
+        assert_eq!(monitor.plan_sequence(), 1);
+        let cmd = commands.latest().unwrap();
+        assert!(cmd.x > 0.0, "original plan points +x, got {cmd:?}");
+
+        // A replan publishes a fresh trajectory pointing the other way; both
+        // subscribers must swap on their next tick, by sequence number alone.
+        let fresh = Trajectory::from_waypoints(
+            &[start, start + Vec3::new(0.0, -20.0, 0.0)],
+            4.0,
+            SimTime::from_secs(1.0),
+        );
+        plan.publish(Arc::new(fresh));
+        tracker.tick(&mut fctx, SimTime::from_secs(2.0)).unwrap();
+        monitor.tick(&mut fctx, SimTime::from_secs(2.0)).unwrap();
+        assert_eq!(tracker.plan_sequence(), 2);
+        assert_eq!(monitor.plan_sequence(), 2);
+        let cmd = commands.latest().unwrap();
+        assert!(
+            cmd.y < 0.0 && cmd.x.abs() < 1.0,
+            "tracker still flying the stale plan: {cmd:?}"
+        );
+    }
+
+    #[test]
+    fn tracker_honours_the_latched_threat_until_released() {
+        let mut m = mission();
+        let (events, commands) = graph_topics();
+        let start = m.pose().position;
+        let plan: Topic<Arc<Trajectory>> = Topic::new("t/plan");
+        plan.publish(Arc::new(Trajectory::from_waypoints(
+            &[start, start + Vec3::new(20.0, 0.0, 0.0)],
+            4.0,
+            SimTime::ZERO,
+        )));
+        let threats: Topic<Option<Vec3>> = Topic::new("t/threats");
+        let mut tracker = PathTrackerNode::new(
+            plan,
+            Timeline::MissionClock,
+            vec![KernelId::PathTracking],
+            8.0,
+            commands.clone(),
+            events.clone(),
+            SimDuration::ZERO,
+        )
+        .with_brake_guard(threats.clone(), 10.0);
+        let mut fctx = FlightCtx {
+            mission: &mut m,
+            events,
+            commands: commands.clone(),
+            min_tick: SimDuration::from_millis(50.0),
+        };
+        tracker.tick(&mut fctx, SimTime::from_secs(1.0)).unwrap();
+        assert!(commands.latest().unwrap().x > 0.0);
+        // A latched threat beyond the stopping distance does not brake.
+        threats.publish(Some(start + Vec3::new(50.0, 0.0, 0.0)));
+        tracker.tick(&mut fctx, SimTime::from_secs(1.05)).unwrap();
+        assert!(commands.latest().unwrap().x > 0.0);
+        // Inside the stopping distance: every tracker tick re-evaluates the
+        // proximity and publishes the stop, so the brake holds across rounds
+        // in which the planner does not run — and engages within one control
+        // period of the threat crossing the boundary.
+        threats.publish(Some(start + Vec3::new(5.0, 0.0, 0.0)));
+        tracker.tick(&mut fctx, SimTime::from_secs(1.1)).unwrap();
+        assert_eq!(commands.latest(), Some(Vec3::ZERO));
+        tracker.tick(&mut fctx, SimTime::from_secs(1.2)).unwrap();
+        assert_eq!(commands.latest(), Some(Vec3::ZERO));
+        // Released: the tracker resumes its tracking command.
+        threats.publish(None);
+        tracker.tick(&mut fctx, SimTime::from_secs(1.3)).unwrap();
+        assert!(commands.latest().unwrap().x > 0.0);
+    }
+
+    #[test]
+    fn in_motion_replan_flies_the_stale_plan_until_publication() {
+        use mav_planning::PlannerKind;
+        let mut m = mission();
+        let start = m.pose().position;
+        let goal = start + Vec3::new(10.0, 0.0, 0.0);
+        let plan: Topic<Arc<Trajectory>> = Topic::new("t/plan");
+        plan.publish(Arc::new(Trajectory::from_waypoints(
+            &[start, goal],
+            4.0,
+            SimTime::ZERO,
+        )));
+        let alerts: FifoTopic<CollisionAlert> = FifoTopic::new("t/alerts");
+        let (events, commands) = graph_topics();
+        let checker = m.collision_checker();
+        let planner = m.shortest_path_planner(PlannerKind::Rrt);
+        let max_acceleration = m.config.quadrotor.max_acceleration;
+        let threats: Topic<Option<Vec3>> = Topic::new("t/threats");
+        let mut node = PlannerNode::new(alerts.clone(), events.clone(), SimDuration::ZERO)
+            .with_in_motion(InMotionPlanner {
+                plan: plan.clone(),
+                planner,
+                checker,
+                goal,
+                max_acceleration,
+                max_replans: 12,
+                commands: commands.clone(),
+                threats: threats.clone(),
+                stopping_distance: 10.0,
+            });
+        let mut fctx = FlightCtx {
+            mission: &mut m,
+            events: events.clone(),
+            commands: commands.clone(),
+            min_tick: SimDuration::from_millis(50.0),
+        };
+        // No alert: the planner idles.
+        let out = node.tick(&mut fctx, SimTime::ZERO).unwrap();
+        assert!(out.total().is_zero());
+        assert!(!node.planning_in_progress());
+
+        // Alert round: the job starts and charges motion planning, but the
+        // plan topic is untouched — the tracker keeps flying sequence 1.
+        // The threat (the far end of the plan) is outside the stopping
+        // distance, so the planner must NOT brake the vehicle.
+        commands.publish(Vec3::new(4.0, 0.0, 0.0));
+        alerts.publish(CollisionAlert {
+            at: SimTime::ZERO,
+            position: start + Vec3::new(50.0, 0.0, 0.0),
+        });
+        let out = node.tick(&mut fctx, SimTime::ZERO).unwrap();
+        assert_eq!(out.kernel_time.len(), 1);
+        assert_eq!(out.kernel_time[0].0, KernelId::MotionPlanning);
+        assert!(node.planning_in_progress());
+        assert_eq!(plan.sequence(), 1, "no plan may appear mid-job");
+        assert_eq!(
+            commands.latest(),
+            Some(Vec3::new(4.0, 0.0, 0.0)),
+            "a distant threat must not brake the vehicle"
+        );
+        assert_eq!(
+            threats.latest(),
+            Some(Some(start + Vec3::new(50.0, 0.0, 0.0))),
+            "the threat must be latched for the tracker's per-tick check"
+        );
+
+        // Mid-job the monitor flags a *closer* obstruction on the stale plan:
+        // the brake guard must react to the nearest threat, not the one that
+        // started the job.
+        alerts.publish(CollisionAlert {
+            at: SimTime::from_secs(0.05),
+            position: start + Vec3::new(5.0, 0.0, 0.0),
+        });
+
+        // Next round: smoothing is charged, the job completes, and the fresh
+        // plan lands on the topic; the episode never saw a terminal event.
+        let out = node.tick(&mut fctx, SimTime::from_secs(0.05)).unwrap();
+        assert_eq!(out.kernel_time[0].0, KernelId::PathSmoothing);
+        assert!(!node.planning_in_progress());
+        assert_eq!(plan.sequence(), 2, "fresh plan must be published");
+        assert_eq!(node.replans(), 1);
+        assert_eq!(fctx.mission.replans(), 1);
+        assert_eq!(
+            commands.latest(),
+            Some(Vec3::ZERO),
+            "the closer mid-job threat must brake the publication round"
+        );
+        assert_eq!(
+            threats.latest(),
+            Some(None),
+            "the latch must be released with the publication so the tracker \
+             resumes on the fresh plan next round"
+        );
+        assert!(
+            fctx.events.is_empty(),
+            "in-motion replan must not end the episode"
+        );
+    }
+
+    #[test]
+    fn in_motion_replan_falls_back_to_needs_replan_when_blocked() {
+        use mav_planning::PlannerKind;
+        let mut m = mission();
+        let start = m.pose().position;
+        // Goal inside an occupied voxel: planning must fail and the node must
+        // surface the hover-to-plan fallback instead of looping forever.
+        let goal = Vec3::new(5.0, 0.0, 2.0);
+        m.map.insert_ray(&start, &goal);
+        let plan: Topic<Arc<Trajectory>> = Topic::new("t/plan");
+        plan.publish(Arc::new(Trajectory::from_waypoints(
+            &[start, goal],
+            4.0,
+            SimTime::ZERO,
+        )));
+        let alerts: FifoTopic<CollisionAlert> = FifoTopic::new("t/alerts");
+        let (events, commands) = graph_topics();
+        let checker = m.collision_checker();
+        let planner = m.shortest_path_planner(PlannerKind::Rrt);
+        let max_acceleration = m.config.quadrotor.max_acceleration;
+        let threats: Topic<Option<Vec3>> = Topic::new("t/threats");
+        let mut node = PlannerNode::new(alerts.clone(), events.clone(), SimDuration::ZERO)
+            .with_in_motion(InMotionPlanner {
+                plan: plan.clone(),
+                planner,
+                checker,
+                goal,
+                max_acceleration,
+                max_replans: 12,
+                commands: commands.clone(),
+                threats: threats.clone(),
+                stopping_distance: 10.0,
+            });
+        let mut fctx = FlightCtx {
+            mission: &mut m,
+            events: events.clone(),
+            commands: commands.clone(),
+            min_tick: SimDuration::from_millis(50.0),
+        };
+        // The threat is dead ahead, inside the stopping distance: the job
+        // must brake the vehicle while it runs — and *latch* the threat, so
+        // the tracker re-applies the stop between planner ticks at explicit
+        // control rates.
+        commands.publish(Vec3::new(4.0, 0.0, 0.0));
+        alerts.publish(CollisionAlert {
+            at: SimTime::ZERO,
+            position: goal,
+        });
+        node.tick(&mut fctx, SimTime::ZERO).unwrap();
+        assert_eq!(
+            commands.latest(),
+            Some(Vec3::ZERO),
+            "a close threat must brake the vehicle during the job"
+        );
+        assert_eq!(
+            threats.latest(),
+            Some(Some(goal)),
+            "the threat must be latched"
+        );
+        // The tracker republishes its stale-plan command at the top of the
+        // final round; the brake must hold through that round as well — its
+        // charge is still flown on the stale command.
+        commands.publish(Vec3::new(4.0, 0.0, 0.0));
+        // A fresh mid-job alert (the monitor keeps checking the stale plan)
+        // must also be folded into the tracked threat.
+        alerts.publish(CollisionAlert {
+            at: SimTime::from_secs(0.05),
+            position: start + Vec3::new(2.0, 0.0, 0.0),
+        });
+        node.tick(&mut fctx, SimTime::from_secs(0.05)).unwrap();
+        assert_eq!(
+            commands.latest(),
+            Some(Vec3::ZERO),
+            "a close threat must brake through the publication round"
+        );
+        assert_eq!(plan.sequence(), 1, "no plan can exist to a blocked goal");
+        assert_eq!(events.drain(), vec![FlightEvent::NeedsReplan]);
+    }
+
+    #[test]
+    fn plan_topic_handles_share_state_across_threads() {
+        // The SweepRunner path: cloned Topic/FifoTopic handles moved into
+        // worker threads must observe the same latched plan and alert queue.
+        let plan: Topic<Arc<Trajectory>> = Topic::new("t/plan");
+        let alerts: FifoTopic<CollisionAlert> = FifoTopic::new("t/alerts");
+        let plan2 = plan.clone();
+        let alerts2 = alerts.clone();
+        let handle = std::thread::spawn(move || {
+            plan2.publish(Arc::new(Trajectory::from_waypoints(
+                &[Vec3::ZERO, Vec3::new(5.0, 0.0, 0.0)],
+                1.0,
+                SimTime::ZERO,
+            )));
+            alerts2.publish(CollisionAlert {
+                at: SimTime::from_secs(1.0),
+                position: Vec3::new(5.0, 0.0, 0.0),
+            });
+        });
+        handle.join().unwrap();
+        let mut sub = PlanSubscription::new(plan.clone(), Timeline::MissionClock);
+        assert_eq!(sub.sequence(), 1);
+        assert_eq!(sub.trajectory().len(), 2);
+        assert!(!sub.refresh(), "no further publication, no swap");
+        plan.publish(Arc::new(Trajectory::new()));
+        assert!(sub.refresh());
+        assert_eq!(sub.sequence(), 2);
+        assert_eq!(alerts.drain().len(), 1);
     }
 
     #[test]

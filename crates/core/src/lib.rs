@@ -34,7 +34,7 @@ pub mod sweep;
 pub mod velocity;
 
 pub use apps::run_mission;
-pub use config::{MissionConfig, RateConfig, ResolutionPolicy};
+pub use config::{MissionConfig, RateConfig, ReplanMode, ResolutionPolicy};
 pub use context::{FlightOutcome, MissionContext};
 pub use flight::{FlightCtx, FlightEvent};
 pub use qof::{MissionFailure, MissionReport};

@@ -225,7 +225,24 @@ impl<C: NodeContext> Executor<C> {
                     self.timer.record(*kernel, *duration);
                 }
                 consumed += output.total();
-                reg.next_due = now + reg.node.period();
+                // Anchor the schedule to the period grid instead of the round
+                // start: a node due at t=100 ms that only gets dispatched in a
+                // round opening at t=130 ms is next due at 200 ms, not 230 ms,
+                // so effective rates do not sag below nominal under compute
+                // load. When the grid has fallen more than a full period
+                // behind (a long round elsewhere), the missed ticks are
+                // dropped and the node is re-anchored at `now + period`,
+                // preserving the minimum inter-invocation spacing — a 10 Hz
+                // camera never captures two frames 50 ms apart to "catch up".
+                // ZERO-period (tick-synchronous) nodes are unaffected: both
+                // expressions reduce to `now`, exactly the old arithmetic.
+                let period = reg.node.period();
+                let anchored = reg.next_due + period;
+                reg.next_due = if anchored < now {
+                    now + period
+                } else {
+                    anchored
+                };
                 // A terminal event ends the round exactly where a sequential
                 // loop would `return`: later nodes do not run and the clock
                 // does not move.
@@ -352,6 +369,106 @@ mod tests {
         // each invocation costs 0.5 s of mission time.
         let n = exec.timer().invocations(KernelId::OctomapGeneration);
         assert!((4..=6).contains(&n), "unexpected invocation count {n}");
+    }
+
+    #[test]
+    fn periods_are_anchored_not_restarted_per_round() {
+        // A 100 ms node in a loop whose rounds never line up with its grid:
+        // the node costs 30 ms and idle rounds advance by the 50 ms idle
+        // step, so dispatch happens up to one round after each due time.
+        // Restarting the period at the round start (the old `now + period`)
+        // loses that offset every cycle and sags the effective rate to
+        // ~1/(130..180 ms); anchoring (`next_due += period`) keeps it at
+        // 10 Hz. 10 s of mission time must show ~100 invocations, not ~70.
+        let mut clock = SimClock::new();
+        let mut exec = Executor::new();
+        exec.add_node(Counter::new(
+            "anchored",
+            100.0,
+            30.0,
+            KernelId::PathTracking,
+        ));
+        exec.run_for(&mut clock, SimDuration::from_secs(10.0))
+            .unwrap();
+        let n = exec.timer().invocations(KernelId::PathTracking);
+        assert!(
+            (95..=101).contains(&n),
+            "effective rate drifted from nominal: {n} invocations in 10 s at 10 Hz"
+        );
+    }
+
+    #[test]
+    fn overloaded_node_degrades_without_catchup_bursts() {
+        // A node whose cost (300 ms) dwarfs its period (100 ms): the clamp
+        // must drop the missed ticks instead of replaying them, i.e. exactly
+        // one invocation per round, each round ~300 ms long.
+        let mut clock = SimClock::new();
+        let mut exec = Executor::new();
+        exec.add_node(Counter::new(
+            "overloaded",
+            100.0,
+            300.0,
+            KernelId::MotionPlanning,
+        ));
+        exec.run_for(&mut clock, SimDuration::from_secs(3.0))
+            .unwrap();
+        let n = exec.timer().invocations(KernelId::MotionPlanning);
+        assert!(
+            (10..=11).contains(&n),
+            "expected one invocation per 300 ms round, got {n} in 3 s"
+        );
+    }
+
+    #[test]
+    fn delayed_rounds_never_refire_below_period_spacing() {
+        // A long round elsewhere (the blocker's 375 ms charge) pushes the
+        // 125 ms node more than a full period past its grid. The missed
+        // ticks must be dropped — clamping `next_due` to `now` instead of
+        // `now + period` would let the node run again in the very next
+        // round, one 62.5 ms idle step after its previous invocation (two
+        // "8 Hz camera frames" 62.5 ms apart). All values are dyadic so the
+        // schedule arithmetic is float-exact.
+        use std::sync::{Arc, Mutex};
+        struct Stamper {
+            times: Arc<Mutex<Vec<f64>>>,
+        }
+        impl Node<SimClock> for Stamper {
+            fn name(&self) -> &str {
+                "stamper"
+            }
+            fn period(&self) -> SimDuration {
+                SimDuration::from_millis(125.0)
+            }
+            fn tick(&mut self, _ctx: &mut SimClock, now: SimTime) -> Result<NodeOutput> {
+                self.times.lock().unwrap().push(now.as_secs());
+                Ok(NodeOutput::idle())
+            }
+        }
+        let times = Arc::new(Mutex::new(Vec::new()));
+        let mut clock = SimClock::new();
+        let mut exec = Executor::new();
+        exec.idle_step = SimDuration::from_millis(62.5);
+        exec.add_node(Counter::new(
+            "blocker",
+            1000.0,
+            375.0,
+            KernelId::MotionPlanning,
+        ));
+        exec.add_node(Stamper {
+            times: Arc::clone(&times),
+        });
+        exec.run_for(&mut clock, SimDuration::from_secs(3.0))
+            .unwrap();
+        let times = times.lock().unwrap();
+        assert!(times.len() >= 15, "stamper barely ran: {}", times.len());
+        for pair in times.windows(2) {
+            assert!(
+                pair[1] - pair[0] >= 0.125 - 1e-9,
+                "sub-period refire: invocations at {:.4} s and {:.4} s",
+                pair[0],
+                pair[1]
+            );
+        }
     }
 
     #[test]
