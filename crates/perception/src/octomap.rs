@@ -14,8 +14,10 @@
 use crate::pointcloud::PointCloud;
 use mav_types::{Aabb, GridIndex, GridSpec, Vec3};
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet};
 use std::fmt;
+use std::rc::Rc;
 
 /// Occupancy state of a queried location.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -127,6 +129,28 @@ pub struct OctoMap {
     grid: GridSpec,
     /// Number of leaf updates performed (a proxy for the work the kernel did).
     updates: u64,
+    /// Flat spatial index over the occupied leaf voxels, maintained
+    /// incrementally by every leaf update (ray insertion, batched scan
+    /// insertion and re-resolution all funnel through
+    /// [`OctoMap::update_leaf_apply`]). Keys are [`pack_voxel_key`]s of
+    /// 4×4×4-voxel *block* coordinates; values are 64-bit occupancy masks of
+    /// the block's voxels. Collision queries walk this hash index instead of
+    /// descending the octree once per neighbour voxel.
+    occupied_blocks: HashMap<u64, u64, VoxelHashBuilder>,
+    /// Number of occupied leaf voxels, kept exactly in sync with the tree
+    /// (the same per-voxel occupancy the collision queries see).
+    occupied_count: usize,
+    /// Rounded-centre keys of every observed leaf, maintained on leaf
+    /// creation. [`OctoMap::known_voxel_count`] is this set's size: the same
+    /// dedup-by-rounded-centre accounting [`OctoMap::collect_leaves`] has
+    /// always used (at non-dyadic resolutions adjacent leaf centres can
+    /// round to the same key; golden mission fixtures pin that behaviour),
+    /// now paid incrementally instead of with a full-tree walk per call.
+    known_keys: HashSet<u64, VoxelHashBuilder>,
+    /// Whether voxel indices of this domain fit the 21-bit key packing. All
+    /// MAVBench worlds do; a multi-kilometre domain at centimetre resolution
+    /// would not, and falls back to the reference tree-scan queries.
+    index_packable: bool,
 }
 
 impl OctoMap {
@@ -146,13 +170,22 @@ impl OctoMap {
         // traversal grid; otherwise a leaf could straddle two traversal cells
         // and updates/queries would disagree near voxel boundaries.
         let aligned_half_extent = config.resolution * (1u64 << depth) as f64 / 2.0;
+        let half_extent = aligned_half_extent.max(half_extent);
         OctoMap {
             grid: GridSpec::new(config.resolution),
             config,
-            half_extent: aligned_half_extent.max(half_extent),
+            half_extent,
             depth,
             root: None,
             updates: 0,
+            occupied_blocks: HashMap::with_hasher(VoxelHashBuilder::default()),
+            occupied_count: 0,
+            known_keys: HashSet::with_hasher(VoxelHashBuilder::default()),
+            // In-domain voxel indices are bounded by half_extent / resolution;
+            // query neighbourhoods only ever reach out-of-domain (hence
+            // never-occupied) voxels beyond the packing range, so packability
+            // of the domain itself is the only requirement.
+            index_packable: half_extent / config.resolution < (1u64 << 20) as f64,
         }
     }
 
@@ -267,8 +300,7 @@ impl OctoMap {
         // The batched path packs voxel indices into 21 bits per axis; a
         // domain wider than that (multi-km at centimetre resolution) must
         // take the ray-by-ray path or distinct voxels would alias.
-        let packable = self.half_extent / self.config.resolution < (1u64 << 20) as f64;
-        if sharing < Self::BATCH_SHARING_THRESHOLD || !packable {
+        if sharing < Self::BATCH_SHARING_THRESHOLD || !self.index_packable {
             let origin = cloud.origin;
             for point in cloud.points() {
                 self.insert_ray(&origin, point);
@@ -347,7 +379,49 @@ impl OctoMap {
     /// overlaps any occupied *or unknown-adjacent* voxel. Unknown space is
     /// treated as free here; planners that must be conservative should also
     /// call [`OctoMap::query`] on the point itself.
+    ///
+    /// Decision-identical to
+    /// [`OctoMap::is_occupied_with_inflation_reference`] (property-tested),
+    /// but served from the occupied-voxel hash index: instead of one octree
+    /// descent per neighbour voxel, the query enumerates the few occupied
+    /// voxels inside the inflation cube straight from the block bitmasks and
+    /// classifies each against a precomputed offset ball.
     pub fn is_occupied_with_inflation(&self, point: &Vec3, radius: f64) -> bool {
+        if !self.index_packable {
+            return self.is_occupied_with_inflation_reference(point, radius);
+        }
+        if self.occupied_count == 0 {
+            return false;
+        }
+        let r = radius.max(0.0);
+        let reach = r + self.config.resolution * 0.87;
+        let steps = (r / self.config.resolution).ceil() as i64;
+        let center_idx = self.grid.index_of(point);
+        let lo = GridIndex::new(
+            center_idx.x - steps,
+            center_idx.y - steps,
+            center_idx.z - steps,
+        );
+        let hi = GridIndex::new(
+            center_idx.x + steps,
+            center_idx.y + steps,
+            center_idx.z + steps,
+        );
+        let ball = offset_ball(self.config.resolution, r);
+        self.scan_occupied_box(&lo, &hi, |v| {
+            match ball.class(v.x - center_idx.x, v.y - center_idx.y, v.z - center_idx.z) {
+                BALL_NEVER => false,
+                BALL_ALWAYS => true,
+                _ => self.grid.center_of(&v).distance(point) <= reach,
+            }
+        })
+    }
+
+    /// The pre-index inflation query: one full octree descent per voxel of
+    /// the inflation cube. Kept verbatim as the executable specification the
+    /// indexed query is property-tested against, and as the fallback for
+    /// domains too wide for 21-bit voxel keys.
+    pub fn is_occupied_with_inflation_reference(&self, point: &Vec3, radius: f64) -> bool {
         let r = radius.max(0.0);
         let steps = (r / self.config.resolution).ceil() as i64;
         let center_idx = self.grid.index_of(point);
@@ -370,7 +444,28 @@ impl OctoMap {
 
     /// Returns `true` when the straight segment between `a` and `b`, swept by
     /// a vehicle of half-width `radius`, avoids every occupied voxel.
+    ///
+    /// Decision-identical to [`OctoMap::segment_free_reference`]
+    /// (property-tested). The fast path walks the segment's crossed voxels
+    /// with the grid DDA and probes the occupied-voxel index over the swept
+    /// corridor — one bitmask probe per block instead of re-querying the
+    /// whole inflation neighbourhood at every half-resolution sample. Only
+    /// when the corridor contains an occupied voxel does the exact sampled
+    /// predicate run (against the indexed point query), so the common
+    /// planner case — a free segment — never touches the octree at all.
     pub fn segment_free(&self, a: &Vec3, b: &Vec3, radius: f64) -> bool {
+        if !self.index_packable {
+            return self.segment_free_reference(a, b, radius);
+        }
+        if self.occupied_count == 0 {
+            return true;
+        }
+        if self.segment_corridor_clear(a, b, radius) {
+            return true;
+        }
+        // An occupied voxel sits near the swept corridor: fall back to the
+        // exact sampled predicate (every candidate an old sample could see is
+        // inside the corridor, so the prefilter never hides a collision).
         let dist = a.distance(b);
         let step = (self.config.resolution * 0.5).max(0.05);
         let samples = ((dist / step).ceil() as usize).max(1);
@@ -384,16 +479,185 @@ impl OctoMap {
         true
     }
 
-    /// Number of occupied leaf voxels.
+    /// The pre-index swept-segment predicate: a point sample every
+    /// half-resolution, each paying a full inflation-cube tree scan. Kept as
+    /// the executable specification [`OctoMap::segment_free`] is
+    /// property-tested against.
+    pub fn segment_free_reference(&self, a: &Vec3, b: &Vec3, radius: f64) -> bool {
+        let dist = a.distance(b);
+        let step = (self.config.resolution * 0.5).max(0.05);
+        let samples = ((dist / step).ceil() as usize).max(1);
+        for i in 0..=samples {
+            let t = i as f64 / samples as f64;
+            let p = a.lerp(b, t);
+            if self.is_occupied_with_inflation_reference(&p, radius) {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// DDA prefilter for [`OctoMap::segment_free`]: walks the voxels crossed
+    /// by the segment and probes the occupied-voxel index over an inflated
+    /// corridor around them. Returns `true` when no occupied voxel lies
+    /// anywhere in the corridor — which proves the sampled predicate free,
+    /// because every voxel a sample's inflation cube can inspect is within
+    /// `ceil(radius / resolution)` cells of the sample's own voxel, and every
+    /// sample's voxel is within one cell of a crossed voxel (samples lie on
+    /// the segment; the extra `+ 1` of padding absorbs corner-cutting and
+    /// floating-point straddle at cell boundaries).
+    fn segment_corridor_clear(&self, a: &Vec3, b: &Vec3, radius: f64) -> bool {
+        let pad = (radius.max(0.0) / self.config.resolution).ceil() as i64 + 1;
+        let cells = self.grid.traverse(a, b);
+        let mut prev: Option<GridIndex> = None;
+        for cell in cells {
+            let occupied_near = match prev {
+                // First cell: probe the full corridor cube around it.
+                None => self.any_occupied_in_box(
+                    &GridIndex::new(cell.x - pad, cell.y - pad, cell.z - pad),
+                    &GridIndex::new(cell.x + pad, cell.y + pad, cell.z + pad),
+                ),
+                Some(p) => {
+                    let (dx, dy, dz) = (cell.x - p.x, cell.y - p.y, cell.z - p.z);
+                    if dx.abs() + dy.abs() + dz.abs() == 1 {
+                        // Unit DDA step: the corridor cube moved by one cell,
+                        // so only its leading face slab is new.
+                        let (mut lo, mut hi) = (
+                            GridIndex::new(cell.x - pad, cell.y - pad, cell.z - pad),
+                            GridIndex::new(cell.x + pad, cell.y + pad, cell.z + pad),
+                        );
+                        if dx != 0 {
+                            let face = if dx > 0 { hi.x } else { lo.x };
+                            lo.x = face;
+                            hi.x = face;
+                        } else if dy != 0 {
+                            let face = if dy > 0 { hi.y } else { lo.y };
+                            lo.y = face;
+                            hi.y = face;
+                        } else {
+                            let face = if dz > 0 { hi.z } else { lo.z };
+                            lo.z = face;
+                            hi.z = face;
+                        }
+                        self.any_occupied_in_box(&lo, &hi)
+                    } else {
+                        // Non-unit jump (the DDA's final end-cell append, or a
+                        // budget-exhausted skip): conservatively probe the
+                        // whole box spanning the jump.
+                        self.any_occupied_in_box(
+                            &GridIndex::new(
+                                cell.x.min(p.x) - pad,
+                                cell.y.min(p.y) - pad,
+                                cell.z.min(p.z) - pad,
+                            ),
+                            &GridIndex::new(
+                                cell.x.max(p.x) + pad,
+                                cell.y.max(p.y) + pad,
+                                cell.z.max(p.z) + pad,
+                            ),
+                        )
+                    }
+                }
+            };
+            if occupied_near {
+                return false;
+            }
+            prev = Some(cell);
+        }
+        true
+    }
+
+    /// Returns `true` when any occupied voxel lies in the inclusive
+    /// voxel-index box `[lo, hi]`.
+    fn any_occupied_in_box(&self, lo: &GridIndex, hi: &GridIndex) -> bool {
+        self.scan_occupied_box(lo, hi, |_| true)
+    }
+
+    /// Visits the occupied voxels inside the inclusive voxel-index box
+    /// `[lo, hi]`, stopping early when `visit` returns `true`; returns
+    /// whether any visit did. One hash probe per overlapped 4×4×4 block; the
+    /// box window is cut out of each block's bitmask with three axis masks.
+    fn scan_occupied_box(
+        &self,
+        lo: &GridIndex,
+        hi: &GridIndex,
+        mut visit: impl FnMut(GridIndex) -> bool,
+    ) -> bool {
+        for bz in lo.z.div_euclid(4)..=hi.z.div_euclid(4) {
+            for by in lo.y.div_euclid(4)..=hi.y.div_euclid(4) {
+                for bx in lo.x.div_euclid(4)..=hi.x.div_euclid(4) {
+                    let Some(key) = pack_voxel_key_checked(&GridIndex::new(bx, by, bz)) else {
+                        // Beyond the packing range means beyond the (packable)
+                        // domain: those voxels are unobservable, never occupied.
+                        continue;
+                    };
+                    let Some(&mask) = self.occupied_blocks.get(&key) else {
+                        continue;
+                    };
+                    // Cut the box window out of the block: bit i = x + 4y +
+                    // 16z, so the x range replicates over all 16 nibbles, the
+                    // y range expands to nibbles replicated over the four z
+                    // groups, and the z range expands to 16-bit groups.
+                    let window = mask
+                        & (axis_bits(lo.x, hi.x, bx) * 0x1111_1111_1111_1111)
+                        & (NIBBLE_EXPAND[axis_bits(lo.y, hi.y, by) as usize]
+                            * 0x0001_0001_0001_0001)
+                        & GROUP_EXPAND[axis_bits(lo.z, hi.z, bz) as usize];
+                    let mut m = window;
+                    while m != 0 {
+                        let bit = m.trailing_zeros() as i64;
+                        m &= m - 1;
+                        let v = GridIndex::new(
+                            bx * 4 + (bit & 3),
+                            by * 4 + ((bit >> 2) & 3),
+                            bz * 4 + (bit >> 4),
+                        );
+                        if visit(v) {
+                            return true;
+                        }
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Number of occupied leaf voxels. O(1): served from the incrementally
+    /// maintained counter (see [`OctoMap::known_voxel_count_scan`] for the
+    /// tree-walk the counters are regression-tested against).
     pub fn occupied_voxel_count(&self) -> usize {
+        self.occupied_count
+    }
+
+    /// Number of observed (free or occupied) leaf voxels. O(1): the size of
+    /// the incrementally maintained key set, which reproduces the historical
+    /// tree-walk accounting exactly (including its dedup by rounded centre).
+    pub fn known_voxel_count(&self) -> usize {
+        if self.index_packable {
+            self.known_keys.len()
+        } else {
+            self.known_voxel_count_scan()
+        }
+    }
+
+    /// [`OctoMap::occupied_voxel_count`] recomputed by a full tree walk — the
+    /// pre-index implementation, kept as the regression oracle for the O(1)
+    /// counter. Caveat inherited from [`OctoMap::collect_leaves`]: at
+    /// non-dyadic resolutions the walk can merge adjacent leaves whose noisy
+    /// centres round to the same key, so it may run a few voxels *below* the
+    /// exact per-leaf count the collision queries (and the O(1) counter)
+    /// use; at dyadic resolutions the two agree exactly.
+    pub fn occupied_voxel_count_scan(&self) -> usize {
         self.collect_leaves()
             .iter()
             .filter(|(_, l)| *l > self.config.occupied_threshold)
             .count()
     }
 
-    /// Number of observed (free or occupied) leaf voxels.
-    pub fn known_voxel_count(&self) -> usize {
+    /// [`OctoMap::known_voxel_count`] recomputed by a full tree walk — the
+    /// pre-index implementation, kept as the regression oracle for the O(1)
+    /// counter.
+    pub fn known_voxel_count_scan(&self) -> usize {
         self.collect_leaves().len()
     }
 
@@ -482,6 +746,11 @@ impl OctoMap {
     /// Applies `apply` to the leaf value containing `point` in a single tree
     /// descent, recording `count` leaf updates. Batched scan insertion folds
     /// a whole voxel's ordered delta sequence through one descent this way.
+    ///
+    /// Every mutation of a leaf's log-odds flows through here — single rays,
+    /// batched scans and [`OctoMap::reresolved`] alike — so this is the one
+    /// place the occupied-voxel index and the O(1) counters are kept in sync
+    /// with the tree.
     fn update_leaf_apply<F: FnOnce(&mut f64)>(&mut self, point: &Vec3, count: u64, apply: F) {
         if !self.in_domain(point) {
             return;
@@ -489,8 +758,47 @@ impl OctoMap {
         let depth = self.depth;
         let half = self.half_extent;
         let root = self.root.get_or_insert_with(OctreeNode::new_inner);
-        Self::update_recursive(root, point, apply, Vec3::ZERO, half, depth);
+        let touch = Self::update_recursive(root, point, apply, Vec3::ZERO, half, depth);
         self.updates += count;
+        if touch.created && self.index_packable {
+            // The same dedup key collect_leaves() computes from this leaf's
+            // centre during a tree walk (bit-identical: the descent
+            // accumulates the centre with the exact additions the walk uses).
+            let res = self.config.resolution;
+            self.known_keys.insert(pack_voxel_key(&GridIndex::new(
+                (touch.center.x / res).round() as i64,
+                (touch.center.y / res).round() as i64,
+                (touch.center.z / res).round() as i64,
+            )));
+        }
+        let threshold = self.config.occupied_threshold;
+        let was = !touch.created && touch.before > threshold;
+        let now = touch.after > threshold;
+        if was == now {
+            return;
+        }
+        if now {
+            self.occupied_count += 1;
+        } else {
+            self.occupied_count -= 1;
+        }
+        if self.index_packable {
+            // Key the index entry off the *leaf's own centre* (mid-cell, so
+            // never within floating-point noise of a cell boundary), not the
+            // update point: an update point sitting exactly on a boundary
+            // then maps to whichever leaf the descent actually touched.
+            let idx = self.grid.index_of(&touch.center);
+            let (block, bit) = block_of(&idx);
+            let key = pack_voxel_key(&block);
+            if now {
+                *self.occupied_blocks.entry(key).or_insert(0) |= bit;
+            } else if let Some(mask) = self.occupied_blocks.get_mut(&key) {
+                *mask &= !bit;
+                if *mask == 0 {
+                    self.occupied_blocks.remove(&key);
+                }
+            }
+        }
     }
 
     fn update_recursive<F: FnOnce(&mut f64)>(
@@ -500,20 +808,32 @@ impl OctoMap {
         center: Vec3,
         half: f64,
         remaining_depth: u32,
-    ) {
+    ) -> LeafTouch {
         if remaining_depth == 0 {
             // Should be a leaf; replace an inner node if one snuck in.
-            match node {
+            return match node {
                 OctreeNode::Leaf { log_odds } => {
+                    let before = *log_odds;
                     apply(log_odds);
+                    LeafTouch {
+                        created: false,
+                        before,
+                        after: *log_odds,
+                        center,
+                    }
                 }
                 OctreeNode::Inner { .. } => {
                     let mut log_odds = 0.0;
                     apply(&mut log_odds);
                     *node = OctreeNode::Leaf { log_odds };
+                    LeafTouch {
+                        created: true,
+                        before: 0.0,
+                        after: log_odds,
+                        center,
+                    }
                 }
-            }
-            return;
+            };
         }
         match node {
             OctreeNode::Leaf { log_odds } => {
@@ -521,29 +841,11 @@ impl OctoMap {
                 // pushing its value down (simple expansion).
                 let existing = *log_odds;
                 *node = OctreeNode::new_inner();
-                if let OctreeNode::Inner { children } = node {
-                    let (idx, child_center) = child_of(point, &center, half);
-                    let child =
-                        children[idx].get_or_insert(OctreeNode::Leaf { log_odds: existing });
-                    Self::update_recursive(
-                        child,
-                        point,
-                        apply,
-                        child_center,
-                        half / 2.0,
-                        remaining_depth - 1,
-                    );
-                }
-            }
-            OctreeNode::Inner { children } => {
+                let OctreeNode::Inner { children } = node else {
+                    unreachable!("node was just replaced by an inner node");
+                };
                 let (idx, child_center) = child_of(point, &center, half);
-                let child = children[idx].get_or_insert_with(|| {
-                    if remaining_depth == 1 {
-                        OctreeNode::Leaf { log_odds: 0.0 }
-                    } else {
-                        OctreeNode::new_inner()
-                    }
-                });
+                let child = children[idx].get_or_insert(OctreeNode::Leaf { log_odds: existing });
                 Self::update_recursive(
                     child,
                     point,
@@ -551,7 +853,32 @@ impl OctoMap {
                     child_center,
                     half / 2.0,
                     remaining_depth - 1,
+                )
+            }
+            OctreeNode::Inner { children } => {
+                let (idx, child_center) = child_of(point, &center, half);
+                let vacant = children[idx].is_none();
+                let child = children[idx].get_or_insert_with(|| {
+                    if remaining_depth == 1 {
+                        OctreeNode::Leaf { log_odds: 0.0 }
+                    } else {
+                        OctreeNode::new_inner()
+                    }
+                });
+                let mut touch = Self::update_recursive(
+                    child,
+                    point,
+                    apply,
+                    child_center,
+                    half / 2.0,
+                    remaining_depth - 1,
                 );
+                // A leaf materialised by this descent is a newly observed
+                // voxel (the recursion below saw it as a pre-existing leaf).
+                if vacant && remaining_depth == 1 {
+                    touch.created = true;
+                }
+                touch
             }
         }
     }
@@ -582,6 +909,17 @@ impl OctoMap {
     }
 }
 
+/// What one tree descent did to the leaf it reached: whether the leaf was
+/// created by this update, its log-odds before and after, and the leaf's own
+/// centre (the authoritative identity of the voxel it covers). This is what
+/// keeps the occupied-voxel index and the O(1) counters exact.
+struct LeafTouch {
+    created: bool,
+    before: f64,
+    after: f64,
+    center: Vec3,
+}
+
 /// Packs an in-domain voxel index into one u64 key (21 bits per axis,
 /// offset-biased). Domain-filtered indices are far below the 2^20 bound:
 /// even a 200 m domain at 0.10 m resolution spans only ±2000 cells.
@@ -592,6 +930,168 @@ fn pack_voxel_key(cell: &GridIndex) -> u64 {
         "voxel index out of packing range: {cell:?}"
     );
     (((cell.x + BIAS) as u64) << 42) | (((cell.y + BIAS) as u64) << 21) | ((cell.z + BIAS) as u64)
+}
+
+/// [`pack_voxel_key`] for query neighbourhoods, which may legitimately reach
+/// beyond the packing range: on a packable domain any index at or beyond
+/// ±2^20 has its centre outside the octree domain, so `None` simply means
+/// "unobservable, never occupied".
+fn pack_voxel_key_checked(cell: &GridIndex) -> Option<u64> {
+    const BIAS: i64 = 1 << 20;
+    if cell.x.abs() < BIAS && cell.y.abs() < BIAS && cell.z.abs() < BIAS {
+        Some(pack_voxel_key(cell))
+    } else {
+        None
+    }
+}
+
+/// Splits a voxel index into its 4×4×4 block coordinates and the block-local
+/// occupancy bit (bit = x + 4·y + 16·z over the euclidean remainders).
+fn block_of(idx: &GridIndex) -> (GridIndex, u64) {
+    let block = GridIndex::new(
+        idx.x.div_euclid(4),
+        idx.y.div_euclid(4),
+        idx.z.div_euclid(4),
+    );
+    let bit = idx.x.rem_euclid(4) + 4 * idx.y.rem_euclid(4) + 16 * idx.z.rem_euclid(4);
+    (block, 1u64 << bit)
+}
+
+/// 4-bit mask of the block-local coordinates (0..4) of block `b` that fall
+/// inside the inclusive axis range `[lo, hi]` (in voxel coordinates). Empty
+/// intersections cannot occur: blocks are only enumerated over the box.
+fn axis_bits(lo: i64, hi: i64, b: i64) -> u64 {
+    let a = (lo.max(b * 4) - b * 4) as u32;
+    let c = (hi.min(b * 4 + 3) - b * 4) as u32;
+    ((1u64 << (c + 1)) - (1u64 << a)) & 0xF
+}
+
+/// Expands a 4-bit axis mask so each set bit becomes a nibble (`0xF`): the y
+/// window of a block bitmask, before replication across the four z groups.
+const NIBBLE_EXPAND: [u64; 16] = {
+    let mut table = [0u64; 16];
+    let mut m = 0;
+    while m < 16 {
+        let mut bits = 0u64;
+        let mut i = 0;
+        while i < 4 {
+            if m & (1 << i) != 0 {
+                bits |= 0xF << (4 * i);
+            }
+            i += 1;
+        }
+        table[m] = bits;
+        m += 1;
+    }
+    table
+};
+
+/// Expands a 4-bit axis mask so each set bit becomes a 16-bit group: the z
+/// window of a block bitmask.
+const GROUP_EXPAND: [u64; 16] = {
+    let mut table = [0u64; 16];
+    let mut m = 0;
+    while m < 16 {
+        let mut bits = 0u64;
+        let mut i = 0;
+        while i < 4 {
+            if m & (1 << i) != 0 {
+                bits |= 0xFFFF << (16 * i);
+            }
+            i += 1;
+        }
+        table[m] = bits;
+        m += 1;
+    }
+    table
+};
+
+/// Offset classes of the precomputed inflation ball: an occupied voxel at a
+/// `NEVER` offset can never satisfy the reference distance test for any point
+/// inside the centre voxel, an `ALWAYS` offset always does, and a `CHECK`
+/// offset needs the exact per-query distance test.
+const BALL_NEVER: u8 = 0;
+const BALL_CHECK: u8 = 1;
+const BALL_ALWAYS: u8 = 2;
+
+/// The classified inflation neighbourhood for one (resolution, radius) pair:
+/// a `(2·steps + 1)³` cube of [`BALL_NEVER`]/[`BALL_CHECK`]/[`BALL_ALWAYS`]
+/// classes, indexed by voxel offset from the query point's voxel.
+struct OffsetBall {
+    steps: i64,
+    classes: Vec<u8>,
+}
+
+impl OffsetBall {
+    fn build(resolution: f64, radius: f64) -> OffsetBall {
+        let reach = radius + resolution * 0.87;
+        let steps = (radius / resolution).ceil() as i64;
+        let width = (2 * steps + 1) as usize;
+        let mut classes = vec![BALL_NEVER; width * width * width];
+        // Guard band for the worst-case / best-case distance bounds below:
+        // they are evaluated in floating point, so knife-edge offsets are
+        // pushed into the exact-check class rather than misclassified.
+        let eps = 1e-9 * resolution;
+        let mut i = 0;
+        for dx in -steps..=steps {
+            for dy in -steps..=steps {
+                for dz in -steps..=steps {
+                    // For a query point anywhere in its voxel, the distance to
+                    // the centre of the voxel `steps` away is bounded per axis
+                    // by (|d| - 0.5)·res below and (|d| + 0.5)·res above.
+                    let lo = |d: i64| (d.abs() as f64 - 0.5).max(0.0) * resolution;
+                    let hi = |d: i64| (d.abs() as f64 + 0.5) * resolution;
+                    let nearest = (lo(dx).powi(2) + lo(dy).powi(2) + lo(dz).powi(2)).sqrt();
+                    let farthest = (hi(dx).powi(2) + hi(dy).powi(2) + hi(dz).powi(2)).sqrt();
+                    classes[i] = if nearest > reach + eps {
+                        BALL_NEVER
+                    } else if farthest + eps <= reach {
+                        BALL_ALWAYS
+                    } else {
+                        BALL_CHECK
+                    };
+                    i += 1;
+                }
+            }
+        }
+        OffsetBall { steps, classes }
+    }
+
+    /// Class of the offset `(dx, dy, dz)`; offsets outside the cube are
+    /// `BALL_NEVER` (cannot happen for boxes built from the same `steps`).
+    fn class(&self, dx: i64, dy: i64, dz: i64) -> u8 {
+        let s = self.steps;
+        if dx.abs() > s || dy.abs() > s || dz.abs() > s {
+            return BALL_NEVER;
+        }
+        let w = 2 * s + 1;
+        self.classes[(((dx + s) * w + (dy + s)) * w + (dz + s)) as usize]
+    }
+}
+
+/// One cached inflation ball, keyed by the `(resolution, radius)` bit
+/// patterns it was built for.
+type CachedBall = ((u64, u64), Rc<OffsetBall>);
+
+thread_local! {
+    /// Per-thread cache of classified inflation balls. Planners query one or
+    /// two radii per mission, so a small linear map beats hashing.
+    static OFFSET_BALLS: RefCell<Vec<CachedBall>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The classified inflation ball for `(resolution, radius)`, built on first
+/// use per thread.
+fn offset_ball(resolution: f64, radius: f64) -> Rc<OffsetBall> {
+    let key = (resolution.to_bits(), radius.to_bits());
+    OFFSET_BALLS.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        if let Some((_, ball)) = cache.iter().find(|(k, _)| *k == key) {
+            return Rc::clone(ball);
+        }
+        let ball = Rc::new(OffsetBall::build(resolution, radius));
+        cache.push((key, Rc::clone(&ball)));
+        ball
+    })
 }
 
 /// A cheap multiply-xor hasher for packed voxel keys.
@@ -886,6 +1386,26 @@ mod tests {
         let mut gated = small_map(0.3);
         gated.insert_point_cloud(&cloud);
         assert_eq!(gated, serial, "gated insertion changed the map");
+    }
+
+    #[test]
+    fn unpackable_domain_falls_back_to_reference_queries() {
+        // A multi-km domain at mm resolution exceeds the 21-bit voxel-key
+        // packing: the occupied-voxel index must disable itself and every
+        // query keep answering (identically) via the tree.
+        let mut map = OctoMap::new(OctoMapConfig::with_resolution(0.001), 1500.0);
+        let origin = Vec3::new(0.0, 0.0, 0.0105);
+        let hit = Vec3::new(0.05, 0.0, 0.0105);
+        map.insert_ray(&origin, &hit);
+        assert_eq!(map.query(&hit), Occupancy::Occupied);
+        assert!(map.is_occupied_with_inflation(&hit, 0.002));
+        assert_eq!(
+            map.is_occupied_with_inflation(&hit, 0.002),
+            map.is_occupied_with_inflation_reference(&hit, 0.002)
+        );
+        assert!(!map.segment_free(&origin, &hit, 0.001));
+        assert_eq!(map.occupied_voxel_count(), 1);
+        assert_eq!(map.known_voxel_count(), map.known_voxel_count_scan());
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! waypoints into a dynamically feasible trajectory.
 
 use crate::collision::CollisionChecker;
+use crate::spatial::PointGrid;
 use mav_perception::OctoMap;
 use mav_types::{Aabb, MavError, Result, Vec3};
 use rand::Rng;
@@ -40,6 +41,12 @@ pub struct PlannerConfig {
     pub goal_tolerance: f64,
     /// RNG seed.
     pub seed: u64,
+    /// Use the uniform-grid bucket index ([`crate::spatial::PointGrid`]) for
+    /// RRT nearest-neighbour and PRM radius-connection. The index is exact,
+    /// so planned paths are identical either way; `false` restores the
+    /// brute-force O(n²) loops (kept for equivalence tests and A/B
+    /// benchmarking).
+    pub spatial_index: bool,
 }
 
 impl PlannerConfig {
@@ -53,12 +60,19 @@ impl PlannerConfig {
             goal_bias: 0.1,
             goal_tolerance: 1.0,
             seed: 7,
+            spatial_index: true,
         }
     }
 
     /// Overrides the RNG seed (builder style).
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Enables or disables the bucketed neighbour index (builder style).
+    pub fn with_spatial_index(mut self, enabled: bool) -> Self {
+        self.spatial_index = enabled;
         self
     }
 }
@@ -203,19 +217,33 @@ impl ShortestPathPlanner {
         let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
         let mut nodes: Vec<Vec3> = vec![start];
         let mut parents: Vec<usize> = vec![0];
+        // Bucket index over the tree nodes, sized by the extension step (the
+        // distance nearest-neighbour queries typically resolve at). Exact,
+        // so the grown tree is identical to the linear-scan tree.
+        let mut index = self
+            .config
+            .spatial_index
+            .then(|| PointGrid::new(&self.config.bounds, self.config.step.max(1e-6)));
+        if let Some(index) = index.as_mut() {
+            index.insert(start);
+        }
         for sample_count in 0..self.config.max_samples {
             let target = self.sample(&mut rng, &goal);
             // Nearest node in the tree.
-            let (nearest_idx, nearest) = nodes
-                .iter()
-                .enumerate()
-                .min_by(|a, b| {
-                    a.1.distance_squared(&target)
-                        .partial_cmp(&b.1.distance_squared(&target))
-                        .expect("finite")
-                })
-                .map(|(i, p)| (i, *p))
-                .expect("tree is never empty");
+            let nearest_idx = match &index {
+                Some(index) => index.nearest(&target).expect("tree is never empty"),
+                None => nodes
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| {
+                        a.1.distance_squared(&target)
+                            .partial_cmp(&b.1.distance_squared(&target))
+                            .expect("finite")
+                    })
+                    .map(|(i, _)| i)
+                    .expect("tree is never empty"),
+            };
+            let nearest = nodes[nearest_idx];
             // Extend one step towards the sample.
             let dist = nearest.distance(&target);
             let new = if dist <= self.config.step {
@@ -228,6 +256,9 @@ impl ShortestPathPlanner {
             }
             nodes.push(new);
             parents.push(nearest_idx);
+            if let Some(index) = index.as_mut() {
+                index.insert(new);
+            }
             // Goal check.
             if new.distance(&goal) <= self.config.goal_tolerance
                 && checker.segment_free(map, &new, &goal)
@@ -274,14 +305,48 @@ impl ShortestPathPlanner {
             }
         }
         // Connect each vertex to its neighbours within the connection radius.
+        // The bucket index generates only the candidate pairs whose buckets
+        // overlap the radius ball, and the distance test is hoisted before
+        // any map work, so `segment_free` runs exclusively on pairs that are
+        // actually connectable. Candidate indices are sorted ascending so the
+        // adjacency lists are built in exactly the order of the historical
+        // all-pairs loop (A* tie-breaking depends on it).
         let radius = self.config.step * 2.5;
         let mut adjacency: Vec<Vec<(usize, f64)>> = vec![Vec::new(); vertices.len()];
+        let index = self.config.spatial_index.then(|| {
+            let mut grid = PointGrid::new(&self.config.bounds, radius.max(1e-6));
+            for v in &vertices {
+                grid.insert(*v);
+            }
+            grid
+        });
+        let mut candidates: Vec<u32> = Vec::new();
         for i in 0..vertices.len() {
-            for j in (i + 1)..vertices.len() {
-                let d = vertices[i].distance(&vertices[j]);
-                if d <= radius && checker.segment_free(map, &vertices[i], &vertices[j]) {
-                    adjacency[i].push((j, d));
-                    adjacency[j].push((i, d));
+            match &index {
+                Some(grid) => {
+                    candidates.clear();
+                    grid.candidates_within(&vertices[i], radius, &mut candidates);
+                    candidates.sort_unstable();
+                    for &j in &candidates {
+                        let j = j as usize;
+                        if j <= i {
+                            continue;
+                        }
+                        let d = vertices[i].distance(&vertices[j]);
+                        if d <= radius && checker.segment_free(map, &vertices[i], &vertices[j]) {
+                            adjacency[i].push((j, d));
+                            adjacency[j].push((i, d));
+                        }
+                    }
+                }
+                None => {
+                    for j in (i + 1)..vertices.len() {
+                        let d = vertices[i].distance(&vertices[j]);
+                        if d <= radius && checker.segment_free(map, &vertices[i], &vertices[j]) {
+                            adjacency[i].push((j, d));
+                            adjacency[j].push((i, d));
+                        }
+                    }
                 }
             }
         }

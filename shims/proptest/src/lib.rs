@@ -213,6 +213,18 @@ macro_rules! prop_assert_eq {
             right
         );
     }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: `{} == {}` (left: {:?}, right: {:?}): {}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
 }
 
 /// Asserts inequality inside a `proptest!` body.
