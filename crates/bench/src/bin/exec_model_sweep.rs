@@ -1,0 +1,10 @@
+//! PR 5 — executor model (serial vs pipelined) × per-node DVFS study.
+use mav_bench::{figures, run_figure};
+
+fn main() {
+    run_figure(
+        "exec_model_sweep",
+        "Serial vs pipelined round charging and mission-global vs per-node (big.LITTLE) operating points on the same delivery mission",
+        figures::exec_model_sweep,
+    );
+}

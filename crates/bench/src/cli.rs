@@ -14,6 +14,13 @@
 //! * `--replan-mode hover-to-plan|plan-in-motion` — what the closed loop
 //!   does on a collision alert (default: the figure's configuration,
 //!   normally hover-to-plan);
+//! * `--exec-model serial|pipelined` — how executor rounds charge latency
+//!   (serial sums node latencies, the paper's accounting; pipelined charges
+//!   the critical path over pipeline stages);
+//! * `--node-op plan=big@2.2,cam=little@1.4` — per-node operating points
+//!   (big.LITTLE-style cluster mapping; keys cam/map/plan/ctrl, values
+//!   `big@GHz`, `little@GHz` or `<cores>c@GHz` — omitted nodes stay at the
+//!   mission-global point);
 //! * `--help` — usage.
 //!
 //! A binary is a one-liner: `run_figure(NAME, DESCRIPTION, figures::NAME)`.
@@ -21,9 +28,10 @@
 //! [`FigureOutput`] carrying both renderings; the driver prints the one the
 //! user asked for.
 
+use mav_compute::OperatingPoint;
 use mav_core::sweep::SweepRunner;
-use mav_core::{MissionConfig, RateConfig, ReplanMode};
-use mav_types::Json;
+use mav_core::{ExecModel, MissionConfig, NodeOpConfig, RateConfig, ReplanMode};
+use mav_types::{Frequency, Json};
 
 /// Parsed command-line options shared by every harness binary.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -41,6 +49,13 @@ pub struct Cli {
     /// (`--replan-mode`); `None` leaves each figure's configuration
     /// (normally hover-to-plan).
     pub replan_mode: Option<ReplanMode>,
+    /// Executor latency-charging model to impose on every mission
+    /// (`--exec-model`); `None` leaves each figure's configuration
+    /// (normally serial).
+    pub exec_model: Option<ExecModel>,
+    /// Per-node operating points to impose on every mission (`--node-op`);
+    /// `None` leaves each figure's configuration (normally mission-global).
+    pub node_ops: Option<NodeOpConfig>,
 }
 
 /// What a figure builder hands back to the driver.
@@ -97,6 +112,18 @@ impl Cli {
                         .ok_or_else(|| CliError::Invalid("--replan-mode needs a value".into()))?;
                     cli.replan_mode = Some(parse_replan_mode(&value)?);
                 }
+                "--exec-model" => {
+                    let value = args
+                        .next()
+                        .ok_or_else(|| CliError::Invalid("--exec-model needs a value".into()))?;
+                    cli.exec_model = Some(parse_exec_model(&value)?);
+                }
+                "--node-op" => {
+                    let value = args
+                        .next()
+                        .ok_or_else(|| CliError::Invalid("--node-op needs a value".into()))?;
+                    cli.node_ops = Some(parse_node_ops(&value)?);
+                }
                 "--help" | "-h" => return Err(CliError::Help),
                 other => return Err(CliError::Invalid(format!("unknown argument `{other}`"))),
             }
@@ -122,11 +149,96 @@ impl Cli {
             Some(rates) => config.with_rates(rates),
             None => config,
         };
-        match self.replan_mode {
+        let config = match self.replan_mode {
             Some(mode) => config.with_replan_mode(mode),
+            None => config,
+        };
+        let config = match self.exec_model {
+            Some(model) => config.with_exec_model(model),
+            None => config,
+        };
+        match self.node_ops {
+            Some(node_ops) => config.with_node_ops(node_ops),
             None => config,
         }
     }
+}
+
+/// Parses an `--exec-model` value.
+fn parse_exec_model(value: &str) -> Result<ExecModel, CliError> {
+    match value.trim() {
+        "serial" => Ok(ExecModel::Serial),
+        "pipelined" | "pipeline" => Ok(ExecModel::Pipelined),
+        other => Err(CliError::Invalid(format!(
+            "unknown exec model `{other}` (expected serial or pipelined)"
+        ))),
+    }
+}
+
+/// Parses one `--node-op` operating-point value: `big@2.2` (4 cores),
+/// `little@1.4` (2 cores) or an explicit `3c@1.5`.
+fn parse_operating_point(value: &str) -> Result<OperatingPoint, CliError> {
+    let Some((cluster, ghz)) = value.split_once('@') else {
+        return Err(CliError::Invalid(format!(
+            "operating point `{value}` must look like big@2.2, little@1.4 or 3c@1.5"
+        )));
+    };
+    let ghz: f64 = ghz
+        .trim()
+        .trim_end_matches("GHz")
+        .parse()
+        .map_err(|_| CliError::Invalid(format!("invalid frequency `{ghz}`")))?;
+    if !(ghz.is_finite() && ghz > 0.0) {
+        return Err(CliError::Invalid(format!(
+            "frequency must be positive, got {ghz} GHz"
+        )));
+    }
+    let frequency = Frequency::from_ghz(ghz);
+    match cluster.trim() {
+        "big" => Ok(OperatingPoint::big_cluster(frequency)),
+        "little" => Ok(OperatingPoint::little_cluster(frequency)),
+        cores => {
+            let cores: u32 = cores
+                .strip_suffix('c')
+                .and_then(|n| n.parse().ok())
+                .filter(|&n| n >= 1)
+                .ok_or_else(|| {
+                    CliError::Invalid(format!(
+                        "unknown cluster `{cores}` (expected big, little or <cores>c)"
+                    ))
+                })?;
+            Ok(OperatingPoint::new(cores, frequency))
+        }
+    }
+}
+
+/// Parses a `--node-op plan=big@2.2,cam=little@1.4` list (any non-empty
+/// subset of the cam/map/plan/ctrl keys) into a [`NodeOpConfig`].
+fn parse_node_ops(spec: &str) -> Result<NodeOpConfig, CliError> {
+    let mut ops = NodeOpConfig::mission_global();
+    for part in spec.split(',') {
+        let Some((key, value)) = part.split_once('=') else {
+            return Err(CliError::Invalid(format!(
+                "node op `{part}` must look like key=point (keys: cam, map, plan, ctrl; \
+                 points: big@2.2, little@1.4, 3c@1.5)"
+            )));
+        };
+        let point = parse_operating_point(value.trim())?;
+        match key.trim() {
+            "cam" => ops.camera = Some(point),
+            "map" => ops.mapping = Some(point),
+            "plan" => ops.planning = Some(point),
+            "ctrl" => ops.control = Some(point),
+            other => {
+                return Err(CliError::Invalid(format!(
+                    "unknown node key `{other}` (expected cam, map, plan or ctrl)"
+                )))
+            }
+        }
+    }
+    ops.validate()
+        .map_err(|reason| CliError::Invalid(format!("invalid --node-op: {reason}")))?;
+    Ok(ops)
 }
 
 /// Parses a `--replan-mode` value.
@@ -184,7 +296,8 @@ pub enum CliError {
 fn usage(name: &str, description: &str) -> String {
     format!(
         "{name} — {description}\n\n\
-         usage: {name} [--fast] [--json] [--threads N] [--rates LIST] [--replan-mode MODE]\n\n\
+         usage: {name} [--fast] [--json] [--threads N] [--rates LIST] [--replan-mode MODE]\n       \
+         [--exec-model MODEL] [--node-op LIST]\n\n\
          options:\n  \
          --fast        run scaled-down scenarios that finish in seconds (alias: --quick)\n  \
          --json        print the figure data as JSON instead of text tables\n  \
@@ -194,6 +307,13 @@ fn usage(name: &str, description: &str) -> String {
          --replan-mode MODE\n                \
          collision-alert policy: hover-to-plan (default) ends the episode\n                \
          and plans while hovering; plan-in-motion replans while flying\n  \
+         --exec-model MODEL\n                \
+         round latency charging: serial (default) sums node latencies;\n                \
+         pipelined charges the critical path over pipeline stages\n  \
+         --node-op LIST\n                \
+         per-node operating points, e.g. plan=big@2.2,cam=little@1.4\n                \
+         (keys cam/map/plan/ctrl; values big@GHz, little@GHz or <cores>c@GHz;\n                \
+         omitted nodes stay at the mission-global point)\n  \
          --help        show this message"
     )
 }
@@ -217,6 +337,14 @@ pub fn run_figure(name: &str, description: &str, body: impl FnOnce(&Cli) -> Figu
             Some(mode) => Json::String(mode.label().to_string()),
             None => Json::Null,
         };
+        let exec_model_json = match cli.exec_model {
+            Some(model) => Json::String(model.label().to_string()),
+            None => Json::Null,
+        };
+        let node_ops_json = match cli.node_ops {
+            Some(ops) => Json::String(ops.label()),
+            None => Json::Null,
+        };
         let document = Json::object()
             .field("figure", name)
             .field("description", description)
@@ -224,6 +352,8 @@ pub fn run_figure(name: &str, description: &str, body: impl FnOnce(&Cli) -> Figu
             .field("threads", cli.runner().threads())
             .field("rates", rates_json)
             .field("replan_mode", replan_mode_json)
+            .field("exec_model", exec_model_json)
+            .field("node_ops", node_ops_json)
             .field("data", output.json);
         println!("{}", document.to_string_pretty());
     } else {
@@ -326,6 +456,100 @@ mod tests {
             parse(&["--replan-mode"]),
             Err(CliError::Invalid(_))
         ));
+    }
+
+    #[test]
+    fn exec_model_parses_and_rejects_unknown_values() {
+        let cli = parse(&["--exec-model", "pipelined"]).unwrap();
+        assert_eq!(cli.exec_model, Some(ExecModel::Pipelined));
+        let cli = parse(&["--exec-model", "serial"]).unwrap();
+        assert_eq!(cli.exec_model, Some(ExecModel::Serial));
+        assert_eq!(
+            parse(&["--exec-model", "pipeline"]).unwrap().exec_model,
+            Some(ExecModel::Pipelined)
+        );
+        // No flag: no override.
+        assert_eq!(parse(&[]).unwrap().exec_model, None);
+        assert!(matches!(
+            parse(&["--exec-model", "quantum"]),
+            Err(CliError::Invalid(_))
+        ));
+        assert!(matches!(
+            parse(&["--exec-model"]),
+            Err(CliError::Invalid(_))
+        ));
+    }
+
+    #[test]
+    fn node_ops_parse_clusters_and_explicit_cores() {
+        let cli = parse(&["--node-op", "plan=big@2.2,cam=little@1.4"]).unwrap();
+        let ops = cli.node_ops.unwrap();
+        assert_eq!(
+            ops.planning,
+            Some(OperatingPoint::new(4, Frequency::from_ghz(2.2)))
+        );
+        assert_eq!(
+            ops.camera,
+            Some(OperatingPoint::new(2, Frequency::from_ghz(1.4)))
+        );
+        assert_eq!(ops.mapping, None);
+        assert_eq!(ops.control, None);
+
+        let cli = parse(&["--node-op", "map=3c@1.5,ctrl=2c@0.8"]).unwrap();
+        let ops = cli.node_ops.unwrap();
+        assert_eq!(
+            ops.mapping,
+            Some(OperatingPoint::new(3, Frequency::from_ghz(1.5)))
+        );
+        assert_eq!(
+            ops.control,
+            Some(OperatingPoint::new(2, Frequency::from_ghz(0.8)))
+        );
+        // A trailing GHz suffix is tolerated (the label syntax round-trips).
+        let cli = parse(&["--node-op", "plan=4c@2.2GHz"]).unwrap();
+        assert_eq!(
+            cli.node_ops.unwrap().planning,
+            Some(OperatingPoint::new(4, Frequency::from_ghz(2.2)))
+        );
+        // No flag: no override.
+        assert_eq!(parse(&[]).unwrap().node_ops, None);
+    }
+
+    #[test]
+    fn bad_node_ops_are_rejected() {
+        for spec in [
+            "plan",
+            "plan=big",
+            "plan=huge@2.2",
+            "plan=big@x",
+            "plan=big@0",
+            "plan=big@-1",
+            "plan=0c@1.5",
+            "engine=big@2.2",
+            "",
+        ] {
+            assert!(
+                matches!(parse(&["--node-op", spec]), Err(CliError::Invalid(_))),
+                "`{spec}` should be rejected"
+            );
+        }
+        assert!(matches!(parse(&["--node-op"]), Err(CliError::Invalid(_))));
+    }
+
+    #[test]
+    fn scale_applies_exec_model_and_node_ops_to_every_mission() {
+        use mav_compute::ApplicationId;
+        let cli = Cli {
+            exec_model: Some(ExecModel::Pipelined),
+            node_ops: Some(NodeOpConfig::big_little()),
+            ..Cli::default()
+        };
+        let cfg = cli.scale(MissionConfig::new(ApplicationId::PackageDelivery));
+        assert_eq!(cfg.exec_model, ExecModel::Pipelined);
+        assert_eq!(cfg.node_ops, NodeOpConfig::big_little());
+        let plain = Cli::default().scale(MissionConfig::new(ApplicationId::PackageDelivery));
+        assert_eq!(plain.exec_model, ExecModel::Serial);
+        assert!(plain.node_ops.is_mission_global());
     }
 
     #[test]

@@ -10,9 +10,9 @@ use crate::cli::{Cli, FigureOutput};
 use crate::table::format_table;
 use mav_compute::{table1_profile, ApplicationId, KernelId, OperatingPoint};
 use mav_core::experiments::{
-    cloud_offload_study_with, format_heatmap, noise_reliability_study_with,
-    operating_point_sweep_with, perception_rate_sweep_with, replan_mode_sweep_with,
-    replan_scenario, resolution_study_with, CloudComparison, HeatmapCell,
+    cloud_offload_study_with, exec_model_scenario, exec_model_sweep_with, format_heatmap,
+    noise_reliability_study_with, operating_point_sweep_with, perception_rate_sweep_with,
+    replan_mode_sweep_with, replan_scenario, resolution_study_with, CloudComparison, HeatmapCell,
 };
 use mav_core::microbench::{hover_endurance_minutes, slam_fps_sweep, SlamMicrobenchConfig};
 use mav_core::velocity::velocity_vs_process_time;
@@ -741,6 +741,76 @@ pub fn fig19_dynamic_resolution(cli: &Cli) -> FigureOutput {
     FigureOutput {
         text,
         json: Json::Array(studies),
+    }
+}
+
+/// PR 5 — executor model × per-node DVFS study: the same Package Delivery
+/// mission under serial vs pipelined round charging and under mission-global
+/// vs per-node (big.LITTLE-style) operating points. Rows 3 and 4 share
+/// identical perception/control latencies — and therefore the identical,
+/// lowered Eq. 2 velocity cap — so their delta isolates what keeping the
+/// planner on the big cluster buys in hover time.
+pub fn exec_model_sweep(cli: &Cli) -> FigureOutput {
+    let rows_data = exec_model_sweep_with(&cli.runner(), |cfg| {
+        // The grid pins its own exec model and node ops per row (that is the
+        // point of the figure); --fast/--rates/--replan-mode still apply.
+        exec_model_scenario(cli.scale(cfg))
+    });
+    let mut text = String::from(
+        "(Package Delivery, sparse long-leg scenario; each row pins its own \
+         exec model and node operating points)\n",
+    );
+    let rows: Vec<Vec<String>> = rows_data
+        .iter()
+        .map(|row| {
+            vec![
+                row.exec_model.label().to_string(),
+                row.node_ops.label(),
+                format!("{:.2}", row.report.velocity_cap),
+                format!("{:.2}", row.report.mission_time_secs),
+                format!("{:.2}", row.report.hover_time_secs),
+                format!("{:.1}", row.report.energy_kj()),
+                format!("{}", row.report.success()),
+            ]
+        })
+        .collect();
+    text.push_str(&format_table(
+        &[
+            "exec model",
+            "node operating points",
+            "velocity cap (m/s)",
+            "mission time (s)",
+            "hover time (s)",
+            "energy (kJ)",
+            "success",
+        ],
+        &rows,
+    ));
+    if let (Some(serial), Some(pipelined)) = (rows_data.first(), rows_data.get(1)) {
+        text.push_str(&format!(
+            "\npipelined vs serial at mission-global points: {:+.2} s mission time \
+             (rounds charge the critical path, not the sum)\n",
+            pipelined.report.mission_time_secs - serial.report.mission_time_secs
+        ));
+    }
+    if let (Some(little), Some(split)) = (rows_data.get(2), rows_data.get(3)) {
+        text.push_str(&format!(
+            "planning on the big cluster (vs all-little) at an identical velocity cap: \
+             {:.2} s hover bought back, {:.2} s mission time\n",
+            little.report.hover_time_secs - split.report.hover_time_secs,
+            little.report.mission_time_secs - split.report.mission_time_secs,
+        ));
+    }
+    FigureOutput {
+        text,
+        json: Json::object()
+            .field(
+                "scenario",
+                "exec_model_scenario: Package Delivery, seed 9, obstacle density 0.3, \
+                 extent 70 m; each row pins its own exec model and node operating \
+                 points (top-level CLI flags apply to the shared scenario only)",
+            )
+            .field("rows", rows_data.to_json()),
     }
 }
 

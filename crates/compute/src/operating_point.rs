@@ -39,6 +39,21 @@ impl OperatingPoint {
         OperatingPoint::new(2, Frequency::from_ghz(0.8))
     }
 
+    /// The "big" cluster of a big.LITTLE-style pairing: all four cores at the
+    /// given clock. Used by the per-node operating-point CLI (`plan=big@2.2`)
+    /// to pin heavy stages (planning) to the full complex.
+    pub fn big_cluster(frequency: Frequency) -> Self {
+        OperatingPoint::new(4, frequency)
+    }
+
+    /// The "little" cluster of a big.LITTLE-style pairing: two cores at the
+    /// given clock. Used by the per-node operating-point CLI
+    /// (`cam=little@1.4`) to park light or throughput-bound stages on the
+    /// small complex.
+    pub fn little_cluster(frequency: Frequency) -> Self {
+        OperatingPoint::new(2, frequency)
+    }
+
     /// The full 3×3 sweep used by Figs. 10–15: cores ∈ {2, 3, 4} ×
     /// frequency ∈ {0.8, 1.5, 2.2} GHz.
     pub fn tx2_sweep() -> Vec<OperatingPoint> {

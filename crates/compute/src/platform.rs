@@ -181,11 +181,21 @@ impl ComputePlatform {
     /// run `speedup` times faster than the TX2 *reference* point but pay the
     /// network transfer.
     pub fn kernel_latency(&self, kernel: KernelId) -> SimDuration {
+        self.kernel_latency_at(kernel, &self.operating_point)
+    }
+
+    /// Latency of one invocation of `kernel` with the *edge* stage pinned to
+    /// `point` instead of the platform's own operating point — the per-node
+    /// DVFS hook (big.LITTLE-style perception-vs-planning core/frequency
+    /// mappings). Cloud-offloaded kernels are unaffected: their compute runs
+    /// on the remote machine, so the companion computer's clock is irrelevant
+    /// to them.
+    pub fn kernel_latency_at(&self, kernel: KernelId, point: &OperatingPoint) -> SimDuration {
         let Some(profile) = self.profile.kernel(kernel) else {
             return SimDuration::ZERO;
         };
         match self.placement(kernel) {
-            Placement::Edge => profile.latency(&self.operating_point),
+            Placement::Edge => profile.latency(point),
             Placement::Cloud => {
                 let cloud = self
                     .cloud
@@ -330,6 +340,45 @@ mod tests {
         assert!((t - 10.0).abs() < 0.5, "transfer time {t} ms");
         let lte = NetworkLink::lte();
         assert!(lte.transfer_time(1.0) > lan.transfer_time(1.0));
+    }
+
+    #[test]
+    fn per_node_latency_pins_the_edge_stage_only() {
+        use mav_types::Frequency;
+        let p = ComputePlatform::tx2(ApplicationId::PackageDelivery, OperatingPoint::reference());
+        // Pinning a kernel to a slower point scales it like a platform built
+        // at that point — `kernel_latency` is the `_at` of the platform's own
+        // operating point.
+        let little = OperatingPoint::little_cluster(Frequency::from_ghz(1.5));
+        let slow_platform = ComputePlatform::tx2(ApplicationId::PackageDelivery, little);
+        for kernel in [KernelId::MotionPlanning, KernelId::OctomapGeneration] {
+            assert!(p.kernel_latency_at(kernel, &little) > p.kernel_latency(kernel));
+            assert_eq!(
+                p.kernel_latency_at(kernel, &little),
+                slow_platform.kernel_latency(kernel)
+            );
+            assert_eq!(
+                p.kernel_latency_at(kernel, p.operating_point()),
+                p.kernel_latency(kernel)
+            );
+        }
+        // Cloud-offloaded kernels ignore the companion computer's point: the
+        // compute runs remotely.
+        let cloud = ComputePlatform::tx2_with_cloud(
+            ApplicationId::Mapping3D,
+            OperatingPoint::reference(),
+            CloudConfig::planning_offload(),
+        );
+        assert_eq!(
+            cloud.kernel_latency_at(KernelId::MotionPlanning, &little),
+            cloud.kernel_latency(KernelId::MotionPlanning)
+        );
+        // Clusters: big = 4 cores, little = 2 cores.
+        assert_eq!(
+            OperatingPoint::big_cluster(Frequency::from_ghz(2.2)).cores,
+            4
+        );
+        assert_eq!(little.cores, 2);
     }
 
     #[test]

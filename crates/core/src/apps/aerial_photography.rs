@@ -100,9 +100,16 @@ impl Node<FlightCtx<'_>> for SubjectFollowNode {
             kernels.push(KernelId::ObjectDetection);
             kernels.push(KernelId::TrackingBuffered);
         }
+        // The follow node is the whole pipeline in one node (ExecStage's
+        // monolithic default), but its kernels still belong to different
+        // stages, so each is priced at the operating point of the node group
+        // that owns it — per-node DVFS reaches photography too.
         let kernel_time: Vec<(KernelId, SimDuration)> = kernels
             .iter()
-            .map(|&k| (k, ctx.mission.charge_kernel(k)))
+            .map(|&k| {
+                let op = ctx.mission.node_op_for_kernel(k);
+                (k, ctx.mission.charge_kernel_at(k, op))
+            })
             .collect();
         // The tracker and PID must integrate over the real time between
         // invocations. Tick-synchronous (legacy) this node is the graph's
@@ -195,7 +202,7 @@ pub fn run(mut ctx: MissionContext) -> MissionReport {
     let event = {
         let events: FifoTopic<FlightEvent> = FifoTopic::new("photo/events");
         let commands: Topic<Vec3> = Topic::new("photo/velocity_cmd");
-        let mut exec: Executor<FlightCtx> = Executor::new();
+        let mut exec: Executor<FlightCtx> = Executor::new().with_exec_model(ctx.config.exec_model);
         exec.add_node(EnergyNode::new(events.clone()).with_session_end(session_budget));
         exec.add_node(SubjectFollowNode::new(
             ctx.config.seed,

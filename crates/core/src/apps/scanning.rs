@@ -71,17 +71,20 @@ pub fn run(mut ctx: MissionContext) -> MissionReport {
         let commands: Topic<Vec3> = Topic::new("scanning/velocity_cmd");
         let plan: Topic<std::sync::Arc<mav_types::Trajectory>> = Topic::new("scanning/plan");
         plan.publish(std::sync::Arc::new(trajectory));
-        let mut exec: Executor<FlightCtx> = Executor::new();
+        let mut exec: Executor<FlightCtx> = Executor::new().with_exec_model(ctx.config.exec_model);
         exec.add_node(EnergyNode::new(events.clone()));
-        exec.add_node(PathTrackerNode::new(
-            plan,
-            Timeline::MissionClock,
-            vec![KernelId::Localization, KernelId::PathTracking],
-            speed,
-            commands.clone(),
-            events.clone(),
-            ctx.config.rates.control_period(),
-        ));
+        exec.add_node(
+            PathTrackerNode::new(
+                plan,
+                Timeline::MissionClock,
+                vec![KernelId::Localization, KernelId::PathTracking],
+                speed,
+                commands.clone(),
+                events.clone(),
+                ctx.config.rates.control_period(),
+            )
+            .with_operating_point(ctx.config.node_ops.control),
+        );
         let mut flight_ctx = FlightCtx {
             mission: &mut ctx,
             events,

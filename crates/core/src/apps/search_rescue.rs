@@ -33,7 +33,8 @@ pub fn run(mut ctx: MissionContext) -> MissionReport {
     let failure = explore(&mut ctx, goal, |ctx| {
         // Perception hook: charge and run object detection on this iteration's
         // viewpoint; a positive person detection ends the mission.
-        let latency = ctx.charge_kernel(KernelId::ObjectDetection);
+        let op = ctx.node_op_for_kernel(KernelId::ObjectDetection);
+        let latency = ctx.charge_kernel_at(KernelId::ObjectDetection, op);
         ctx.hover(latency);
         let pose = ctx.pose();
         if let Some(_detection) = detector.detect_class(&ctx.world, &pose, ObstacleClass::Person) {

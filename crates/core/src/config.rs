@@ -4,8 +4,9 @@ use mav_compute::{ApplicationId, CloudConfig, OperatingPoint};
 use mav_dynamics::QuadrotorConfig;
 use mav_energy::BatteryConfig;
 use mav_env::EnvironmentConfig;
+use mav_runtime::ExecModel;
 use mav_sensors::DepthCameraConfig;
-use mav_types::SimDuration;
+use mav_types::{Frequency, SimDuration};
 use serde::{Deserialize, Serialize};
 
 /// Per-node invocation rates of the closed-loop graph (PR 2).
@@ -120,6 +121,162 @@ impl RateConfig {
             if let Some(hz) = rate {
                 if !(hz.is_finite() && hz > 0.0) {
                     return Err(format!("{name} must be a positive rate, got {hz}"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Per-node operating points of the closed-loop graph (PR 5).
+///
+/// [`MissionConfig::operating_point`] pins the *whole* companion computer to
+/// one (cores, frequency) setting. Real MAV stacks instead map stages to
+/// clusters big.LITTLE-style — planning on the big cores at full clock,
+/// perception or control parked on the little cluster — and DVFS them
+/// independently. This config makes that mapping a mission knob: each field
+/// overrides the operating point used to charge the latencies of one node of
+/// the flight graph (`None` = the mission-global point, which reproduces the
+/// historical accounting bit-for-bit).
+///
+/// The fields mirror the [`RateConfig`] node keys:
+///
+/// * `camera` — the depth-camera node. Capture itself carries no Table I
+///   kernel cost, so today this field is accepted (and recorded) but scales
+///   nothing; it exists so schedules and operating-point maps use one key
+///   set.
+/// * `mapping` — the OctoMap node's perception kernels (point-cloud
+///   generation, map update, collision check, localization). Also used for
+///   perception-stage kernels charged outside the graph (e.g. Search and
+///   Rescue's detection hook), so "perception on the little cluster" means
+///   the same thing in every application.
+/// * `planning` — the planner node's kernels (motion planning, smoothing,
+///   frontier/lawnmower planning), both for in-flight planning jobs and for
+///   the applications' hover-to-plan episodes.
+/// * `control` — the path-tracker node's kernels.
+///
+/// Latency is the only thing a per-node point changes: the compute *power*
+/// model still draws at the mission-global operating point (per-cluster
+/// power is a ROADMAP follow-on), so per-node DVFS reaches energy through
+/// mission time, not watts.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct NodeOpConfig {
+    /// Depth-camera node operating point (`None`: mission-global).
+    pub camera: Option<OperatingPoint>,
+    /// OctoMap/perception node operating point (`None`: mission-global).
+    pub mapping: Option<OperatingPoint>,
+    /// Planner node operating point (`None`: mission-global).
+    pub planning: Option<OperatingPoint>,
+    /// Path-tracker (control) node operating point (`None`: mission-global).
+    pub control: Option<OperatingPoint>,
+}
+
+impl NodeOpConfig {
+    /// The compatibility mapping: every node at the mission-global operating
+    /// point (the historical accounting, pinned by `tests/golden_legacy.rs`).
+    pub fn mission_global() -> Self {
+        NodeOpConfig::default()
+    }
+
+    /// Returns `true` when every node uses the mission-global point.
+    pub fn is_mission_global(&self) -> bool {
+        self.camera.is_none()
+            && self.mapping.is_none()
+            && self.planning.is_none()
+            && self.control.is_none()
+    }
+
+    /// The canonical big.LITTLE split used by the per-node DVFS experiment:
+    /// planning on the big cluster at full clock, perception and control
+    /// parked on the little cluster at 1.5 GHz.
+    pub fn big_little() -> Self {
+        NodeOpConfig {
+            camera: None,
+            mapping: Some(OperatingPoint::little_cluster(Frequency::from_ghz(1.5))),
+            planning: Some(OperatingPoint::big_cluster(Frequency::from_ghz(2.2))),
+            control: Some(OperatingPoint::little_cluster(Frequency::from_ghz(1.5))),
+        }
+    }
+
+    /// Every kernel-charging node parked on the little cluster at 1.5 GHz —
+    /// the degenerate cluster mapping the per-node DVFS experiment compares
+    /// [`NodeOpConfig::big_little`] against: identical perception and control
+    /// latencies (hence an identical Eq. 2 velocity cap), differing only in
+    /// where planning runs.
+    pub fn all_little() -> Self {
+        let little = OperatingPoint::little_cluster(Frequency::from_ghz(1.5));
+        NodeOpConfig {
+            camera: None,
+            mapping: Some(little),
+            planning: Some(little),
+            control: Some(little),
+        }
+    }
+
+    /// Overrides the camera node's point (builder style).
+    pub fn with_camera(mut self, point: OperatingPoint) -> Self {
+        self.camera = Some(point);
+        self
+    }
+
+    /// Overrides the mapping node's point (builder style).
+    pub fn with_mapping(mut self, point: OperatingPoint) -> Self {
+        self.mapping = Some(point);
+        self
+    }
+
+    /// Overrides the planner node's point (builder style).
+    pub fn with_planning(mut self, point: OperatingPoint) -> Self {
+        self.planning = Some(point);
+        self
+    }
+
+    /// Overrides the control node's point (builder style).
+    pub fn with_control(mut self, point: OperatingPoint) -> Self {
+        self.control = Some(point);
+        self
+    }
+
+    /// A compact `plan=4c@2.2,map=2c@1.5` label of the overrides (the CLI
+    /// syntax), or `"mission-global"` when nothing is overridden.
+    pub fn label(&self) -> String {
+        let parts: Vec<String> = [
+            ("cam", self.camera),
+            ("map", self.mapping),
+            ("plan", self.planning),
+            ("ctrl", self.control),
+        ]
+        .iter()
+        .filter_map(|(key, point)| point.map(|p| format!("{key}={}", p.label())))
+        .collect();
+        if parts.is_empty() {
+            "mission-global".to_string()
+        } else {
+            parts.join(",")
+        }
+    }
+
+    /// Validates the per-node points.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive message for the first invalid point.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, point) in [
+            ("camera", self.camera),
+            ("mapping", self.mapping),
+            ("planning", self.planning),
+            ("control", self.control),
+        ] {
+            if let Some(p) = point {
+                if p.cores == 0 {
+                    return Err(format!("{name} operating point needs at least one core"));
+                }
+                let ghz = p.frequency.as_ghz();
+                if !(ghz.is_finite() && ghz > 0.0) {
+                    return Err(format!(
+                        "{name} operating point needs a positive frequency, got {ghz} GHz"
+                    ));
                 }
             }
         }
@@ -281,6 +438,16 @@ pub struct MissionConfig {
     /// [`ReplanMode::HoverToPlan`], reproduces the historical
     /// end-the-episode-and-hover behaviour.
     pub replan_mode: ReplanMode,
+    /// How executor rounds charge latency (PR 5): the default,
+    /// [`ExecModel::Serial`], sums node latencies (the paper's accounting,
+    /// bit-identical to history); [`ExecModel::Pipelined`] charges the
+    /// critical path over pipeline stages — the camera captures the next
+    /// frame while the mapper integrates the last one.
+    pub exec_model: ExecModel,
+    /// Per-node operating points of the flight graph (PR 5). The default,
+    /// [`NodeOpConfig::mission_global`], charges every node at
+    /// [`MissionConfig::operating_point`].
+    pub node_ops: NodeOpConfig,
     /// RNG seed shared by all stochastic components.
     pub seed: u64,
 }
@@ -313,6 +480,8 @@ impl MissionConfig {
             physics_dt: 0.05,
             rates: RateConfig::legacy(),
             replan_mode: ReplanMode::default(),
+            exec_model: ExecModel::default(),
+            node_ops: NodeOpConfig::mission_global(),
             seed: 42,
         }
     }
@@ -360,6 +529,18 @@ impl MissionConfig {
         self
     }
 
+    /// Overrides the executor's latency-charging model (builder style).
+    pub fn with_exec_model(mut self, model: ExecModel) -> Self {
+        self.exec_model = model;
+        self
+    }
+
+    /// Overrides the per-node operating points (builder style).
+    pub fn with_node_ops(mut self, node_ops: NodeOpConfig) -> Self {
+        self.node_ops = node_ops;
+        self
+    }
+
     /// A scaled-down configuration for fast unit/integration testing: a small
     /// world, a coarse camera and map, and short distances. The physics and
     /// kernels are identical — only the scenario is smaller.
@@ -403,6 +584,7 @@ impl MissionConfig {
             return Err("depth noise std cannot be negative".to_string());
         }
         self.rates.validate()?;
+        self.node_ops.validate()?;
         Ok(())
     }
 }
@@ -508,6 +690,51 @@ mod tests {
         assert_eq!(cfg.replan_mode, ReplanMode::PlanInMotion);
         assert_eq!(ReplanMode::HoverToPlan.label(), "hover-to-plan");
         assert_eq!(format!("{}", ReplanMode::PlanInMotion), "plan-in-motion");
+    }
+
+    #[test]
+    fn exec_model_defaults_to_serial_and_overrides() {
+        let cfg = MissionConfig::new(ApplicationId::PackageDelivery);
+        assert_eq!(cfg.exec_model, ExecModel::Serial);
+        let cfg = cfg.with_exec_model(ExecModel::Pipelined);
+        assert_eq!(cfg.exec_model, ExecModel::Pipelined);
+        assert_eq!(ExecModel::Serial.label(), "serial");
+        assert_eq!(format!("{}", ExecModel::Pipelined), "pipelined");
+    }
+
+    #[test]
+    fn node_ops_default_to_mission_global_and_validate() {
+        let cfg = MissionConfig::new(ApplicationId::PackageDelivery);
+        assert!(cfg.node_ops.is_mission_global());
+        assert_eq!(cfg.node_ops.label(), "mission-global");
+        assert!(cfg.validate().is_ok());
+
+        let split = NodeOpConfig::big_little();
+        assert!(!split.is_mission_global());
+        assert_eq!(split.planning.unwrap().cores, 4);
+        assert_eq!(split.mapping.unwrap().cores, 2);
+        assert_eq!(split.label(), "map=2c@1.5GHz,plan=4c@2.2GHz,ctrl=2c@1.5GHz");
+        let cfg = cfg.with_node_ops(split);
+        assert!(cfg.validate().is_ok());
+        assert_eq!(cfg.node_ops, split);
+    }
+
+    #[test]
+    fn invalid_node_ops_are_rejected() {
+        let mut cfg = MissionConfig::new(ApplicationId::PackageDelivery);
+        cfg.node_ops.planning = Some(OperatingPoint {
+            cores: 0,
+            frequency: Frequency::from_ghz(1.5),
+        });
+        assert!(cfg.validate().is_err());
+        assert!(NodeOpConfig::big_little().validate().is_ok());
+        let builders = NodeOpConfig::mission_global()
+            .with_camera(OperatingPoint::little_cluster(Frequency::from_ghz(1.4)))
+            .with_mapping(OperatingPoint::little_cluster(Frequency::from_ghz(1.5)))
+            .with_planning(OperatingPoint::big_cluster(Frequency::from_ghz(2.2)))
+            .with_control(OperatingPoint::little_cluster(Frequency::from_ghz(1.5)));
+        assert!(builders.validate().is_ok());
+        assert!(!builders.is_mission_global());
     }
 
     #[test]

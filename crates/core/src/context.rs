@@ -21,7 +21,7 @@ use crate::flight::{
 };
 use crate::qof::{MissionFailure, MissionReport};
 use crate::velocity::max_safe_velocity;
-use mav_compute::{ComputePlatform, KernelId};
+use mav_compute::{ComputePlatform, KernelId, OperatingPoint};
 use mav_dynamics::Quadrotor;
 use mav_energy::{Battery, ComputePowerModel, EnergyAccount, FlightPhaseLabel, RotorPowerModel};
 use mav_env::World;
@@ -206,7 +206,23 @@ impl MissionContext {
     /// timer. The caller decides whether the vehicle hovers or flies while the
     /// kernel runs.
     pub fn charge_kernel(&mut self, kernel: KernelId) -> SimDuration {
-        let mut latency = self.platform.kernel_latency(kernel);
+        self.charge_kernel_at(kernel, None)
+    }
+
+    /// [`MissionContext::charge_kernel`] with the edge latency pinned to a
+    /// per-node operating point (PR 5): `None` charges at the mission-global
+    /// point, bit-identically to the historical accounting. This is how a
+    /// flight-graph node carrying its own core/frequency setting turns it
+    /// into charged time.
+    pub fn charge_kernel_at(
+        &mut self,
+        kernel: KernelId,
+        op: Option<OperatingPoint>,
+    ) -> SimDuration {
+        let mut latency = match op {
+            None => self.platform.kernel_latency(kernel),
+            Some(point) => self.platform.kernel_latency_at(kernel, &point),
+        };
         if kernel == KernelId::OctomapGeneration {
             latency = latency * ResolutionPolicy::octomap_cost_multiplier(self.current_resolution);
         }
@@ -219,13 +235,96 @@ impl MissionContext {
         kernels.iter().map(|k| self.charge_kernel(*k)).sum()
     }
 
+    /// [`MissionContext::charge_kernels`] at a per-node operating point.
+    pub fn charge_kernels_at(
+        &mut self,
+        kernels: &[KernelId],
+        op: Option<OperatingPoint>,
+    ) -> SimDuration {
+        kernels.iter().map(|k| self.charge_kernel_at(*k, op)).sum()
+    }
+
+    /// The per-node operating point charged for `kernel` under the current
+    /// [`crate::config::NodeOpConfig`], resolved to *the node that charges
+    /// it* in the flight graphs: the OctoMap node's perception batch
+    /// (point cloud, map update, collision check, localization) and the other
+    /// perception kernels (detection, tracking) at the mapping point; every
+    /// planning kernel (motion planning, frontier, lawnmower, smoothing) at
+    /// the planner point; PID and path tracking at the control point. `None`
+    /// when nothing is overridden (the mission-global point). Used wherever a
+    /// charge is not issued by a single flight-graph node — the photography
+    /// follow node (which spans the whole pipeline), the applications'
+    /// hover-to-plan planning episodes, and the Eq. 2 reaction latency — so a
+    /// per-node DVFS mapping means the same thing everywhere.
+    pub fn node_op_for_kernel(&self, kernel: KernelId) -> Option<OperatingPoint> {
+        match kernel {
+            KernelId::PointCloudGeneration
+            | KernelId::OctomapGeneration
+            | KernelId::CollisionCheck
+            | KernelId::Localization
+            | KernelId::ObjectDetection
+            | KernelId::TrackingBuffered
+            | KernelId::TrackingRealTime => self.config.node_ops.mapping,
+            KernelId::MotionPlanning
+            | KernelId::FrontierExploration
+            | KernelId::LawnmowerPlanning
+            | KernelId::PathSmoothing => self.config.node_ops.planning,
+            KernelId::PidControl | KernelId::PathTracking => self.config.node_ops.control,
+            // KernelId is non-exhaustive: future kernels default to the
+            // mission-global point until they are mapped to a node.
+            _ => None,
+        }
+    }
+
     /// The perception-to-actuation latency δt of the reactive path at the
-    /// current operating point and map resolution.
+    /// current operating point(s) and map resolution. With per-node operating
+    /// points set, each reactive kernel is priced at the point of the node
+    /// that charges it — downclocking perception directly erodes the Eq. 2
+    /// safe velocity, while a slow *planner* cluster does not (planning
+    /// latency determines hover time, not reaction time).
     pub fn reaction_latency(&mut self) -> SimDuration {
-        let base = self.platform.reaction_latency();
-        let octo = self.platform.kernel_latency(KernelId::OctomapGeneration);
-        let scaled_octo = octo * ResolutionPolicy::octomap_cost_multiplier(self.current_resolution);
-        base - octo + scaled_octo
+        // Only the mapping and control nodes charge reactive kernels, so only
+        // their overrides can move δt. Branching on those two (rather than on
+        // `is_mission_global`) keeps reaction-irrelevant overrides — a camera
+        // point (which scales nothing) or a planner point (hover time, not
+        // reaction time) — on the historical expression, whose floating-point
+        // association differs from the re-summed per-kernel form below at the
+        // ulp level: the cap must be *bit*-identical whenever no reactive
+        // kernel is re-priced (golden-legacy pins and the to_bits determinism
+        // contracts depend on it).
+        let node_ops = self.config.node_ops;
+        if node_ops.mapping.is_none() && node_ops.control.is_none() {
+            // The historical arithmetic, kept verbatim (and float-identical).
+            let base = self.platform.reaction_latency();
+            let octo = self.platform.kernel_latency(KernelId::OctomapGeneration);
+            let scaled_octo =
+                octo * ResolutionPolicy::octomap_cost_multiplier(self.current_resolution);
+            return base - octo + scaled_octo;
+        }
+        let reactive = [
+            KernelId::PointCloudGeneration,
+            KernelId::OctomapGeneration,
+            KernelId::CollisionCheck,
+            KernelId::Localization,
+            KernelId::ObjectDetection,
+            KernelId::TrackingRealTime,
+            KernelId::PidControl,
+            KernelId::PathTracking,
+        ];
+        reactive
+            .iter()
+            .map(|&kernel| {
+                let latency = match self.node_op_for_kernel(kernel) {
+                    None => self.platform.kernel_latency(kernel),
+                    Some(point) => self.platform.kernel_latency_at(kernel, &point),
+                };
+                if kernel == KernelId::OctomapGeneration {
+                    latency * ResolutionPolicy::octomap_cost_multiplier(self.current_resolution)
+                } else {
+                    latency
+                }
+            })
+            .sum()
     }
 
     /// The Eq. 2 velocity cap the mission currently flies under: the minimum
@@ -309,9 +408,19 @@ impl MissionContext {
 
     /// Charges the given kernels and hovers for their combined latency — the
     /// "drone waits for its mission planner" behaviour whose cost the paper
-    /// attributes to slow compute.
+    /// attributes to slow compute. Each kernel is priced at the operating
+    /// point of the node that owns it ([`MissionContext::node_op_for_kernel`])
+    /// so per-node DVFS reaches the applications' hover-to-plan episodes too,
+    /// not just the executor graph; with no per-node points set this is the
+    /// historical mission-global charge, bit for bit.
     pub fn hover_while_running(&mut self, kernels: &[KernelId]) -> SimDuration {
-        let latency = self.charge_kernels(kernels);
+        let latency = kernels
+            .iter()
+            .map(|&k| {
+                let op = self.node_op_for_kernel(k);
+                self.charge_kernel_at(k, op)
+            })
+            .sum();
         self.hover(latency);
         latency
     }
@@ -328,9 +437,12 @@ impl MissionContext {
     /// Integrates a depth frame into the occupancy map: point-cloud
     /// generation, optional dynamic-resolution switch, and the OctoMap update.
     /// Returns the combined simulated latency of the perception kernels
-    /// (charged to the timer, not yet to the clock).
+    /// (charged to the timer, not yet to the clock). Priced at the mapping
+    /// node's operating point when one is configured, so the applications'
+    /// pre-planning map refreshes agree with the flight graph's accounting.
     pub fn update_map(&mut self, frame: &DepthImage) -> SimDuration {
-        self.update_map_detailed(frame)
+        let op = self.config.node_ops.mapping;
+        self.update_map_detailed_at(frame, op)
             .iter()
             .map(|(_, latency)| *latency)
             .sum()
@@ -339,6 +451,18 @@ impl MissionContext {
     /// [`MissionContext::update_map`] with the per-kernel latency breakdown —
     /// what the [`crate::flight::OctoMapNode`] reports to the executor.
     pub fn update_map_detailed(&mut self, frame: &DepthImage) -> Vec<(KernelId, SimDuration)> {
+        self.update_map_detailed_at(frame, None)
+    }
+
+    /// [`MissionContext::update_map_detailed`] with the perception batch
+    /// priced at a per-node operating point (the OctoMap node's own
+    /// core/frequency setting); `None` charges at the mission-global point,
+    /// bit-identically to the historical accounting.
+    pub fn update_map_detailed_at(
+        &mut self,
+        frame: &DepthImage,
+        op: Option<OperatingPoint>,
+    ) -> Vec<(KernelId, SimDuration)> {
         // Dynamic resolution policy: sample the local obstacle density and
         // switch the map resolution when the policy asks for it.
         let density = self.world.obstacle_density_near(&self.pose().position, 8.0);
@@ -357,7 +481,7 @@ impl MissionContext {
             KernelId::Localization,
         ]
         .iter()
-        .map(|&kernel| (kernel, self.charge_kernel(kernel)))
+        .map(|&kernel| (kernel, self.charge_kernel_at(kernel, op)))
         .collect();
         let cloud = PointCloud::from_depth_image(frame).downsample(self.current_resolution);
         self.map.insert_point_cloud(&cloud);
@@ -429,8 +553,14 @@ impl MissionContext {
 
         // Registration order is dispatch order: sensing feeds mapping feeds
         // control feeds the collision monitor, with the energy watchdog ahead
-        // of everything (the budget check opens every round).
-        let mut exec: Executor<FlightCtx> = Executor::new();
+        // of everything (the budget check opens every round). Each node
+        // declares its pipeline stage, so under ExecModel::Pipelined the
+        // round charges the critical path (camera capturing while the mapper
+        // integrates) instead of the serialized sum; per-node operating
+        // points ride in the same way, scaling each node's charged kernel
+        // latencies independently.
+        let node_ops = self.config.node_ops;
+        let mut exec: Executor<FlightCtx> = Executor::new().with_exec_model(self.config.exec_model);
         let mut energy = EnergyNode::new(events.clone()).with_watchdog(start_time, max_episode);
         if replan_mode == crate::config::ReplanMode::PlanInMotion {
             // An in-flight replan re-arms the watchdog for the fresh plan.
@@ -438,7 +568,9 @@ impl MissionContext {
         }
         exec.add_node(energy);
         exec.add_node(DepthCameraNode::new(frames.clone(), rates.camera_period()));
-        exec.add_node(OctoMapNode::new(frames, rates.mapping_period()));
+        exec.add_node(
+            OctoMapNode::new(frames, rates.mapping_period()).with_operating_point(node_ops.mapping),
+        );
         let mut tracker_node = PathTrackerNode::new(
             plan.clone(),
             timeline,
@@ -447,7 +579,8 @@ impl MissionContext {
             commands.clone(),
             events.clone(),
             rates.control_period(),
-        );
+        )
+        .with_operating_point(node_ops.control);
         if replan_mode == crate::config::ReplanMode::PlanInMotion {
             tracker_node =
                 tracker_node.with_brake_guard(threats.clone(), self.config.stopping_distance);
@@ -460,7 +593,8 @@ impl MissionContext {
             alerts.clone(),
             rates.replan_period(),
         ));
-        let mut planner_node = PlannerNode::new(alerts, events.clone(), rates.replan_period());
+        let mut planner_node = PlannerNode::new(alerts, events.clone(), rates.replan_period())
+            .with_operating_point(node_ops.planning);
         if replan_mode == crate::config::ReplanMode::PlanInMotion {
             if let Some(goal) = goal {
                 planner_node = planner_node.with_in_motion(InMotionPlanner {

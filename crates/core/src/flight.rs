@@ -4,8 +4,7 @@
 //! (`MissionContext::fly_trajectory`): capture a frame, update the map,
 //! track the path, collision-check, integrate physics — all at one implicit
 //! rate. This module decomposes that loop into the ROS-style node graph of
-//! the paper's Fig. 7 and schedules it on the
-//! [`Executor`](mav_runtime::Executor):
+//! the paper's Fig. 7 and schedules it on the [`Executor`]:
 //!
 //! ```text
 //!   EnergyNode ─────────────▶ events (budget / watchdog aborts, telemetry)
@@ -49,10 +48,10 @@
 //! plan until the next replan tick.
 
 use crate::context::MissionContext;
-use mav_compute::KernelId;
+use mav_compute::{KernelId, OperatingPoint};
 use mav_control::{PathTracker, PathTrackerConfig};
 use mav_planning::{CollisionChecker, PathSmoother, ShortestPathPlanner, SmootherConfig};
-use mav_runtime::{Executor, FifoTopic, Node, NodeContext, NodeOutput, Topic};
+use mav_runtime::{ExecStage, Executor, FifoTopic, Node, NodeContext, NodeOutput, Topic};
 use mav_sensors::DepthImage;
 use mav_types::{Result, SimDuration, SimTime, Trajectory, Vec3};
 use std::sync::Arc;
@@ -315,6 +314,10 @@ impl Node<FlightCtx<'_>> for EnergyNode {
         SimDuration::ZERO
     }
 
+    fn stage(&self) -> ExecStage {
+        ExecStage::Housekeeping
+    }
+
     fn tick(&mut self, ctx: &mut FlightCtx<'_>, now: SimTime) -> Result<NodeOutput> {
         self.telemetry.publish(EnergySample {
             at: now,
@@ -375,6 +378,10 @@ impl Node<FlightCtx<'_>> for DepthCameraNode {
         self.period
     }
 
+    fn stage(&self) -> ExecStage {
+        ExecStage::Sensing
+    }
+
     fn tick(&mut self, ctx: &mut FlightCtx<'_>, _now: SimTime) -> Result<NodeOutput> {
         let frame = ctx.mission.capture_depth();
         self.frames.publish(Arc::new(frame));
@@ -389,6 +396,9 @@ pub struct OctoMapNode {
     frames: Topic<Arc<DepthImage>>,
     period: SimDuration,
     last_sequence: u64,
+    /// Per-node operating point for the perception batch (`None`:
+    /// mission-global).
+    op: Option<OperatingPoint>,
 }
 
 impl OctoMapNode {
@@ -398,7 +408,15 @@ impl OctoMapNode {
             frames,
             period,
             last_sequence: 0,
+            op: None,
         }
+    }
+
+    /// Pins the node's kernel charges to its own operating point (builder
+    /// style): the big.LITTLE-style per-node DVFS hook.
+    pub fn with_operating_point(mut self, op: Option<OperatingPoint>) -> Self {
+        self.op = op;
+        self
     }
 }
 
@@ -411,6 +429,10 @@ impl Node<FlightCtx<'_>> for OctoMapNode {
         self.period
     }
 
+    fn stage(&self) -> ExecStage {
+        ExecStage::Perception
+    }
+
     fn tick(&mut self, ctx: &mut FlightCtx<'_>, _now: SimTime) -> Result<NodeOutput> {
         let sequence = self.frames.sequence();
         if sequence == self.last_sequence {
@@ -420,7 +442,7 @@ impl Node<FlightCtx<'_>> for OctoMapNode {
         let Some(frame) = self.frames.latest() else {
             return Ok(NodeOutput::idle());
         };
-        let kernel_time = ctx.mission.update_map_detailed(&frame);
+        let kernel_time = ctx.mission.update_map_detailed_at(&frame, self.op);
         Ok(NodeOutput::kernels(kernel_time))
     }
 }
@@ -443,6 +465,9 @@ pub struct PathTrackerNode {
     /// In-motion brake guard: the latched threat topic plus the stopping
     /// distance the tracker checks it against on every tick.
     brake_guard: Option<(Topic<Option<Vec3>>, f64)>,
+    /// Per-node operating point for the control kernels (`None`:
+    /// mission-global).
+    op: Option<OperatingPoint>,
 }
 
 impl PathTrackerNode {
@@ -468,7 +493,15 @@ impl PathTrackerNode {
             events,
             period,
             brake_guard: None,
+            op: None,
         }
+    }
+
+    /// Pins the node's kernel charges to its own operating point (builder
+    /// style): the big.LITTLE-style per-node DVFS hook.
+    pub fn with_operating_point(mut self, op: Option<OperatingPoint>) -> Self {
+        self.op = op;
+        self
     }
 
     /// Honours the in-motion planner's latched threat topic (builder style):
@@ -503,12 +536,17 @@ impl Node<FlightCtx<'_>> for PathTrackerNode {
         self.period
     }
 
+    fn stage(&self) -> ExecStage {
+        ExecStage::Control
+    }
+
     fn tick(&mut self, ctx: &mut FlightCtx<'_>, now: SimTime) -> Result<NodeOutput> {
         self.plan.refresh();
+        let op = self.op;
         let kernel_time: Vec<(KernelId, SimDuration)> = self
             .kernels
             .iter()
-            .map(|&k| (k, ctx.mission.charge_kernel(k)))
+            .map(|&k| (k, ctx.mission.charge_kernel_at(k, op)))
             .collect();
         let plan_time = self.plan.timeline().plan_time(now);
         let state = *ctx.mission.quad.state();
@@ -582,6 +620,10 @@ impl Node<FlightCtx<'_>> for CollisionMonitorNode {
         self.period
     }
 
+    fn stage(&self) -> ExecStage {
+        ExecStage::Planning
+    }
+
     fn tick(&mut self, ctx: &mut FlightCtx<'_>, now: SimTime) -> Result<NodeOutput> {
         self.plan.refresh();
         let plan_time = self.plan.timeline().plan_time(now);
@@ -594,13 +636,21 @@ impl Node<FlightCtx<'_>> for CollisionMonitorNode {
             .iter()
             .position(|p| p.time >= plan_time)
             .unwrap_or(points.len());
-        if let Some(index) =
-            self.checker
-                .first_collision(&ctx.mission.map, self.plan.trajectory(), from_index)
-        {
+        if let Some(hit) = self.checker.first_collision_report(
+            &ctx.mission.map,
+            self.plan.trajectory(),
+            from_index,
+        ) {
+            // Aim the alert at the occupied voxel that actually blocks the
+            // plan (reported by the DDA corridor in the same pass that found
+            // the collision) rather than the colliding plan *sample*: the
+            // in-motion brake guard measures threat distance from this
+            // position, and a sample can sit a whole inflation radius away
+            // from the obstruction it grazes. Falls back to the sample when
+            // the obstruction is not an occupied voxel.
             self.alerts.publish(CollisionAlert {
                 at: now,
-                position: points[index].position,
+                position: hit.blocking_voxel.unwrap_or(points[hit.index].position),
             });
         }
         Ok(NodeOutput::idle())
@@ -666,9 +716,12 @@ pub struct PlannerNode {
     in_motion: Option<InMotionPlanner>,
     /// Remaining kernel charges of the active planning job (in charge order).
     job: Vec<KernelId>,
-    /// First colliding sample of the plan the active job is replacing.
+    /// First flagged obstruction of the plan the active job is replacing.
     threat: Option<Vec3>,
     replans: u32,
+    /// Per-node operating point for the planning kernels (`None`:
+    /// mission-global).
+    op: Option<OperatingPoint>,
 }
 
 impl PlannerNode {
@@ -686,7 +739,15 @@ impl PlannerNode {
             job: Vec::new(),
             threat: None,
             replans: 0,
+            op: None,
         }
+    }
+
+    /// Pins the node's kernel charges to its own operating point (builder
+    /// style): the big.LITTLE-style per-node DVFS hook.
+    pub fn with_operating_point(mut self, op: Option<OperatingPoint>) -> Self {
+        self.op = op;
+        self
     }
 
     /// Upgrades the trigger into an in-motion planning node (builder style).
@@ -790,6 +851,10 @@ impl Node<FlightCtx<'_>> for PlannerNode {
         self.period
     }
 
+    fn stage(&self) -> ExecStage {
+        ExecStage::Planning
+    }
+
     fn tick(&mut self, ctx: &mut FlightCtx<'_>, _now: SimTime) -> Result<NodeOutput> {
         let Some(max_replans) = self.in_motion.as_ref().map(|im| im.max_replans) else {
             // Hover-to-plan: a pending alert ends the episode (bit-identical
@@ -812,7 +877,7 @@ impl Node<FlightCtx<'_>> for PlannerNode {
             // re-checks it from scratch.
             self.track_nearest_threat(ctx, &self.alerts.drain());
             let kernel = self.job.remove(0);
-            let latency = ctx.mission.charge_kernel(kernel);
+            let latency = ctx.mission.charge_kernel_at(kernel, self.op);
             if self.job.is_empty() {
                 self.finish_plan(ctx);
                 // The fresh plan only reaches the tracker *next* round; this
@@ -843,7 +908,7 @@ impl Node<FlightCtx<'_>> for PlannerNode {
             self.track_nearest_threat(ctx, &pending);
             self.job = vec![KernelId::MotionPlanning, KernelId::PathSmoothing];
             let kernel = self.job.remove(0);
-            let latency = ctx.mission.charge_kernel(kernel);
+            let latency = ctx.mission.charge_kernel_at(kernel, self.op);
             self.brake_if_threat_close(ctx);
             return Ok(NodeOutput::kernel(kernel, latency));
         }

@@ -34,8 +34,9 @@ pub mod sweep;
 pub mod velocity;
 
 pub use apps::run_mission;
-pub use config::{MissionConfig, RateConfig, ReplanMode, ResolutionPolicy};
+pub use config::{MissionConfig, NodeOpConfig, RateConfig, ReplanMode, ResolutionPolicy};
 pub use context::{FlightOutcome, MissionContext};
 pub use flight::{FlightCtx, FlightEvent};
+pub use mav_runtime::{ExecModel, ExecStage};
 pub use qof::{MissionFailure, MissionReport};
 pub use sweep::{SweepOutcome, SweepPoint, SweepReport, SweepRunner};

@@ -142,7 +142,7 @@ pub struct OctoMap {
     occupied_count: usize,
     /// Rounded-centre keys of every observed leaf, maintained on leaf
     /// creation. [`OctoMap::known_voxel_count`] is this set's size: the same
-    /// dedup-by-rounded-centre accounting [`OctoMap::collect_leaves`] has
+    /// dedup-by-rounded-centre accounting the internal `collect_leaves` walk has
     /// always used (at non-dyadic resolutions adjacent leaf centres can
     /// round to the same key; golden mission fixtures pin that behaviour),
     /// now paid incrementally instead of with a full-tree walk per call.
@@ -287,7 +287,7 @@ impl OctoMap {
     /// Integrates a whole point cloud captured from `cloud.origin`.
     ///
     /// When the scan is dense relative to the voxel size (see
-    /// [`OctoMap::BATCH_SHARING_THRESHOLD`]), updates are batched per voxel
+    /// the internal `BATCH_SHARING_THRESHOLD`), updates are batched per voxel
     /// before any tree traversal: voxels close to the sensor are crossed by
     /// almost every ray of the scan, so grouping the scan's (voxel → ordered
     /// deltas) first and descending the octree once per *voxel* instead of
@@ -417,6 +417,69 @@ impl OctoMap {
         })
     }
 
+    /// [`OctoMap::is_occupied_with_inflation`], but returning the *centre of
+    /// the occupied voxel* that blocks the inflated vehicle (PR 5's
+    /// blocking-voxel reporting), or `None` when the point is free. The
+    /// `Some`/`None` decision is exactly the inflation predicate's; which of
+    /// several blocking voxels is reported follows the query's scan order, so
+    /// callers should treat it as "an occupied voxel inside the inflation
+    /// ball", not a canonical nearest one.
+    pub fn blocking_voxel_with_inflation(&self, point: &Vec3, radius: f64) -> Option<Vec3> {
+        let r = radius.max(0.0);
+        if !self.index_packable {
+            // Reference fallback (domains too wide for 21-bit voxel keys):
+            // the same cube walk as the reference predicate, returning the
+            // first occupied voxel centre it accepts.
+            let steps = (r / self.config.resolution).ceil() as i64;
+            let center_idx = self.grid.index_of(point);
+            for dx in -steps..=steps {
+                for dy in -steps..=steps {
+                    for dz in -steps..=steps {
+                        let idx =
+                            GridIndex::new(center_idx.x + dx, center_idx.y + dy, center_idx.z + dz);
+                        let c = self.grid.center_of(&idx);
+                        if c.distance(point) <= r + self.config.resolution * 0.87
+                            && self.query(&c) == Occupancy::Occupied
+                        {
+                            return Some(c);
+                        }
+                    }
+                }
+            }
+            return None;
+        }
+        if self.occupied_count == 0 {
+            return None;
+        }
+        let reach = r + self.config.resolution * 0.87;
+        let steps = (r / self.config.resolution).ceil() as i64;
+        let center_idx = self.grid.index_of(point);
+        let lo = GridIndex::new(
+            center_idx.x - steps,
+            center_idx.y - steps,
+            center_idx.z - steps,
+        );
+        let hi = GridIndex::new(
+            center_idx.x + steps,
+            center_idx.y + steps,
+            center_idx.z + steps,
+        );
+        let ball = offset_ball(self.config.resolution, r);
+        let mut blocking = None;
+        self.scan_occupied_box(&lo, &hi, |v| {
+            let hit = match ball.class(v.x - center_idx.x, v.y - center_idx.y, v.z - center_idx.z) {
+                BALL_NEVER => false,
+                BALL_ALWAYS => true,
+                _ => self.grid.center_of(&v).distance(point) <= reach,
+            };
+            if hit {
+                blocking = Some(self.grid.center_of(&v));
+            }
+            hit
+        });
+        blocking
+    }
+
     /// The pre-index inflation query: one full octree descent per voxel of
     /// the inflation cube. Kept verbatim as the executable specification the
     /// indexed query is property-tested against, and as the fallback for
@@ -477,6 +540,40 @@ impl OctoMap {
             }
         }
         true
+    }
+
+    /// [`OctoMap::segment_free`], but returning the *centre of the occupied
+    /// voxel* that blocks the swept segment (PR 5's blocking-voxel
+    /// reporting), or `None` when the segment is free. `Some`/`None` agrees
+    /// exactly with `segment_free` — same DDA corridor prefilter, same exact
+    /// sampled predicate — so a collision monitor can aim its alert at the
+    /// real obstruction in the *same* pass that detects it, instead of
+    /// re-running the sampled predicate to locate what blocked the corridor.
+    /// The reported voxel is the one blocking the first blocked sample along
+    /// the segment (direction a → b).
+    pub fn segment_blocking_voxel(&self, a: &Vec3, b: &Vec3, radius: f64) -> Option<Vec3> {
+        if self.index_packable {
+            if self.occupied_count == 0 {
+                return None;
+            }
+            if self.segment_corridor_clear(a, b, radius) {
+                return None;
+            }
+        }
+        // An occupied voxel sits near the corridor (or the domain is too wide
+        // for the index): run the exact sampled predicate once and report the
+        // voxel blocking the first blocked sample.
+        let dist = a.distance(b);
+        let step = (self.config.resolution * 0.5).max(0.05);
+        let samples = ((dist / step).ceil() as usize).max(1);
+        for i in 0..=samples {
+            let t = i as f64 / samples as f64;
+            let p = a.lerp(b, t);
+            if let Some(voxel) = self.blocking_voxel_with_inflation(&p, radius) {
+                return Some(voxel);
+            }
+        }
+        None
     }
 
     /// The pre-index swept-segment predicate: a point sample every
@@ -642,7 +739,7 @@ impl OctoMap {
 
     /// [`OctoMap::occupied_voxel_count`] recomputed by a full tree walk — the
     /// pre-index implementation, kept as the regression oracle for the O(1)
-    /// counter. Caveat inherited from [`OctoMap::collect_leaves`]: at
+    /// counter. Caveat inherited from the internal `collect_leaves` walk: at
     /// non-dyadic resolutions the walk can merge adjacent leaves whose noisy
     /// centres round to the same key, so it may run a few voxels *below* the
     /// exact per-leaf count the collision queries (and the O(1) counter)
@@ -1316,6 +1413,45 @@ mod tests {
         }
         assert!(!map.segment_free(&Vec3::new(0.0, 0.0, 1.0), &Vec3::new(8.0, 0.0, 1.0), 0.3));
         assert!(map.segment_free(&Vec3::new(0.0, 0.0, 1.0), &Vec3::new(3.0, 0.0, 1.0), 0.3));
+    }
+
+    #[test]
+    fn blocking_voxel_agrees_with_the_predicates_and_is_occupied() {
+        let mut map = small_map(0.25);
+        let origin = Vec3::new(0.0, 0.0, 1.0);
+        for i in -12..=12 {
+            map.insert_ray(&origin, &Vec3::new(5.0, i as f64 * 0.25, 1.0));
+        }
+        // Point query: a free point reports no voxel, a blocked one reports
+        // an occupied voxel inside the inflation reach.
+        let free = Vec3::new(2.0, 0.0, 1.0);
+        assert!(!map.is_occupied_with_inflation(&free, 0.3));
+        assert_eq!(map.blocking_voxel_with_inflation(&free, 0.3), None);
+        let blocked = Vec3::new(5.0, 0.0, 1.0);
+        assert!(map.is_occupied_with_inflation(&blocked, 0.3));
+        let voxel = map.blocking_voxel_with_inflation(&blocked, 0.3).unwrap();
+        assert_eq!(map.query(&voxel), Occupancy::Occupied);
+        assert!(voxel.distance(&blocked) <= 0.3 + 0.25 * 0.87 + 1e-9);
+
+        // Segment query: Some/None must agree with segment_free, and the
+        // reported voxel must be a real occupied voxel near the wall.
+        let a = Vec3::new(0.0, 0.0, 1.0);
+        let b = Vec3::new(8.0, 0.0, 1.0);
+        assert!(!map.segment_free(&a, &b, 0.3));
+        let voxel = map.segment_blocking_voxel(&a, &b, 0.3).unwrap();
+        assert_eq!(map.query(&voxel), Occupancy::Occupied);
+        assert!(
+            (voxel.x - 5.0).abs() < 1.0,
+            "voxel far from the wall: {voxel:?}"
+        );
+        let c = Vec3::new(3.0, 0.0, 1.0);
+        assert!(map.segment_free(&a, &c, 0.3));
+        assert_eq!(map.segment_blocking_voxel(&a, &c, 0.3), None);
+
+        // Empty map: nothing can block.
+        let empty = small_map(0.25);
+        assert_eq!(empty.segment_blocking_voxel(&a, &b, 0.3), None);
+        assert_eq!(empty.blocking_voxel_with_inflation(&blocked, 0.3), None);
     }
 
     #[test]

@@ -9,6 +9,18 @@ use mav_perception::{Occupancy, OctoMap};
 use mav_types::{Trajectory, Vec3};
 use serde::{Deserialize, Serialize};
 
+/// One detected obstruction of a trajectory: where on the plan it was found
+/// and, when the map could attribute it, which occupied voxel blocks it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CollisionHit {
+    /// Index of the first colliding trajectory sample.
+    pub index: usize,
+    /// Centre of the occupied voxel blocking that sample or its approach
+    /// segment; `None` when the obstruction is not an occupied voxel (a
+    /// conservative checker rejecting unknown space).
+    pub blocking_voxel: Option<Vec3>,
+}
+
 /// Collision checker bound to a vehicle radius.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CollisionChecker {
@@ -65,14 +77,62 @@ impl CollisionChecker {
         trajectory: &Trajectory,
         from_index: usize,
     ) -> Option<usize> {
+        self.first_collision_report(map, trajectory, from_index)
+            .map(|hit| hit.index)
+    }
+
+    /// [`CollisionChecker::first_collision`] with the blocking-voxel report
+    /// (PR 5): the same walk, but each query runs through the map's
+    /// voxel-reporting variants (whose `Some`/`None` agrees exactly with the
+    /// predicates, pinned in `mav_perception`'s tests), so a failing check
+    /// surfaces the occupied voxel that caused it in the *same* corridor +
+    /// sampled pass that detects it — the caller (the collision monitor) aims
+    /// its alert at the real obstruction without a second sampled-predicate
+    /// run. The index decision is identical to
+    /// [`CollisionChecker::first_collision`].
+    pub fn first_collision_report(
+        &self,
+        map: &OctoMap,
+        trajectory: &Trajectory,
+        from_index: usize,
+    ) -> Option<CollisionHit> {
         let points = trajectory.points();
         for (i, p) in points.iter().enumerate().skip(from_index) {
-            if !self.point_free(map, &p.position) {
-                return Some(i);
+            // The point query, mirroring `point_free`: the conservative
+            // unknown-space rejection has no occupied voxel to blame.
+            if self.unknown_is_blocked && map.query(&p.position) == Occupancy::Unknown {
+                return Some(CollisionHit {
+                    index: i,
+                    blocking_voxel: None,
+                });
             }
-            if i + 1 < points.len() && !self.segment_free(map, &p.position, &points[i + 1].position)
+            if let Some(voxel) = map.blocking_voxel_with_inflation(&p.position, self.vehicle_radius)
             {
-                return Some(i + 1);
+                return Some(CollisionHit {
+                    index: i,
+                    blocking_voxel: Some(voxel),
+                });
+            }
+            // The approach segment, mirroring `segment_free`.
+            if i + 1 < points.len() {
+                let next = &points[i + 1].position;
+                if self.unknown_is_blocked
+                    && (map.query(&p.position) == Occupancy::Unknown
+                        || map.query(next) == Occupancy::Unknown)
+                {
+                    return Some(CollisionHit {
+                        index: i + 1,
+                        blocking_voxel: None,
+                    });
+                }
+                if let Some(voxel) =
+                    map.segment_blocking_voxel(&p.position, next, self.vehicle_radius)
+                {
+                    return Some(CollisionHit {
+                        index: i + 1,
+                        blocking_voxel: Some(voxel),
+                    });
+                }
             }
         }
         None
@@ -156,6 +216,48 @@ mod tests {
             SimTime::ZERO,
         );
         assert!(cc.trajectory_free(&map, &free_traj));
+    }
+
+    #[test]
+    fn collision_report_carries_the_blocking_voxel() {
+        let map = wall_map();
+        let cc = CollisionChecker::new(0.3);
+        let mut traj = Trajectory::new();
+        for (i, x) in [0.0, 2.0, 4.0, 6.0, 8.0].iter().enumerate() {
+            traj.push(TrajectoryPoint::stationary(
+                Vec3::new(*x, 0.0, 1.0),
+                SimTime::from_secs(i as f64),
+            ));
+        }
+        let hit = cc.first_collision_report(&map, &traj, 0).unwrap();
+        // The index decision must match the plain query exactly.
+        assert_eq!(Some(hit.index), cc.first_collision(&map, &traj, 0));
+        // The blocking voxel is a real occupied voxel at the wall.
+        let voxel = hit.blocking_voxel.expect("wall collisions have a voxel");
+        assert_eq!(map.query(&voxel), mav_perception::Occupancy::Occupied);
+        assert!(
+            (voxel.x - 5.0).abs() < 1.0,
+            "blocking voxel far from the wall: {voxel:?}"
+        );
+        // A free trajectory reports nothing.
+        let free_traj = Trajectory::from_waypoints(
+            &[Vec3::new(0.0, -8.0, 1.0), Vec3::new(8.0, -8.0, 1.0)],
+            2.0,
+            SimTime::ZERO,
+        );
+        assert!(cc.first_collision_report(&map, &free_traj, 0).is_none());
+        // A conservative checker rejecting unknown space has no occupied
+        // voxel to blame.
+        let conservative = CollisionChecker::conservative(0.3);
+        let unknown_traj = Trajectory::from_waypoints(
+            &[Vec3::new(-20.0, -20.0, 5.0), Vec3::new(-19.0, -20.0, 5.0)],
+            1.0,
+            SimTime::ZERO,
+        );
+        let hit = conservative
+            .first_collision_report(&map, &unknown_traj, 0)
+            .unwrap();
+        assert_eq!(hit.blocking_voxel, None);
     }
 
     #[test]

@@ -50,8 +50,8 @@ impl PointGrid {
     /// length. For nearest-neighbour workloads pick the typical query
     /// distance (the RRT extension step); for radius queries pick the
     /// radius, so candidates live in at most 3³ buckets. Cells much finer
-    /// than 1/64th of the longest side are floored to it (see
-    /// [`PointGrid::MAX_DIM`]); the density retune re-coarsens as the
+    /// than 1/64th of the longest side are floored to it (the internal
+    /// `MAX_DIM` cap); the density retune re-coarsens as the
     /// population grows, so the requested cell is only a starting hint.
     ///
     /// # Panics

@@ -4,7 +4,9 @@
 //! nodes, each with an invocation period, scheduled against a simulated
 //! mission clock. Every invocation reports the simulated compute latency it
 //! consumed; at the end of each round the executor charges the round's
-//! serialized latency to the scheduling context, which is exactly how compute
+//! latency to the scheduling context — the serialized sum under the default
+//! [`ExecModel::Serial`], the critical path over [`ExecStage`]s under
+//! [`ExecModel::Pipelined`] — which is exactly how compute
 //! speed turns into mission time in MAVBench. Since PR 2 this is the engine
 //! the five benchmark applications actually fly on: `mav_core::flight` wires
 //! camera, mapping, planning, control and energy nodes onto an
@@ -20,9 +22,10 @@
 //!   *registration order*, every time. There is no priority field and no
 //!   hash-ordered container anywhere in the dispatch path.
 //! * **Time only moves through [`NodeContext::charge`].** Nodes never touch
-//!   the clock directly; the context advances it by the round's serialized
+//!   the clock directly; the context advances it by the round's charged
 //!   compute latency (or the idle step when nothing ran), so a schedule is a
-//!   pure function of the node set and the context's initial state.
+//!   pure function of the node set, the execution model and the context's
+//!   initial state.
 //! * **Halting is checked after every node.** When the context reports
 //!   [`NodeContext::halted`], the round stops before any later node runs and
 //!   before any latency is charged — mirroring a sequential loop's early
@@ -32,7 +35,120 @@ use crate::clock::SimClock;
 use crate::kernel_timer::KernelTimer;
 use mav_compute::KernelId;
 use mav_types::{Result, SimDuration, SimTime};
+use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
 use std::fmt;
+
+/// The pipeline stage a [`Node`] occupies, for the purposes of
+/// [`ExecModel::Pipelined`] latency charging.
+///
+/// A real MAV stack does not run its ROS nodes back to back: the camera
+/// driver captures frame N+1 while the mapper integrates frame N and the
+/// planner chews on the map from frame N-1 — different stages live on
+/// different cores. Stages model exactly that resource partition: within one
+/// executor round, nodes on the *same* stage serialize (their latencies sum —
+/// they share a core), while nodes on *different* stages overlap (the round
+/// costs the slowest stage, i.e. the critical path).
+///
+/// [`ExecStage::Monolithic`] is the default for nodes that do not declare a
+/// stage: a monolithic node is assumed to need the whole pipeline, so it
+/// serializes with *everything* (its latency is added on top of the critical
+/// path). Pipelining is therefore strictly opt-in per node, and a graph of
+/// undeclared nodes charges exactly like [`ExecModel::Serial`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub enum ExecStage {
+    /// Zero-cost bookkeeping (watchdogs, telemetry). Never on the critical
+    /// path in practice, but modelled as an ordinary overlapping stage.
+    Housekeeping,
+    /// Sensor capture — the camera grabbing the next frame.
+    Sensing,
+    /// Sensor interpretation — point-cloud generation, map integration,
+    /// detection and tracking.
+    Perception,
+    /// Path/motion planning and collision monitoring.
+    Planning,
+    /// Trajectory following and command issue.
+    Control,
+    /// The whole-pipeline default: serializes with every other node.
+    #[default]
+    Monolithic,
+}
+
+impl ExecStage {
+    /// Every named (overlappable) stage plus the monolithic bucket.
+    pub const COUNT: usize = 6;
+
+    fn index(self) -> usize {
+        match self {
+            ExecStage::Housekeeping => 0,
+            ExecStage::Sensing => 1,
+            ExecStage::Perception => 2,
+            ExecStage::Planning => 3,
+            ExecStage::Control => 4,
+            ExecStage::Monolithic => 5,
+        }
+    }
+}
+
+/// How an [`Executor`] turns one round's per-node latencies into the single
+/// duration charged to the [`NodeContext`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ExecModel {
+    /// Nodes run back to back on one core: the round charges the *sum* of
+    /// every node's latency. This is the paper's accounting and the
+    /// historical behaviour, reproduced bit-for-bit (`tests/golden_legacy.rs`
+    /// pins it).
+    #[default]
+    Serial,
+    /// Nodes on different [`ExecStage`]s overlap: the round charges the
+    /// *critical path* — the maximum over stages of the per-stage latency
+    /// sums, plus the sum of any [`ExecStage::Monolithic`] nodes (which
+    /// serialize with everything). The camera captures the next frame while
+    /// the mapper integrates the last one.
+    Pipelined,
+}
+
+impl ExecModel {
+    /// The CLI/figure label of this model.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ExecModel::Serial => "serial",
+            ExecModel::Pipelined => "pipelined",
+        }
+    }
+}
+
+impl fmt::Display for ExecModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Per-stage latency accumulator for one [`ExecModel::Pipelined`] round.
+#[derive(Debug, Default)]
+struct StageLatencies {
+    sums: [SimDuration; ExecStage::COUNT],
+}
+
+impl StageLatencies {
+    fn add(&mut self, stage: ExecStage, latency: SimDuration) {
+        self.sums[stage.index()] += latency;
+    }
+
+    /// The round's pipelined charge: max over overlappable stages, plus the
+    /// monolithic bucket, which occupies every stage and therefore cannot
+    /// overlap anything.
+    fn critical_path(&self) -> SimDuration {
+        let monolithic = self.sums[ExecStage::Monolithic.index()];
+        let widest = self.sums[..ExecStage::Monolithic.index()]
+            .iter()
+            .copied()
+            .fold(SimDuration::ZERO, SimDuration::max);
+        monolithic + widest
+    }
+}
 
 /// Outcome of one node invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -124,6 +240,14 @@ pub trait Node<C> {
     /// legacy sequential pipeline is expressed.
     fn period(&self) -> SimDuration;
 
+    /// The pipeline stage this node occupies under
+    /// [`ExecModel::Pipelined`] charging. Ignored by [`ExecModel::Serial`].
+    /// Defaults to [`ExecStage::Monolithic`], which serializes with every
+    /// other node — pipelined overlap is strictly opt-in per node.
+    fn stage(&self) -> ExecStage {
+        ExecStage::Monolithic
+    }
+
     /// Runs the node once at simulated time `now`.
     ///
     /// # Errors
@@ -134,7 +258,7 @@ pub trait Node<C> {
 }
 
 struct Registration<C> {
-    node: Box<dyn Node<C>>,
+    node: Box<dyn Node<C> + Send>,
     next_due: SimTime,
 }
 
@@ -169,21 +293,34 @@ pub struct Executor<C> {
     /// The granularity the context is asked to advance by when no node is
     /// due in a round. Defaults to 50 ms.
     pub idle_step: SimDuration,
+    /// How the round's per-node latencies become the charged duration:
+    /// [`ExecModel::Serial`] (default) sums them, [`ExecModel::Pipelined`]
+    /// charges the critical path over [`ExecStage`]s.
+    pub exec_model: ExecModel,
 }
 
 impl<C: NodeContext> Executor<C> {
-    /// Creates an empty executor.
+    /// Creates an empty executor (serial charging).
     pub fn new() -> Self {
         Executor {
             nodes: Vec::new(),
             timer: KernelTimer::new(),
             idle_step: SimDuration::from_millis(50.0),
+            exec_model: ExecModel::default(),
         }
+    }
+
+    /// Overrides the execution model (builder style).
+    pub fn with_exec_model(mut self, model: ExecModel) -> Self {
+        self.exec_model = model;
+        self
     }
 
     /// Registers a node. Nodes due at the same instant run in registration
     /// order — the same-tick ordering contract that keeps runs reproducible.
-    pub fn add_node<N: Node<C> + 'static>(&mut self, node: N) {
+    /// Nodes are `Send` so whole executors can be driven from worker threads
+    /// (see [`run_all_for`]).
+    pub fn add_node<N: Node<C> + Send + 'static>(&mut self, node: N) {
         self.nodes.push(Registration {
             node: Box::new(node),
             next_due: SimTime::ZERO,
@@ -206,8 +343,15 @@ impl<C: NodeContext> Executor<C> {
     }
 
     /// Runs every due node once (registration order) and charges the round's
-    /// serialized latency to the context. Returns the charged compute time;
-    /// a round halted by the context charges nothing and returns zero.
+    /// latency to the context: the serialized sum under
+    /// [`ExecModel::Serial`], the critical path over [`ExecStage`]s under
+    /// [`ExecModel::Pipelined`] (nodes on different stages overlap — the
+    /// camera captures the next frame while the mapper integrates the last
+    /// one — so the round costs its slowest stage, not the sum). Dispatch is
+    /// identical under both models: same nodes, same order, same per-kernel
+    /// timer records; only the charged duration differs. Returns the charged
+    /// compute time; a round halted by the context charges nothing and
+    /// returns zero.
     ///
     /// # Errors
     ///
@@ -217,7 +361,12 @@ impl<C: NodeContext> Executor<C> {
             return Ok(SimDuration::ZERO);
         }
         let now = ctx.now();
+        // The serial sum is kept as its own running accumulator (not derived
+        // from the stage buckets) so the default model's floating-point
+        // arithmetic is exactly the historical `consumed += total` chain —
+        // the golden-legacy bit patterns depend on it.
         let mut consumed = SimDuration::ZERO;
+        let mut stages = StageLatencies::default();
         for reg in &mut self.nodes {
             if reg.next_due <= now {
                 let output = reg.node.tick(ctx, now)?;
@@ -225,6 +374,9 @@ impl<C: NodeContext> Executor<C> {
                     self.timer.record(*kernel, *duration);
                 }
                 consumed += output.total();
+                if self.exec_model == ExecModel::Pipelined {
+                    stages.add(reg.node.stage(), output.total());
+                }
                 // Anchor the schedule to the period grid instead of the round
                 // start: a node due at t=100 ms that only gets dispatched in a
                 // round opening at t=130 ms is next due at 200 ms, not 230 ms,
@@ -251,8 +403,12 @@ impl<C: NodeContext> Executor<C> {
                 }
             }
         }
-        ctx.charge(consumed, self.idle_step)?;
-        Ok(consumed)
+        let charged = match self.exec_model {
+            ExecModel::Serial => consumed,
+            ExecModel::Pipelined => stages.critical_path(),
+        };
+        ctx.charge(charged, self.idle_step)?;
+        Ok(charged)
     }
 
     /// Runs rounds until the context's clock has advanced by `duration` (or
@@ -281,8 +437,32 @@ impl<C> fmt::Debug for Executor<C> {
         f.debug_struct("Executor")
             .field("nodes", &self.nodes.len())
             .field("idle_step", &self.idle_step)
+            .field("exec_model", &self.exec_model)
             .finish()
     }
+}
+
+/// Drives several independent (executor, context) pairs for `duration` each,
+/// with the pairs distributed over the rayon worker pool — the host-parallel
+/// round option for sweep throughput. Each pair's rounds run strictly in
+/// order on one worker, so every mission's schedule (and therefore its
+/// result) is bit-identical to a sequential [`Executor::run_for`] call; only
+/// rounds of *different* pairs overlap on host threads. Honours the rayon
+/// thread count installed by the caller (e.g. a `ThreadPool::install` scope).
+///
+/// # Errors
+///
+/// Returns the first error any pair produced, in pair order.
+pub fn run_all_for<C: NodeContext + Send>(
+    pairs: &mut [(Executor<C>, C)],
+    duration: SimDuration,
+) -> Result<()> {
+    pairs
+        .par_iter_mut()
+        .map(|(exec, ctx)| exec.run_for(ctx, duration))
+        .collect::<Vec<Result<()>>>()
+        .into_iter()
+        .collect()
 }
 
 #[cfg(test)]
@@ -295,6 +475,7 @@ mod tests {
         period: SimDuration,
         cost: SimDuration,
         kernel: KernelId,
+        stage: ExecStage,
         count: u32,
         fail_at: Option<u32>,
     }
@@ -306,9 +487,15 @@ mod tests {
                 period: SimDuration::from_millis(period_ms),
                 cost: SimDuration::from_millis(cost_ms),
                 kernel,
+                stage: ExecStage::Monolithic,
                 count: 0,
                 fail_at: None,
             }
+        }
+
+        fn on_stage(mut self, stage: ExecStage) -> Self {
+            self.stage = stage;
+            self
         }
     }
 
@@ -318,6 +505,9 @@ mod tests {
         }
         fn period(&self) -> SimDuration {
             self.period
+        }
+        fn stage(&self) -> ExecStage {
+            self.stage
         }
         fn tick(&mut self, _ctx: &mut SimClock, _now: SimTime) -> Result<NodeOutput> {
             self.count += 1;
@@ -468,6 +658,172 @@ mod tests {
                 pair[0],
                 pair[1]
             );
+        }
+    }
+
+    /// The camera+mapper overlap scenario of the pipelined model: a 125 ms
+    /// camera on the sensing stage and a 250 ms mapper on the perception
+    /// stage, both tick-synchronous. Serial charges 375 ms per round;
+    /// pipelined charges the critical path — the 250 ms mapper — so the same
+    /// twenty frames cost strictly less mission time, but never less than the
+    /// slowest stage alone. All values are dyadic, so the clock arithmetic is
+    /// float-exact and the bounds can be asserted with equality.
+    #[test]
+    fn pipelined_rounds_charge_the_critical_path_not_the_sum() {
+        let run = |model: ExecModel| {
+            let mut clock = SimClock::new();
+            let mut exec = Executor::new().with_exec_model(model);
+            exec.add_node(
+                Counter::new("camera", 0.0, 125.0, KernelId::PointCloudGeneration)
+                    .on_stage(ExecStage::Sensing),
+            );
+            exec.add_node(
+                Counter::new("mapper", 0.0, 250.0, KernelId::OctomapGeneration)
+                    .on_stage(ExecStage::Perception),
+            );
+            for _ in 0..20 {
+                exec.step(&mut clock).unwrap();
+            }
+            (
+                NodeContext::now(&clock).as_secs(),
+                exec.timer().invocations(KernelId::OctomapGeneration),
+            )
+        };
+        let (serial_secs, serial_frames) = run(ExecModel::Serial);
+        let (pipelined_secs, pipelined_frames) = run(ExecModel::Pipelined);
+        // Dispatch is identical: same frames integrated under both models.
+        assert_eq!(serial_frames, 20);
+        assert_eq!(pipelined_frames, 20);
+        assert_eq!(serial_secs, 20.0 * 0.375, "serial must charge the sum");
+        assert_eq!(
+            pipelined_secs,
+            20.0 * 0.25,
+            "pipelined must charge the slowest stage (the mapper)"
+        );
+        assert!(pipelined_secs < serial_secs);
+    }
+
+    #[test]
+    fn nodes_on_the_same_stage_still_serialize() {
+        let mut clock = SimClock::new();
+        let mut exec = Executor::new().with_exec_model(ExecModel::Pipelined);
+        for name in ["detector", "tracker"] {
+            exec.add_node(
+                Counter::new(name, 0.0, 50.0, KernelId::ObjectDetection)
+                    .on_stage(ExecStage::Perception),
+            );
+        }
+        let charged = exec.step(&mut clock).unwrap();
+        assert_eq!(
+            charged.as_millis(),
+            100.0,
+            "same-stage nodes share a core: their latencies sum"
+        );
+    }
+
+    #[test]
+    fn monolithic_nodes_serialize_with_every_stage() {
+        // A monolithic node occupies the whole pipeline, so its latency is
+        // added on top of the critical path instead of overlapping it — and a
+        // graph of only undeclared (monolithic) nodes charges exactly like
+        // the serial model.
+        let mut clock = SimClock::new();
+        let mut exec = Executor::new().with_exec_model(ExecModel::Pipelined);
+        exec.add_node(Counter::new("whole", 0.0, 80.0, KernelId::PidControl));
+        exec.add_node(
+            Counter::new("camera", 0.0, 100.0, KernelId::PointCloudGeneration)
+                .on_stage(ExecStage::Sensing),
+        );
+        exec.add_node(
+            Counter::new("mapper", 0.0, 200.0, KernelId::OctomapGeneration)
+                .on_stage(ExecStage::Perception),
+        );
+        let charged = exec.step(&mut clock).unwrap();
+        assert_eq!(charged.as_millis(), 80.0 + 200.0);
+
+        let mut clock = SimClock::new();
+        let mut exec = Executor::new().with_exec_model(ExecModel::Pipelined);
+        exec.add_node(Counter::new("a", 0.0, 30.0, KernelId::PidControl));
+        exec.add_node(Counter::new("b", 0.0, 40.0, KernelId::PathTracking));
+        let charged = exec.step(&mut clock).unwrap();
+        assert_eq!(
+            charged.as_millis(),
+            70.0,
+            "undeclared nodes must charge like the serial model"
+        );
+    }
+
+    #[test]
+    fn pipelined_periods_stay_anchored_to_the_grid() {
+        // The PR 3 drift fix must survive the new charging model: a 100 ms
+        // node whose rounds never line up with its grid (30 ms cost, 50 ms
+        // idle steps) still runs at 10 Hz effective rate under pipelined
+        // charging — `next_due + period` anchoring is independent of how the
+        // round's latency is charged.
+        let mut clock = SimClock::new();
+        let mut exec = Executor::new().with_exec_model(ExecModel::Pipelined);
+        exec.add_node(
+            Counter::new("anchored", 100.0, 30.0, KernelId::PathTracking)
+                .on_stage(ExecStage::Control),
+        );
+        exec.run_for(&mut clock, SimDuration::from_secs(10.0))
+            .unwrap();
+        let n = exec.timer().invocations(KernelId::PathTracking);
+        assert!(
+            (95..=101).contains(&n),
+            "effective rate drifted from nominal under pipelined charging: \
+             {n} invocations in 10 s at 10 Hz"
+        );
+    }
+
+    #[test]
+    fn run_all_for_matches_sequential_runs_bit_for_bit() {
+        // The host-parallel round option: each (executor, context) pair's
+        // schedule must be identical to a sequential run, whatever the rayon
+        // thread count — only rounds of *different* pairs overlap on the host.
+        let build = |i: usize| {
+            let mut exec = Executor::new().with_exec_model(ExecModel::Pipelined);
+            exec.add_node(
+                Counter::new(
+                    "camera",
+                    0.0,
+                    50.0 + i as f64 * 10.0,
+                    KernelId::PointCloudGeneration,
+                )
+                .on_stage(ExecStage::Sensing),
+            );
+            exec.add_node(
+                Counter::new("mapper", 0.0, 100.0, KernelId::OctomapGeneration)
+                    .on_stage(ExecStage::Perception),
+            );
+            (exec, SimClock::new())
+        };
+        let mut sequential: Vec<(Executor<SimClock>, SimClock)> = (0..6).map(build).collect();
+        for (exec, clock) in &mut sequential {
+            exec.run_for(clock, SimDuration::from_secs(3.0)).unwrap();
+        }
+        let mut parallel: Vec<(Executor<SimClock>, SimClock)> = (0..6).map(build).collect();
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(3)
+            .build()
+            .unwrap();
+        pool.install(|| run_all_for(&mut parallel, SimDuration::from_secs(3.0)))
+            .unwrap();
+        for (i, ((seq_exec, seq_clock), (par_exec, par_clock))) in
+            sequential.iter().zip(&parallel).enumerate()
+        {
+            assert_eq!(
+                NodeContext::now(seq_clock).as_secs().to_bits(),
+                NodeContext::now(par_clock).as_secs().to_bits(),
+                "pair {i}: clocks diverged"
+            );
+            for kernel in [KernelId::PointCloudGeneration, KernelId::OctomapGeneration] {
+                assert_eq!(
+                    seq_exec.timer().invocations(kernel),
+                    par_exec.timer().invocations(kernel),
+                    "pair {i}: invocation counts diverged"
+                );
+            }
         }
     }
 

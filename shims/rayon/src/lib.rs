@@ -136,6 +136,41 @@ pub fn parallel_map_slice<'a, T: Sync, R: Send>(
     pairs.into_iter().map(|(_, value)| value).collect()
 }
 
+/// In-order parallel map over mutable references: the slice is split into one
+/// contiguous chunk per worker (no work stealing), each chunk is processed
+/// strictly in order on its own scoped thread, and the per-chunk results are
+/// re-concatenated in chunk order — so the output order (and any per-element
+/// mutation) is identical to a serial `iter_mut().map(..)` pass.
+pub fn parallel_map_slice_mut<'a, T: Send, R: Send>(
+    items: &'a mut [T],
+    threads: usize,
+    f: impl Fn(&'a mut T) -> R + Sync,
+) -> Vec<R> {
+    let len = items.len();
+    let workers = threads.clamp(1, len.max(1));
+    if workers <= 1 || len <= 1 {
+        return items.iter_mut().map(f).collect();
+    }
+    let chunk_len = len.div_ceil(workers);
+    let gathered: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::with_capacity(workers));
+    std::thread::scope(|scope| {
+        for (index, chunk) in items.chunks_mut(chunk_len).enumerate() {
+            let f = &f;
+            let gathered = &gathered;
+            scope.spawn(move || {
+                let results: Vec<R> = chunk.iter_mut().map(f).collect();
+                gathered.lock().unwrap().push((index, results));
+            });
+        }
+    });
+    let mut chunks = gathered.into_inner().unwrap();
+    chunks.sort_by_key(|&(index, _)| index);
+    chunks
+        .into_iter()
+        .flat_map(|(_, results)| results)
+        .collect()
+}
+
 /// Parallel iterator over a slice, created by
 /// [`IntoParallelRefIterator::par_iter`].
 pub struct ParIter<'a, T> {
@@ -170,6 +205,45 @@ impl<'a, T: Sync, R: Send, F: Fn(&'a T) -> R + Sync> ParMap<'a, T, F> {
     }
 }
 
+/// Parallel iterator over mutable references, created by
+/// [`IntoParallelRefMutIterator::par_iter_mut`].
+pub struct ParIterMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParIterMut<'a, T> {
+    /// Maps every element through `f` (lazily; runs on `collect`).
+    pub fn map<R, F: Fn(&'a mut T) -> R + Sync>(self, f: F) -> ParMapMut<'a, T, F> {
+        ParMapMut {
+            slice: self.slice,
+            f,
+        }
+    }
+
+    /// Runs `f` on every element across [`current_num_threads`] workers.
+    pub fn for_each<F: Fn(&'a mut T) + Sync>(self, f: F) {
+        parallel_map_slice_mut(self.slice, current_num_threads(), f);
+    }
+}
+
+/// The `par_iter_mut().map(..)` adapter.
+pub struct ParMapMut<'a, T, F> {
+    slice: &'a mut [T],
+    f: F,
+}
+
+impl<'a, T: Send, R: Send, F: Fn(&'a mut T) -> R + Sync> ParMapMut<'a, T, F> {
+    /// Executes the map across [`current_num_threads`] workers, preserving
+    /// input order, and collects the results.
+    pub fn collect<C: From<Vec<R>>>(self) -> C {
+        C::from(parallel_map_slice_mut(
+            self.slice,
+            current_num_threads(),
+            self.f,
+        ))
+    }
+}
+
 /// Extension trait adding `par_iter` to slices and vectors.
 pub trait IntoParallelRefIterator<'a> {
     /// Element type.
@@ -192,9 +266,31 @@ impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
     }
 }
 
+/// Extension trait adding `par_iter_mut` to slices and vectors.
+pub trait IntoParallelRefMutIterator<'a> {
+    /// Element type.
+    type Item: 'a;
+    /// Returns a parallel iterator over mutable references.
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, Self::Item>;
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { slice: self }
+    }
+}
+
+impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter_mut(&'a mut self) -> ParIterMut<'a, T> {
+        ParIterMut { slice: self }
+    }
+}
+
 /// The usual rayon prelude import.
 pub mod prelude {
-    pub use crate::IntoParallelRefIterator;
+    pub use crate::{IntoParallelRefIterator, IntoParallelRefMutIterator};
 }
 
 #[cfg(test)]
@@ -234,6 +330,30 @@ mod tests {
         let one = [41u32];
         let mapped: Vec<u32> = one.par_iter().map(|x| x + 1).collect();
         assert_eq!(mapped, vec![42]);
+    }
+
+    #[test]
+    fn mutable_map_mutates_every_element_in_order() {
+        let mut items: Vec<u64> = (0..97).collect();
+        let expected_results: Vec<u64> = items.iter().map(|x| x * 2).collect();
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let results: Vec<u64> = pool.install(|| {
+            items
+                .par_iter_mut()
+                .map(|x| {
+                    *x += 1;
+                    (*x - 1) * 2
+                })
+                .collect::<Vec<_>>()
+        });
+        assert_eq!(results, expected_results);
+        assert_eq!(items, (1..98).collect::<Vec<u64>>());
+        // for_each over an empty slice is a no-op.
+        let mut empty: Vec<u64> = Vec::new();
+        empty.par_iter_mut().for_each(|x| *x += 1);
+        let mut one = [5u64];
+        one.par_iter_mut().for_each(|x| *x += 1);
+        assert_eq!(one, [6]);
     }
 
     #[test]
