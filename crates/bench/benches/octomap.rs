@@ -1,8 +1,13 @@
 //! Criterion benches for the OctoMap kernel: insertion cost vs resolution
-//! (the measured counterpart of Fig. 18) and query cost.
+//! (the measured counterpart of Fig. 18), query cost, batched/parallel scan
+//! insertion, frontier extraction (the free-voxel index vs the full-tree
+//! walk) and a whole mapping-mission episode (the episodes/sec figure the
+//! ROADMAP's Monte-Carlo item tracks).
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mav_core::{run_mission, MissionConfig};
 use mav_env::EnvironmentConfig;
 use mav_perception::{OctoMap, OctoMapConfig, PointCloud};
+use mav_planning::FrontierExplorer;
 use mav_sensors::{DepthCamera, DepthCameraConfig};
 use mav_types::{Pose, Vec3};
 
@@ -59,5 +64,93 @@ fn bench_octomap_queries(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_octomap_insertion, bench_octomap_queries);
+/// Scan insertion into a *warm* map: the steady-state mapping-mission shape
+/// (most leaves already exist, so the per-voxel work is a value update, not a
+/// node allocation). The per-iteration map clone is identical across the
+/// serial/parallel pair, so the pairing isolates the insertion path itself.
+fn bench_scan_insertion(c: &mut Criterion) {
+    let clouds = capture_clouds();
+    let mut warm = OctoMap::new(OctoMapConfig::with_resolution(0.3), 96.0);
+    for cloud in &clouds {
+        warm.insert_point_cloud(cloud);
+    }
+    let mut group = c.benchmark_group("octomap_scan_insert");
+    group.sample_size(10);
+    group.bench_function("serial_warm", |b| {
+        b.iter(|| {
+            let mut map = warm.clone();
+            for cloud in &clouds {
+                map.insert_point_cloud(cloud);
+            }
+            map.update_count()
+        })
+    });
+    for threads in [2usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("parallel_warm", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let mut map = warm.clone();
+                    for cloud in &clouds {
+                        map.insert_point_cloud_parallel(cloud, threads);
+                    }
+                    map.update_count()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+/// Frontier extraction on a partially mapped world: `find_frontiers` pays one
+/// `free_voxel_centers` call plus the unknown-neighbour probes and the
+/// clustering pass — exactly what mapping / search-and-rescue tick every
+/// replan.
+fn bench_frontier_extraction(c: &mut Criterion) {
+    let clouds = capture_clouds();
+    let mut map = OctoMap::new(OctoMapConfig::with_resolution(0.5), 96.0);
+    for cloud in &clouds {
+        map.insert_point_cloud(cloud);
+    }
+    let explorer = FrontierExplorer::default();
+    let mut group = c.benchmark_group("octomap_frontier");
+    group.sample_size(10);
+    group.bench_function("free_voxel_centers", |b| {
+        b.iter(|| map.free_voxel_centers().len())
+    });
+    group.bench_function("free_voxel_centers_scan", |b| {
+        b.iter(|| map.free_voxel_centers_scan().len())
+    });
+    group.bench_function("find_frontiers", |b| {
+        b.iter(|| explorer.find_frontiers(&map).len())
+    });
+    group.finish();
+}
+
+/// One whole fast-profile 3D Mapping mission: the episodes/sec figure for the
+/// ROADMAP's Monte-Carlo reliability trajectory (scan insertion + frontier
+/// extraction dominate its wall time).
+fn bench_mapping_mission(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mapping_mission");
+    group.sample_size(10);
+    group.bench_function("fast_episode", |b| {
+        b.iter(|| {
+            let mut cfg =
+                MissionConfig::fast_test(mav_compute::ApplicationId::Mapping3D).with_seed(4);
+            cfg.environment.extent = 25.0;
+            run_mission(cfg).mission_time_secs
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_octomap_insertion,
+    bench_octomap_queries,
+    bench_scan_insertion,
+    bench_frontier_extraction,
+    bench_mapping_mission
+);
 criterion_main!(benches);

@@ -448,6 +448,12 @@ pub struct MissionConfig {
     /// [`NodeOpConfig::mission_global`], charges every node at
     /// [`MissionConfig::operating_point`].
     pub node_ops: NodeOpConfig,
+    /// Worker threads for OctoMap scan insertion (PR 6). `1` (the default)
+    /// takes the serial path; higher values partition each scan's per-voxel
+    /// delta map across threads. Every setting produces a bit-identical map
+    /// (the parallel path is pinned to the serial one), so this is purely a
+    /// wall-clock knob for multi-core hosts.
+    pub map_insert_threads: usize,
     /// RNG seed shared by all stochastic components.
     pub seed: u64,
 }
@@ -482,6 +488,7 @@ impl MissionConfig {
             replan_mode: ReplanMode::default(),
             exec_model: ExecModel::default(),
             node_ops: NodeOpConfig::mission_global(),
+            map_insert_threads: 1,
             seed: 42,
         }
     }
@@ -541,6 +548,12 @@ impl MissionConfig {
         self
     }
 
+    /// Overrides the OctoMap insertion worker count (builder style).
+    pub fn with_map_insert_threads(mut self, threads: usize) -> Self {
+        self.map_insert_threads = threads;
+        self
+    }
+
     /// A scaled-down configuration for fast unit/integration testing: a small
     /// world, a coarse camera and map, and short distances. The physics and
     /// kernels are identical — only the scenario is smaller.
@@ -582,6 +595,9 @@ impl MissionConfig {
         }
         if self.depth_noise_std < 0.0 {
             return Err("depth noise std cannot be negative".to_string());
+        }
+        if self.map_insert_threads == 0 {
+            return Err("map_insert_threads must be at least 1".to_string());
         }
         self.rates.validate()?;
         self.node_ops.validate()?;

@@ -484,7 +484,14 @@ impl MissionContext {
         .map(|&kernel| (kernel, self.charge_kernel_at(kernel, op)))
         .collect();
         let cloud = PointCloud::from_depth_image(frame).downsample(self.current_resolution);
-        self.map.insert_point_cloud(&cloud);
+        // Bit-identical either way (the parallel path is pinned to the serial
+        // one); > 1 only changes who does the work.
+        if self.config.map_insert_threads > 1 {
+            self.map
+                .insert_point_cloud_parallel(&cloud, self.config.map_insert_threads);
+        } else {
+            self.map.insert_point_cloud(&cloud);
+        }
         self.mapped_volume = self.map.mapped_volume();
         kernel_time
     }

@@ -31,4 +31,6 @@ pub use detection::{Detection, DetectorConfig, DetectorKind, ObjectDetector};
 pub use localization::{GpsLocalizer, LocalizationResult, Localizer, SlamConfig, VisualSlam};
 pub use octomap::{Occupancy, OctoMap, OctoMapConfig};
 pub use pointcloud::PointCloud;
-pub use tracking::{TargetTracker, TrackState, TrackerConfig};
+pub use tracking::{
+    MultiTargetTracker, MultiTrackerConfig, TargetTracker, TrackState, TrackerConfig,
+};

@@ -11,17 +11,34 @@ use std::fmt;
 
 /// A world-frame point cloud together with the sensor origin it was captured
 /// from (needed for free-space carving in the occupancy map).
+///
+/// Stored structure-of-arrays: one coordinate vector per axis. The OctoMap
+/// scan-insertion hot loop streams whole clouds point by point, and the
+/// parallel insertion path hands contiguous ray ranges to workers — both
+/// touch memory sequentially per axis instead of striding over
+/// 3-tuples, and per-axis slices are available for vectorised passes.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PointCloud {
     /// Sensor origin in the world frame.
     pub origin: Vec3,
-    points: Vec<Vec3>,
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    zs: Vec<f64>,
 }
 
 impl PointCloud {
     /// Creates a point cloud from an origin and points.
     pub fn new(origin: Vec3, points: Vec<Vec3>) -> Self {
-        PointCloud { origin, points }
+        let mut cloud = PointCloud {
+            origin,
+            xs: Vec::with_capacity(points.len()),
+            ys: Vec::with_capacity(points.len()),
+            zs: Vec::with_capacity(points.len()),
+        };
+        for p in points {
+            cloud.push(p);
+        }
+        cloud
     }
 
     /// Generates a point cloud from a depth image (the point-cloud-generation
@@ -30,33 +47,68 @@ impl PointCloud {
     /// Pixels with no return are skipped. Points are expressed in the world
     /// frame using the camera pose stored in the image.
     pub fn from_depth_image(image: &DepthImage) -> Self {
-        PointCloud {
-            origin: image.camera_pose.position,
-            points: image.points(),
-        }
+        PointCloud::new(image.camera_pose.position, image.points())
     }
 
-    /// The points of the cloud.
-    pub fn points(&self) -> &[Vec3] {
-        &self.points
+    /// Appends a point.
+    pub fn push(&mut self, p: Vec3) {
+        self.xs.push(p.x);
+        self.ys.push(p.y);
+        self.zs.push(p.z);
+    }
+
+    /// The `index`-th point.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn point(&self, index: usize) -> Vec3 {
+        Vec3::new(self.xs[index], self.ys[index], self.zs[index])
+    }
+
+    /// Iterates the points in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = Vec3> + '_ {
+        self.xs
+            .iter()
+            .zip(&self.ys)
+            .zip(&self.zs)
+            .map(|((&x, &y), &z)| Vec3::new(x, y, z))
+    }
+
+    /// The x coordinates of all points, in insertion order.
+    pub fn xs(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// The y coordinates of all points, in insertion order.
+    pub fn ys(&self) -> &[f64] {
+        &self.ys
+    }
+
+    /// The z coordinates of all points, in insertion order.
+    pub fn zs(&self) -> &[f64] {
+        &self.zs
     }
 
     /// Number of points.
     pub fn len(&self) -> usize {
-        self.points.len()
+        self.xs.len()
     }
 
     /// Returns `true` when the cloud has no points.
     pub fn is_empty(&self) -> bool {
-        self.points.is_empty()
+        self.xs.is_empty()
     }
 
     /// Axis-aligned bounds of the cloud, or `None` when empty.
     pub fn bounds(&self) -> Option<Aabb> {
-        let first = *self.points.first()?;
+        if self.is_empty() {
+            return None;
+        }
+        let first = self.point(0);
         let mut bounds = Aabb::new(first, first);
-        for p in &self.points {
-            bounds = bounds.union(&Aabb::new(*p, *p));
+        for p in self.iter() {
+            bounds = bounds.union(&Aabb::new(p, p));
         }
         Some(bounds)
     }
@@ -71,14 +123,14 @@ impl PointCloud {
         assert!(voxel_size > 0.0, "voxel size must be positive");
         use std::collections::HashMap;
         let mut cells: HashMap<(i64, i64, i64), (Vec3, usize)> = HashMap::new();
-        for p in &self.points {
+        for p in self.iter() {
             let key = (
                 (p.x / voxel_size).floor() as i64,
                 (p.y / voxel_size).floor() as i64,
                 (p.z / voxel_size).floor() as i64,
             );
             let entry = cells.entry(key).or_insert((Vec3::ZERO, 0));
-            entry.0 += *p;
+            entry.0 += p;
             entry.1 += 1;
         }
         let mut points: Vec<Vec3> = cells.into_values().map(|(sum, n)| sum / n as f64).collect();
@@ -88,15 +140,12 @@ impl PointCloud {
                 .partial_cmp(&(b.x, b.y, b.z))
                 .expect("finite coordinates")
         });
-        PointCloud {
-            origin: self.origin,
-            points,
-        }
+        PointCloud::new(self.origin, points)
     }
 
     /// The point nearest to `query`, or `None` when empty.
     pub fn nearest(&self, query: &Vec3) -> Option<Vec3> {
-        self.points.iter().copied().min_by(|a, b| {
+        self.iter().min_by(|a, b| {
             a.distance_squared(query)
                 .partial_cmp(&b.distance_squared(query))
                 .expect("finite distances")
@@ -106,8 +155,7 @@ impl PointCloud {
     /// Minimum distance from the sensor origin to any point, or `None` when
     /// empty. Used as a cheap proximity alarm by the collision-check node.
     pub fn min_range(&self) -> Option<f64> {
-        self.points
-            .iter()
+        self.iter()
             .map(|p| p.distance(&self.origin))
             .min_by(|a, b| a.partial_cmp(b).expect("finite"))
     }
@@ -115,12 +163,7 @@ impl PointCloud {
 
 impl fmt::Display for PointCloud {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "pointcloud[{} points from {}]",
-            self.points.len(),
-            self.origin
-        )
+        write!(f, "pointcloud[{} points from {}]", self.len(), self.origin)
     }
 }
 
@@ -153,12 +196,29 @@ mod tests {
         assert_eq!(cloud.origin, Vec3::new(0.0, 0.0, 2.0));
         // Every point is on the wall face (x ≈ 9.5) or the world boundary —
         // never behind the sensor.
-        for p in cloud.points() {
+        for p in cloud.iter() {
             assert!(p.x > 0.0);
         }
         // The closest return is the floor (world boundary) a couple of metres
         // below the tilted lower rays of the frame.
         assert!(cloud.min_range().unwrap() > 1.5);
+    }
+
+    #[test]
+    fn soa_storage_round_trips_points() {
+        let points = vec![
+            Vec3::new(1.0, 2.0, 3.0),
+            Vec3::new(-4.0, 5.5, 0.25),
+            Vec3::new(0.0, -1.0, 9.0),
+        ];
+        let cloud = PointCloud::new(Vec3::ZERO, points.clone());
+        assert_eq!(cloud.iter().collect::<Vec<_>>(), points);
+        for (i, p) in points.iter().enumerate() {
+            assert_eq!(cloud.point(i), *p);
+            assert_eq!(cloud.xs()[i], p.x);
+            assert_eq!(cloud.ys()[i], p.y);
+            assert_eq!(cloud.zs()[i], p.z);
+        }
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! exercises.
 
 use crate::detection::Detection;
-use mav_types::{SimDuration, Vec3};
+use mav_types::{Aabb, PointGrid, SimDuration, Vec3};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -135,6 +135,216 @@ impl TargetTracker {
     }
 }
 
+/// Configuration of the multi-target tracker.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MultiTrackerConfig {
+    /// Per-track alpha–beta filter parameters.
+    pub base: TrackerConfig,
+    /// A detection farther than this from every predicted track position
+    /// spawns a new track instead of updating one.
+    pub gate_radius: f64,
+}
+
+impl Default for MultiTrackerConfig {
+    fn default() -> Self {
+        MultiTrackerConfig {
+            base: TrackerConfig::default(),
+            gate_radius: 4.0,
+        }
+    }
+}
+
+/// Multiple [`TrackState`]s maintained over frames of detections: each frame
+/// the tracks are coasted forward, detections are associated to the nearest
+/// unclaimed predicted position within `gate_radius`, matched tracks take an
+/// alpha–beta update, unmatched detections spawn new tracks, and stale tracks
+/// are dropped.
+///
+/// Association goes through the [`PointGrid`] radius index, so a frame of
+/// `m` detections against `n` tracks costs near O(n + m) instead of the
+/// O(n·m) all-pairs scan. The index is exact (candidates are a superset,
+/// re-tested with the scan's own distance predicate and tie-break), so the
+/// assignment is identical to the reference linear scan — pinned by
+/// `association_matches_reference`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MultiTargetTracker {
+    config: MultiTrackerConfig,
+    tracks: Vec<TrackState>,
+}
+
+impl MultiTargetTracker {
+    /// Creates a tracker with no tracks.
+    pub fn new(config: MultiTrackerConfig) -> Self {
+        MultiTargetTracker {
+            config,
+            tracks: Vec::new(),
+        }
+    }
+
+    /// The live tracks, oldest first.
+    pub fn tracks(&self) -> &[TrackState] {
+        &self.tracks
+    }
+
+    /// Number of live tracks.
+    pub fn track_count(&self) -> usize {
+        self.tracks.len()
+    }
+
+    /// Integrates one frame of detections. Returns the number of detections
+    /// that updated an existing track (the rest spawned new ones).
+    pub fn update(&mut self, detections: &[Detection], dt: SimDuration) -> usize {
+        let dt_s = dt.as_secs().max(1e-3);
+        let predicted: Vec<Vec3> = self
+            .tracks
+            .iter()
+            .map(|s| s.position + s.velocity * dt_s)
+            .collect();
+        let assigned = Self::associate(&predicted, detections, self.config.gate_radius);
+        let mut matched_with: Vec<Option<&Detection>> = vec![None; self.tracks.len()];
+        let mut matched = 0usize;
+        for (j, d) in detections.iter().enumerate() {
+            if let Some(i) = assigned[j] {
+                matched_with[i] = Some(d);
+                matched += 1;
+            }
+        }
+        let (alpha, beta) = (self.config.base.alpha, self.config.base.beta);
+        for (i, s) in self.tracks.iter_mut().enumerate() {
+            match matched_with[i] {
+                Some(d) => {
+                    let residual = d.position - predicted[i];
+                    s.position = predicted[i] + residual * alpha;
+                    s.velocity += residual * (beta / dt_s);
+                    s.frames_since_detection = 0;
+                }
+                None => {
+                    s.position = predicted[i];
+                    s.frames_since_detection += 1;
+                }
+            }
+        }
+        let max_missed = self.config.base.max_missed_frames;
+        self.tracks.retain(|s| s.is_live(max_missed));
+        for (j, d) in detections.iter().enumerate() {
+            if assigned[j].is_none() {
+                self.tracks.push(TrackState {
+                    position: d.position,
+                    velocity: Vec3::ZERO,
+                    frames_since_detection: 0,
+                });
+            }
+        }
+        matched
+    }
+
+    /// Coasts every track forward one detector-less frame.
+    pub fn predict(&mut self, dt: SimDuration) {
+        self.update(&[], dt);
+    }
+
+    /// Drops every track.
+    pub fn reset(&mut self) {
+        self.tracks.clear();
+    }
+
+    /// Greedy gated nearest-neighbour assignment through the radius index:
+    /// detections claim tracks in detection order; each takes the unclaimed
+    /// track with the smallest predicted distance within `gate` (ties towards
+    /// the smaller track index). Returns the claimed track per detection.
+    fn associate(predicted: &[Vec3], detections: &[Detection], gate: f64) -> Vec<Option<usize>> {
+        let mut assigned = vec![None; detections.len()];
+        if predicted.is_empty() || detections.is_empty() {
+            return assigned;
+        }
+        let mut bounds = Aabb::new(predicted[0], predicted[0]);
+        for p in predicted {
+            bounds = bounds.union(&Aabb::new(*p, *p));
+        }
+        let mut grid = PointGrid::new(&bounds, gate.max(1e-6));
+        for p in predicted {
+            grid.insert(*p);
+        }
+        let mut claimed = vec![false; predicted.len()];
+        let mut candidates: Vec<u32> = Vec::new();
+        for (j, d) in detections.iter().enumerate() {
+            candidates.clear();
+            grid.candidates_within(&d.position, gate, &mut candidates);
+            let mut best: Option<(f64, usize)> = None;
+            for &c in &candidates {
+                let i = c as usize;
+                if claimed[i] {
+                    continue;
+                }
+                let dist = predicted[i].distance(&d.position);
+                if dist > gate {
+                    continue;
+                }
+                let better = match best {
+                    None => true,
+                    Some((bd, bi)) => dist < bd || (dist == bd && i < bi),
+                };
+                if better {
+                    best = Some((dist, i));
+                }
+            }
+            if let Some((_, i)) = best {
+                claimed[i] = true;
+                assigned[j] = Some(i);
+            }
+        }
+        assigned
+    }
+
+    /// The pre-index all-pairs assignment, kept as the differential oracle
+    /// for [`MultiTargetTracker::associate`].
+    #[cfg(test)]
+    fn associate_reference(
+        predicted: &[Vec3],
+        detections: &[Detection],
+        gate: f64,
+    ) -> Vec<Option<usize>> {
+        let mut assigned = vec![None; detections.len()];
+        let mut claimed = vec![false; predicted.len()];
+        for (j, d) in detections.iter().enumerate() {
+            let mut best: Option<(f64, usize)> = None;
+            for (i, p) in predicted.iter().enumerate() {
+                if claimed[i] {
+                    continue;
+                }
+                let dist = p.distance(&d.position);
+                if dist > gate {
+                    continue;
+                }
+                let better = match best {
+                    None => true,
+                    Some((bd, _)) => dist < bd,
+                };
+                if better {
+                    best = Some((dist, i));
+                }
+            }
+            if let Some((_, i)) = best {
+                claimed[i] = true;
+                assigned[j] = Some(i);
+            }
+        }
+        assigned
+    }
+}
+
+impl Default for MultiTargetTracker {
+    fn default() -> Self {
+        MultiTargetTracker::new(MultiTrackerConfig::default())
+    }
+}
+
+impl fmt::Display for MultiTargetTracker {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "tracks[{}]", self.tracks.len())
+    }
+}
+
 impl fmt::Display for TargetTracker {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.state {
@@ -236,5 +446,88 @@ mod tests {
             SimDuration::from_millis(50.0),
         );
         assert!(!format!("{t}").is_empty());
+        assert!(!format!("{}", MultiTargetTracker::default()).is_empty());
+    }
+
+    #[test]
+    fn multi_tracker_maintains_one_track_per_target() {
+        let mut t = MultiTargetTracker::default();
+        let dt = SimDuration::from_millis(100.0);
+        // Two well-separated targets, one walking, one standing.
+        for i in 0..30 {
+            let walker = Vec3::new(i as f64 * 0.2, 0.0, 1.0);
+            let stander = Vec3::new(0.0, 20.0, 1.0);
+            let matched = t.update(&[detection_at(walker), detection_at(stander)], dt);
+            if i > 0 {
+                assert_eq!(matched, 2, "frame {i} failed to match both targets");
+            }
+        }
+        assert_eq!(t.track_count(), 2);
+        let walker = &t.tracks()[0];
+        assert!(
+            walker.position.x > 4.0,
+            "walker estimate {}",
+            walker.position
+        );
+        assert!((walker.velocity.x - 2.0).abs() < 0.8);
+        assert!(t.tracks()[1].velocity.norm() < 0.1);
+    }
+
+    #[test]
+    fn multi_tracker_coasts_and_drops_missed_tracks() {
+        let mut t = MultiTargetTracker::new(MultiTrackerConfig {
+            base: TrackerConfig {
+                max_missed_frames: 3,
+                ..Default::default()
+            },
+            ..Default::default()
+        });
+        let dt = SimDuration::from_millis(100.0);
+        for i in 0..10 {
+            t.update(&[detection_at(Vec3::new(i as f64 * 0.3, 0.0, 1.0))], dt);
+        }
+        assert_eq!(t.track_count(), 1);
+        for _ in 0..10 {
+            t.predict(dt);
+        }
+        assert_eq!(t.track_count(), 0);
+        t.update(&[detection_at(Vec3::ZERO)], dt);
+        assert_eq!(t.track_count(), 1);
+        t.reset();
+        assert_eq!(t.track_count(), 0);
+    }
+
+    #[test]
+    fn association_matches_reference() {
+        // Deterministic scattered tracks and detections (xorshift), dense
+        // enough that gating, claiming and ties are all exercised.
+        let mut state = 0x0123_4567_89ab_cdefu64;
+        let mut unit = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for gate in [0.5, 2.0, 8.0] {
+            for _ in 0..20 {
+                let tracks: Vec<Vec3> = (0..40)
+                    .map(|_| Vec3::new(unit() * 30.0 - 15.0, unit() * 30.0 - 15.0, unit() * 4.0))
+                    .collect();
+                let detections: Vec<Detection> = (0..30)
+                    .map(|_| {
+                        detection_at(Vec3::new(
+                            unit() * 30.0 - 15.0,
+                            unit() * 30.0 - 15.0,
+                            unit() * 4.0,
+                        ))
+                    })
+                    .collect();
+                assert_eq!(
+                    MultiTargetTracker::associate(&tracks, &detections, gate),
+                    MultiTargetTracker::associate_reference(&tracks, &detections, gate),
+                    "association diverged at gate {gate}"
+                );
+            }
+        }
     }
 }

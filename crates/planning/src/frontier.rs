@@ -9,6 +9,7 @@
 
 use crate::collision::CollisionChecker;
 use crate::shortest_path::{PlannedPath, ShortestPathPlanner};
+use crate::spatial::PointGrid;
 use mav_perception::OctoMap;
 use mav_types::{MavError, Result, Vec3};
 use serde::{Deserialize, Serialize};
@@ -114,18 +115,8 @@ impl FrontierExplorer {
             let stride = frontier_points.len() / MAX_FRONTIER_POINTS + 1;
             frontier_points = frontier_points.into_iter().step_by(stride).collect();
         }
-        // Greedy clustering by proximity.
-        let mut clusters: Vec<Vec<Vec3>> = Vec::new();
-        for p in frontier_points {
-            match clusters.iter_mut().find(|c| {
-                c.iter()
-                    .any(|q| q.distance(&p) <= self.config.cluster_radius)
-            }) {
-                Some(cluster) => cluster.push(p),
-                None => clusters.push(vec![p]),
-            }
-        }
-        let mut frontiers: Vec<Frontier> = clusters
+        let mut frontiers: Vec<Frontier> = self
+            .cluster(map, &frontier_points)
             .into_iter()
             .filter(|c| c.len() >= self.config.min_cluster_size)
             .map(|c| {
@@ -149,6 +140,61 @@ impl FrontierExplorer {
             .collect();
         frontiers.sort_by_key(|f| std::cmp::Reverse(f.size));
         frontiers
+    }
+
+    /// Greedy proximity clustering through the [`PointGrid`] radius index:
+    /// each point joins the earliest-created cluster owning a member within
+    /// `cluster_radius`, or starts a new one. Identical to the reference
+    /// all-clusters scan (see [`FrontierExplorer::cluster_reference`]) — the
+    /// grid's radius candidates are a superset that is re-tested with the
+    /// exact member-distance predicate, and "first cluster in creation order
+    /// with a match" is "minimum cluster id over all matches".
+    fn cluster(&self, map: &OctoMap, points: &[Vec3]) -> Vec<Vec<Vec3>> {
+        let mut clusters: Vec<Vec<Vec3>> = Vec::new();
+        let mut grid = PointGrid::new(&map.domain(), self.config.cluster_radius.max(1e-6));
+        // Cluster id of each grid point, indexed by insertion order.
+        let mut cluster_of: Vec<u32> = Vec::new();
+        let mut candidates: Vec<u32> = Vec::new();
+        for &p in points {
+            candidates.clear();
+            grid.candidates_within(&p, self.config.cluster_radius, &mut candidates);
+            let joined = candidates
+                .iter()
+                .filter(|&&i| grid.point(i as usize).distance(&p) <= self.config.cluster_radius)
+                .map(|&i| cluster_of[i as usize])
+                .min();
+            let id = match joined {
+                Some(id) => {
+                    clusters[id as usize].push(p);
+                    id
+                }
+                None => {
+                    clusters.push(vec![p]);
+                    (clusters.len() - 1) as u32
+                }
+            };
+            grid.insert(p);
+            cluster_of.push(id);
+        }
+        clusters
+    }
+
+    /// The pre-index greedy clustering, kept as the differential oracle for
+    /// [`FrontierExplorer::cluster`]: scan existing clusters in creation
+    /// order and join the first with any member within `cluster_radius`.
+    #[cfg(test)]
+    fn cluster_reference(&self, points: &[Vec3]) -> Vec<Vec<Vec3>> {
+        let mut clusters: Vec<Vec<Vec3>> = Vec::new();
+        for &p in points {
+            match clusters.iter_mut().find(|c| {
+                c.iter()
+                    .any(|q| q.distance(&p) <= self.config.cluster_radius)
+            }) {
+                Some(cluster) => cluster.push(p),
+                None => clusters.push(vec![p]),
+            }
+        }
+        clusters
     }
 
     /// Picks the best frontier from `position` using the utility
@@ -291,6 +337,34 @@ mod tests {
             explorer.plan_exploration(&map, &checker, &planner, Vec3::ZERO),
             Err(MavError::PlanningFailed { .. })
         ));
+    }
+
+    #[test]
+    fn grid_clustering_matches_reference() {
+        let map = partial_map();
+        for radius in [0.75, 3.0, 9.0] {
+            let explorer = FrontierExplorer::new(FrontierConfig {
+                cluster_radius: radius,
+                ..Default::default()
+            });
+            // Deterministic scattered points (xorshift), spanning several
+            // cluster radii so joins, near-misses and new clusters all occur.
+            let mut state = 0x9e3779b97f4a7c15u64;
+            let mut unit = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 11) as f64 / (1u64 << 53) as f64
+            };
+            let points: Vec<Vec3> = (0..400)
+                .map(|_| Vec3::new(unit() * 40.0 - 20.0, unit() * 40.0 - 20.0, unit() * 6.0))
+                .collect();
+            assert_eq!(
+                explorer.cluster(&map, &points),
+                explorer.cluster_reference(&points),
+                "clustering diverged at radius {radius}"
+            );
+        }
     }
 
     #[test]

@@ -26,6 +26,7 @@ pub mod error;
 pub mod grid;
 pub mod json;
 pub mod pose;
+pub mod spatial;
 pub mod time;
 pub mod trajectory;
 pub mod units;
@@ -36,6 +37,7 @@ pub use error::{MavError, Result};
 pub use grid::{GridIndex, GridSpec};
 pub use json::{Json, ToJson};
 pub use pose::{Pose, Twist};
+pub use spatial::PointGrid;
 pub use time::{SimDuration, SimTime};
 pub use trajectory::{Trajectory, TrajectoryPoint};
 pub use units::{Energy, Frequency, Power};

@@ -244,6 +244,73 @@ impl<'a, T: Send, R: Send, F: Fn(&'a mut T) -> R + Sync> ParMapMut<'a, T, F> {
     }
 }
 
+/// Parallel iterator over contiguous sub-slices, created by
+/// [`ParallelSlice::par_chunks`].
+pub struct ParChunks<'a, T> {
+    slice: &'a [T],
+    chunk_size: usize,
+}
+
+impl<'a, T: Sync> ParChunks<'a, T> {
+    /// Maps every chunk through `f` (lazily; runs on `collect`).
+    pub fn map<R, F: Fn(&'a [T]) -> R + Sync>(self, f: F) -> ParChunksMap<'a, T, F> {
+        ParChunksMap {
+            slice: self.slice,
+            chunk_size: self.chunk_size,
+            f,
+        }
+    }
+}
+
+/// The `par_chunks(..).map(..)` adapter.
+pub struct ParChunksMap<'a, T, F> {
+    slice: &'a [T],
+    chunk_size: usize,
+    f: F,
+}
+
+impl<'a, T: Sync, R: Send, F: Fn(&'a [T]) -> R + Sync> ParChunksMap<'a, T, F> {
+    /// Executes the map across [`current_num_threads`] workers, preserving
+    /// chunk order, and collects the per-chunk results.
+    pub fn collect<C: From<Vec<R>>>(self) -> C {
+        let chunks: Vec<&'a [T]> = self.slice.chunks(self.chunk_size).collect();
+        let f = self.f;
+        C::from(parallel_map_slice(
+            &chunks,
+            current_num_threads(),
+            move |chunk| f(chunk),
+        ))
+    }
+}
+
+/// Extension trait adding `par_chunks` to slices and vectors, mirroring
+/// `rayon::slice::ParallelSlice`.
+pub trait ParallelSlice<T: Sync> {
+    /// Returns a parallel iterator over contiguous chunks of `chunk_size`
+    /// elements (the last chunk may be shorter), in slice order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size` is zero, like the real crate.
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+        assert!(chunk_size != 0, "chunk_size must not be zero");
+        ParChunks {
+            slice: self,
+            chunk_size,
+        }
+    }
+}
+
+impl<T: Sync> ParallelSlice<T> for Vec<T> {
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+        self.as_slice().par_chunks(chunk_size)
+    }
+}
+
 /// Extension trait adding `par_iter` to slices and vectors.
 pub trait IntoParallelRefIterator<'a> {
     /// Element type.
@@ -290,7 +357,7 @@ impl<'a, T: Send + 'a> IntoParallelRefMutIterator<'a> for Vec<T> {
 
 /// The usual rayon prelude import.
 pub mod prelude {
-    pub use crate::{IntoParallelRefIterator, IntoParallelRefMutIterator};
+    pub use crate::{IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelSlice};
 }
 
 #[cfg(test)]
@@ -354,6 +421,35 @@ mod tests {
         let mut one = [5u64];
         one.par_iter_mut().for_each(|x| *x += 1);
         assert_eq!(one, [6]);
+    }
+
+    #[test]
+    fn par_chunks_preserves_chunk_order_and_coverage() {
+        let items: Vec<u32> = (0..103).collect();
+        let serial: Vec<u32> = items.chunks(10).map(|c| c.iter().sum()).collect();
+        for threads in [1, 2, 3, 8] {
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let parallel: Vec<u32> = pool.install(|| {
+                items
+                    .par_chunks(10)
+                    .map(|c| c.iter().sum())
+                    .collect::<Vec<u32>>()
+            });
+            assert_eq!(serial, parallel, "threads = {threads}");
+        }
+        // A chunk size larger than the slice yields one chunk.
+        let whole: Vec<usize> = items.par_chunks(1000).map(|c| c.len()).collect();
+        assert_eq!(whole, vec![103]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn par_chunks_rejects_zero_chunk_size() {
+        let items = [1u32, 2, 3];
+        let _ = items.par_chunks(0);
     }
 
     #[test]
