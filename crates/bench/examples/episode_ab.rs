@@ -1,0 +1,150 @@
+//! Paired A/B probe for the episode-reuse layer: fresh-allocation episodes
+//! vs [`EpisodeScratch`]-reuse episodes of the same fast-profile 3D Mapping
+//! mission (the `mapping_mission` criterion bench's configuration).
+//!
+//! Episodes run in alternating same-arm *blocks*, not alternating pairs,
+//! because that is the shape of the production workload: a `SweepRunner`
+//! worker runs scratch-reuse episodes back to back, and the fresh-context
+//! baseline it replaces ran fresh episodes back to back. Strict pair
+//! interleaving makes each arm churn the other's heap between episodes —
+//! cross-arm allocator interference that never occurs in a sweep — while
+//! per-arm blocks let each arm reach its own allocator steady state. The
+//! first episodes of every block are discarded as the transition, and
+//! alternating many short blocks still cancels slow host drift the way pair
+//! interleaving does. A counting global allocator reports per-episode
+//! allocation counts/bytes for both arms.
+//!
+//! Usage: `episode_ab [rounds] [extent_m] [resolution_m]`
+//! (defaults: 8 rounds of one fresh + one scratch block, 25 m, 0.40 m).
+use mav_core::config::ResolutionPolicy;
+use mav_core::{run_mission, run_mission_with_scratch, EpisodeScratch, MissionConfig};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static BYTES: AtomicU64 = AtomicU64::new(0);
+
+struct Counting;
+
+unsafe impl GlobalAlloc for Counting {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static A: Counting = Counting;
+
+/// Episodes per block (override with `EPISODE_AB_BLOCK`); the first fifth of
+/// every block is the transition out of the other arm's heap state and is
+/// not recorded.
+fn block_len() -> usize {
+    std::env::var("EPISODE_AB_BLOCK")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(25)
+}
+
+fn alloc_snapshot() -> (u64, u64) {
+    (
+        ALLOCS.load(Ordering::Relaxed),
+        BYTES.load(Ordering::Relaxed),
+    )
+}
+
+fn arg(n: usize, default: f64) -> f64 {
+    std::env::args()
+        .nth(n)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    xs[xs.len() / 2]
+}
+
+fn main() {
+    let rounds = arg(1, 8.0) as usize;
+    let extent = arg(2, 25.0);
+    let resolution = arg(3, 0.4);
+    let episode_config = || {
+        let mut cfg = MissionConfig::fast_test(mav_compute::ApplicationId::Mapping3D).with_seed(4);
+        cfg.environment.extent = extent;
+        cfg.resolution_policy = ResolutionPolicy::Static { resolution };
+        cfg
+    };
+    let mut scratch = EpisodeScratch::new();
+    for _ in 0..3 {
+        run_mission(episode_config());
+        run_mission_with_scratch(episode_config(), &mut scratch);
+    }
+    let mut fresh = Vec::new();
+    let mut reused = Vec::new();
+    let mut round_ratios = Vec::with_capacity(rounds);
+    let block = block_len();
+    let skip = block / 5;
+    for _ in 0..rounds {
+        let mut f_block = Vec::with_capacity(block - skip);
+        let mut s_block = Vec::with_capacity(block - skip);
+        for i in 0..block {
+            let t = Instant::now();
+            run_mission(episode_config());
+            if i >= skip {
+                f_block.push(t.elapsed().as_secs_f64() * 1e3);
+            }
+        }
+        for i in 0..block {
+            let t = Instant::now();
+            run_mission_with_scratch(episode_config(), &mut scratch);
+            if i >= skip {
+                s_block.push(t.elapsed().as_secs_f64() * 1e3);
+            }
+        }
+        round_ratios.push(median(&mut f_block) / median(&mut s_block));
+        fresh.extend_from_slice(&f_block);
+        reused.extend_from_slice(&s_block);
+    }
+    let (a0, b0) = alloc_snapshot();
+    run_mission(episode_config());
+    let (a1, b1) = alloc_snapshot();
+    run_mission_with_scratch(episode_config(), &mut scratch);
+    let (a2, b2) = alloc_snapshot();
+    let fm = median(&mut fresh);
+    let sm = median(&mut reused);
+    println!(
+        "config: extent {extent} m, resolution {resolution} m, {rounds} rounds x {block} episodes/arm ({skip} warmup)"
+    );
+    println!(
+        "fresh   median {fm:.3} ms  ({:.1} episodes/sec)  {} allocs {} bytes/episode",
+        1e3 / fm,
+        a1 - a0,
+        b1 - b0
+    );
+    println!(
+        "scratch median {sm:.3} ms  ({:.1} episodes/sec)  {} allocs {} bytes/episode",
+        1e3 / sm,
+        a2 - a1,
+        b2 - b1
+    );
+    // After the in-place median sorts, index 0 is each arm's minimum: the
+    // cleanest estimate of the true per-episode cost on a noisy shared host
+    // (timing noise is strictly additive).
+    println!(
+        "speedup: {:.3}x (median of per-round block ratios {:.3}x, min-vs-min {:.3}x)",
+        fm / sm,
+        median(&mut round_ratios),
+        fresh[0] / reused[0]
+    );
+}

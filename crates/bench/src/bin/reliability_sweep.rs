@@ -1,0 +1,11 @@
+//! PR 7 — Monte-Carlo reliability sweep: randomized scenarios, streaming
+//! aggregates, deterministic sharding, plus the replan-Hz × replan-mode grid.
+use mav_bench::{figures, run_figure};
+
+fn main() {
+    run_figure(
+        "reliability_sweep",
+        "Monte-Carlo reliability sweep over randomized scenarios (success/collision rates, time/energy p50/p99, episodes/sec) with a replan-Hz x replan-mode grid",
+        figures::reliability_sweep,
+    );
+}

@@ -15,6 +15,9 @@ use mav_core::experiments::{
     replan_mode_sweep_with, replan_scenario, resolution_study_with, CloudComparison, HeatmapCell,
 };
 use mav_core::microbench::{hover_endurance_minutes, slam_fps_sweep, SlamMicrobenchConfig};
+use mav_core::reliability::{
+    reliability_rate_grid_with, reliability_sweep_with, ScenarioGenerator,
+};
 use mav_core::velocity::velocity_vs_process_time;
 use mav_energy::{
     commercial_mav_catalog, ComputePowerModel, EnergyAccount, FlightPhaseLabel, RotorPowerModel,
@@ -895,5 +898,91 @@ pub fn table2_noise_reliability(cli: &Cli) -> FigureOutput {
     FigureOutput {
         text,
         json: rows_data.to_json(),
+    }
+}
+
+/// PR 7 — Monte-Carlo reliability sweep: many randomized Package Delivery
+/// scenarios (obstacle density × world extent × depth noise × node rates ×
+/// replan mode × executor model, all drawn by the seeded
+/// [`ScenarioGenerator`]), aggregated by streaming statistics and sharded
+/// deterministically over the sweep workers — plus the replan-Hz ×
+/// replan-mode reliability grid. The generator draws its own rates/modes per
+/// episode, so the top-level `--rates`/`--replan-mode`/`--exec-model` flags
+/// do not apply here; `--fast` scales the episode counts.
+pub fn reliability_sweep(cli: &Cli) -> FigureOutput {
+    let runner = cli.runner();
+    let episodes: u64 = if cli.fast { 192 } else { 1920 };
+    let episodes_per_cell: u64 = if cli.fast { 24 } else { 192 };
+    let generator = ScenarioGenerator::new(ApplicationId::PackageDelivery, 29);
+    let started = std::time::Instant::now();
+    let stats = reliability_sweep_with(&runner, &generator, episodes);
+    let wall_secs = started.elapsed().as_secs_f64();
+    let episodes_per_sec = episodes as f64 / wall_secs.max(1e-9);
+    let grid = reliability_rate_grid_with(
+        &runner,
+        ApplicationId::PackageDelivery,
+        31,
+        episodes_per_cell,
+    );
+    let mut text = format!(
+        "(Package Delivery, {episodes} randomized scenarios on {} threads; \
+         streaming aggregates, per-worker scratch reuse)\n\
+         success rate: {:.1}%   collision rate: {:.1}%   replans/episode: {:.2}\n\
+         mission time: p50 {:.1} s, p99 {:.1} s   energy: p50 {:.1} kJ, p99 {:.1} kJ\n\
+         throughput: {:.1} episodes/sec ({:.2} s wall)\n",
+        runner.threads(),
+        stats.success_rate() * 100.0,
+        stats.collision_rate() * 100.0,
+        stats.replans as f64 / stats.episodes.max(1) as f64,
+        stats.time.quantile(0.5),
+        stats.time.quantile(0.99),
+        stats.energy.quantile(0.5),
+        stats.energy.quantile(0.99),
+        episodes_per_sec,
+        wall_secs,
+    );
+    text.push_str(&format!(
+        "\n-- replan-Hz x replan-mode grid ({episodes_per_cell} episodes/cell) --\n"
+    ));
+    let rows: Vec<Vec<String>> = grid
+        .iter()
+        .map(|cell| {
+            vec![
+                cell.replan_mode.label().to_string(),
+                match cell.replan_hz {
+                    None => "legacy".to_string(),
+                    Some(hz) => format!("{hz:.0}"),
+                },
+                format!("{:.0}%", cell.stats.success_rate() * 100.0),
+                format!("{:.0}%", cell.stats.collision_rate() * 100.0),
+                format!("{:.1}", cell.stats.time.quantile(0.5)),
+                format!("{:.1}", cell.stats.energy.quantile(0.5)),
+            ]
+        })
+        .collect();
+    text.push_str(&format_table(
+        &[
+            "replan mode",
+            "replan Hz",
+            "success",
+            "collisions",
+            "p50 time (s)",
+            "p50 energy (kJ)",
+        ],
+        &rows,
+    ));
+    FigureOutput {
+        text,
+        json: Json::object()
+            .field(
+                "scenario",
+                "Package Delivery; ScenarioGenerator seed 29 drawing density/extent/noise/\
+                 rates/replan-mode/exec-model per episode; grid seed 31 pins rates+mode per cell",
+            )
+            .field("episodes", episodes)
+            .field("wall_secs", wall_secs)
+            .field("episodes_per_sec", episodes_per_sec)
+            .field("aggregate", stats.to_json())
+            .field("rate_grid", grid.to_json()),
     }
 }

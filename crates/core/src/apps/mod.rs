@@ -13,7 +13,10 @@ pub mod search_rescue;
 use crate::config::MissionConfig;
 use crate::context::MissionContext;
 use crate::qof::{MissionFailure, MissionReport};
+use crate::scratch::EpisodeScratch;
 use mav_compute::ApplicationId;
+use std::cell::RefCell;
+use std::rc::Rc;
 
 /// Runs the benchmark application selected by `config.application` and returns
 /// its mission report.
@@ -31,8 +34,34 @@ use mav_compute::ApplicationId;
 /// println!("{report}");
 /// ```
 pub fn run_mission(config: MissionConfig) -> MissionReport {
+    dispatch(config, None)
+}
+
+/// [`run_mission`] with cross-episode scratch reuse: the occupancy map, the
+/// point-cloud buffers and (for a repeated environment configuration) the
+/// generated world are recycled from `scratch` instead of reallocated, and
+/// deposited back when the mission finishes. Bit-identical to
+/// [`run_mission`] — reuse recycles allocations, never state — which the
+/// integration tests pin with full-report equality.
+///
+/// This is the per-episode engine of the Monte-Carlo reliability sweep: each
+/// sweep worker holds one `EpisodeScratch` and folds its shard of episodes
+/// through it.
+pub fn run_mission_with_scratch(
+    config: MissionConfig,
+    scratch: &mut EpisodeScratch,
+) -> MissionReport {
+    let slot = Rc::new(RefCell::new(std::mem::take(scratch)));
+    let report = dispatch(config, Some(Rc::clone(&slot)));
+    if let Ok(cell) = Rc::try_unwrap(slot) {
+        *scratch = cell.into_inner();
+    }
+    report
+}
+
+fn dispatch(config: MissionConfig, scratch: Option<Rc<RefCell<EpisodeScratch>>>) -> MissionReport {
     let application = config.application;
-    match MissionContext::new(config) {
+    match MissionContext::with_scratch_slot(config, scratch) {
         Ok(ctx) => match application {
             ApplicationId::Scanning => scanning::run(ctx),
             ApplicationId::AerialPhotography => aerial_photography::run(ctx),
@@ -72,6 +101,37 @@ fn invalid_config_report(application: ApplicationId, reason: String) -> MissionR
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::experiments::quick_config;
+
+    #[test]
+    fn scratch_reuse_reproduces_fresh_missions_bit_for_bit() {
+        // One scratch carried across every application and two different
+        // world shapes: the map is reshaped, the world cache misses and
+        // re-fills, the cloud buffers are reused — and every report must
+        // equal the allocating run_mission's, field for field.
+        let mut scratch = EpisodeScratch::new();
+        for &app in ApplicationId::all() {
+            for (seed, extent) in [(3u64, 18.0), (5u64, 24.0)] {
+                let mut cfg = quick_config(MissionConfig::fast_test(app)).with_seed(seed);
+                cfg.environment.extent = extent;
+                let fresh = run_mission(cfg.clone());
+                let reused = run_mission_with_scratch(cfg, &mut scratch);
+                assert_eq!(fresh, reused, "{app:?} seed {seed} extent {extent}");
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_config_hits_the_world_cache_and_still_matches() {
+        let mut scratch = EpisodeScratch::new();
+        let cfg = quick_config(MissionConfig::fast_test(ApplicationId::Scanning)).with_seed(9);
+        let first = run_mission_with_scratch(cfg.clone(), &mut scratch);
+        // Second run with the identical config: the cached world is cloned
+        // instead of regenerated.
+        let second = run_mission_with_scratch(cfg.clone(), &mut scratch);
+        assert_eq!(first, second);
+        assert_eq!(first, run_mission(cfg));
+    }
 
     #[test]
     fn invalid_configuration_yields_a_failed_report() {

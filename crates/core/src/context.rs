@@ -20,16 +20,19 @@ use crate::flight::{
     InMotionPlanner, OctoMapNode, PathTrackerNode, PlannerNode, Timeline,
 };
 use crate::qof::{MissionFailure, MissionReport};
+use crate::scratch::{CloudScratch, EpisodeScratch};
 use crate::velocity::max_safe_velocity;
 use mav_compute::{ComputePlatform, KernelId, OperatingPoint};
 use mav_dynamics::Quadrotor;
 use mav_energy::{Battery, ComputePowerModel, EnergyAccount, FlightPhaseLabel, RotorPowerModel};
 use mav_env::World;
-use mav_perception::{OctoMap, OctoMapConfig, PointCloud};
+use mav_perception::{OctoMap, OctoMapConfig};
 use mav_planning::{CollisionChecker, PlannerConfig, PlannerKind, ShortestPathPlanner};
 use mav_runtime::{Executor, FifoTopic, KernelTimer, SimClock, Topic};
 use mav_sensors::{DepthCamera, DepthImage, DepthNoiseModel};
 use mav_types::{Aabb, Pose, SimDuration, Trajectory, Vec3};
+use std::cell::RefCell;
+use std::rc::Rc;
 
 /// In-flight replans allowed per episode under
 /// [`crate::config::ReplanMode::PlanInMotion`] before the planner falls back
@@ -81,6 +84,8 @@ pub struct MissionContext {
     tracking_error_sum: f64,
     tracking_error_samples: u32,
     mapped_volume: f64,
+    clouds: CloudScratch,
+    scratch: Option<Rc<RefCell<EpisodeScratch>>>,
 }
 
 impl MissionContext {
@@ -90,8 +95,27 @@ impl MissionContext {
     ///
     /// Returns a descriptive message when the configuration is invalid.
     pub fn new(config: MissionConfig) -> Result<Self, String> {
+        Self::with_scratch_slot(config, None)
+    }
+
+    /// [`MissionContext::new`], optionally sourcing the world, occupancy map
+    /// and point-cloud buffers from an [`EpisodeScratch`] slot. The finished
+    /// mission deposits its reusable state back into the slot in
+    /// [`MissionContext::finish`]. Construction with a slot is bit-identical
+    /// to construction without one: the scratch only recycles allocations,
+    /// never state.
+    pub(crate) fn with_scratch_slot(
+        config: MissionConfig,
+        scratch: Option<Rc<RefCell<EpisodeScratch>>>,
+    ) -> Result<Self, String> {
         config.validate()?;
-        let world = config.environment.generate();
+        let (world, clouds) = match &scratch {
+            Some(slot) => {
+                let mut s = slot.borrow_mut();
+                (s.world_for(&config.environment), s.take_clouds())
+            }
+            None => (config.environment.generate(), CloudScratch::default()),
+        };
         let start = Pose::new(Vec3::new(0.0, 0.0, config.quadrotor.cruise_altitude), 0.0);
         let quad = Quadrotor::new(config.quadrotor.clone(), start);
         let battery = Battery::new(config.battery);
@@ -106,7 +130,12 @@ impl MissionContext {
         };
         let resolution = config.resolution_policy.initial_resolution();
         let half_extent = config.environment.extent.max(config.environment.height) + 5.0;
-        let map = OctoMap::new(OctoMapConfig::with_resolution(resolution), half_extent);
+        let map = match &scratch {
+            Some(slot) => slot
+                .borrow_mut()
+                .map_for(OctoMapConfig::with_resolution(resolution), half_extent),
+            None => OctoMap::new(OctoMapConfig::with_resolution(resolution), half_extent),
+        };
         let camera = DepthCamera::new(config.camera);
         let depth_noise = DepthNoiseModel::new(config.depth_noise_std, config.seed);
         Ok(MissionContext {
@@ -131,6 +160,8 @@ impl MissionContext {
             tracking_error_sum: 0.0,
             tracking_error_samples: 0,
             mapped_volume: 0.0,
+            clouds,
+            scratch,
             config,
         })
     }
@@ -483,14 +514,20 @@ impl MissionContext {
         .iter()
         .map(|&kernel| (kernel, self.charge_kernel_at(kernel, op)))
         .collect();
-        let cloud = PointCloud::from_depth_image(frame).downsample(self.current_resolution);
+        let CloudScratch {
+            raw,
+            cells,
+            downsampled,
+        } = &mut self.clouds;
+        raw.fill_from_depth_image(frame);
+        raw.downsample_into(self.current_resolution, cells, downsampled);
         // Bit-identical either way (the parallel path is pinned to the serial
         // one); > 1 only changes who does the work.
         if self.config.map_insert_threads > 1 {
             self.map
-                .insert_point_cloud_parallel(&cloud, self.config.map_insert_threads);
+                .insert_point_cloud_parallel(downsampled, self.config.map_insert_threads);
         } else {
-            self.map.insert_point_cloud(&cloud);
+            self.map.insert_point_cloud(downsampled);
         }
         self.mapped_volume = self.map.mapped_volume();
         kernel_time
@@ -635,9 +672,18 @@ impl MissionContext {
         }
     }
 
-    /// Finalises the mission into a report.
+    /// Finalises the mission into a report, depositing the reusable map and
+    /// cloud buffers back into the episode scratch when one was attached.
     pub fn finish(mut self, failure: Option<MissionFailure>) -> MissionReport {
         let velocity_cap = self.velocity_cap();
+        if let Some(slot) = self.scratch.take() {
+            let map = std::mem::replace(
+                &mut self.map,
+                OctoMap::new(OctoMapConfig::with_resolution(1.0), 1.0),
+            );
+            let clouds = std::mem::take(&mut self.clouds);
+            slot.borrow_mut().deposit(map, clouds);
+        }
         let tracking_error = if self.tracking_error_samples > 0 {
             self.tracking_error_sum / self.tracking_error_samples as f64
         } else {

@@ -30,13 +30,17 @@ pub mod experiments;
 pub mod flight;
 pub mod microbench;
 pub mod qof;
+pub mod reliability;
+pub mod scratch;
 pub mod sweep;
 pub mod velocity;
 
-pub use apps::run_mission;
+pub use apps::{run_mission, run_mission_with_scratch};
 pub use config::{MissionConfig, NodeOpConfig, RateConfig, ReplanMode, ResolutionPolicy};
 pub use context::{FlightOutcome, MissionContext};
 pub use flight::{FlightCtx, FlightEvent};
 pub use mav_runtime::{ExecModel, ExecStage};
 pub use qof::{MissionFailure, MissionReport};
+pub use reliability::{ReliabilityStats, ScenarioGenerator, StreamingHistogram};
+pub use scratch::{with_episode_scratch, EpisodeScratch};
 pub use sweep::{SweepOutcome, SweepPoint, SweepReport, SweepRunner};

@@ -98,8 +98,9 @@ impl ToJson for SweepReport {
     }
 }
 
-/// SplitMix64: the mixer used to derive independent per-point seeds.
-fn splitmix64(mut x: u64) -> u64 {
+/// SplitMix64: the mixer used to derive independent per-point seeds (and,
+/// in [`crate::reliability`], independent per-episode scenario draws).
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
     x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -194,6 +195,29 @@ impl SweepRunner {
             threads,
             wall_secs: started.elapsed().as_secs_f64(),
         }
+    }
+
+    /// Runs `episodes` episodes as fixed contiguous shards of at most
+    /// `shard_size`, mapping each shard through `shard` on this runner's
+    /// worker pool and returning the per-shard results **in shard order**.
+    ///
+    /// The shard boundaries depend only on `episodes` and `shard_size` —
+    /// never on the thread count — and results come back in input order, so
+    /// any shard-order fold over the returned accumulators (including
+    /// floating-point sums) is bit-identical at every thread count. This is
+    /// the determinism backbone of the Monte-Carlo reliability sweep.
+    pub fn run_sharded<A: Send>(
+        &self,
+        episodes: u64,
+        shard_size: u64,
+        shard: impl Fn(std::ops::Range<u64>) -> A + Sync,
+    ) -> Vec<A> {
+        assert!(shard_size > 0, "shard_size must be positive");
+        let ranges: Vec<std::ops::Range<u64>> = (0..episodes)
+            .step_by(shard_size.min(usize::MAX as u64) as usize)
+            .map(|start| start..(start + shard_size).min(episodes))
+            .collect();
+        rayon::parallel_map_slice(&ranges, self.threads(), |range| shard(range.clone()))
     }
 }
 

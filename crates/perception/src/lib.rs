@@ -30,7 +30,7 @@ pub mod tracking;
 pub use detection::{Detection, DetectorConfig, DetectorKind, ObjectDetector};
 pub use localization::{GpsLocalizer, LocalizationResult, Localizer, SlamConfig, VisualSlam};
 pub use octomap::{Occupancy, OctoMap, OctoMapConfig};
-pub use pointcloud::PointCloud;
+pub use pointcloud::{DownsampleScratch, PointCloud};
 pub use tracking::{
     MultiTargetTracker, MultiTrackerConfig, TargetTracker, TrackState, TrackerConfig,
 };

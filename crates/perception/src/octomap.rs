@@ -177,6 +177,14 @@ pub struct OctoMap {
     /// [`OctoMap::free_voxel_centers`] filters its values, so frontier
     /// extraction no longer pays a full-tree walk per call.
     known_leaves: HashMap<u64, KnownLeaf, VoxelHashBuilder>,
+    /// Block-bitmask sibling of `occupied_blocks` over *known* (ever-observed)
+    /// leaf voxels: keys are [`pack_voxel_key`]s of 4×4×4-voxel block
+    /// coordinates, values are 64-bit known masks. Leaves are only ever
+    /// created (never removed short of [`OctoMap::clear`]), so maintenance is
+    /// one bit-set per materialised leaf. Frontier extraction answers its
+    /// unknown-neighbour probes from this index instead of one octree descent
+    /// per neighbour voxel.
+    known_blocks: HashMap<u64, u64, VoxelHashBuilder>,
     /// Whether voxel indices of this domain fit the 21-bit key packing. All
     /// MAVBench worlds do; a multi-kilometre domain at centimetre resolution
     /// would not, and falls back to the reference tree-scan queries.
@@ -192,6 +200,54 @@ impl OctoMap {
     ///
     /// Panics if `half_extent` is not strictly positive.
     pub fn new(config: OctoMapConfig, half_extent: f64) -> Self {
+        let mut map = OctoMap {
+            grid: GridSpec::new(config.resolution),
+            config,
+            half_extent: 0.0,
+            depth: 0,
+            nodes: Vec::new(),
+            leaf_values: Vec::new(),
+            root: NIL,
+            updates: 0,
+            occupied_blocks: HashMap::with_hasher(VoxelHashBuilder::default()),
+            occupied_count: 0,
+            known_leaves: HashMap::with_hasher(VoxelHashBuilder::default()),
+            known_blocks: HashMap::with_hasher(VoxelHashBuilder::default()),
+            index_packable: false,
+        };
+        map.reset(config, half_extent);
+        map
+    }
+
+    /// Empties the map back to the just-constructed state while keeping the
+    /// arena, leaf pool, block-bitmask index and free-voxel index allocations
+    /// (their `Vec`/`HashMap` capacities survive). The domain geometry is
+    /// unchanged; use [`OctoMap::reset`] to also reshape it. Because every
+    /// mutation funnels through the same leaf-update path and arena indices
+    /// restart at zero, a cleared map is bit-identical to a fresh
+    /// [`OctoMap::new`] under any subsequent update sequence — the property
+    /// the episode-reuse layer (and its proptests) rely on.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.leaf_values.clear();
+        self.root = NIL;
+        self.updates = 0;
+        self.occupied_blocks.clear();
+        self.occupied_count = 0;
+        self.known_leaves.clear();
+        self.known_blocks.clear();
+    }
+
+    /// [`OctoMap::clear`] plus a domain reshape: recomputes the geometry
+    /// exactly as `OctoMap::new(config, half_extent)` would (depth, aligned
+    /// half-extent, traversal grid, index packability) while reusing the
+    /// storage of this map. `new` is implemented on top of this, so the two
+    /// cannot drift apart.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `half_extent` is not strictly positive.
+    pub fn reset(&mut self, config: OctoMapConfig, half_extent: f64) {
         assert!(half_extent > 0.0, "half extent must be positive");
         let leaves_per_axis = (2.0 * half_extent / config.resolution).ceil().max(1.0);
         let depth = (leaves_per_axis.log2().ceil() as u32).max(1);
@@ -201,24 +257,16 @@ impl OctoMap {
         // and updates/queries would disagree near voxel boundaries.
         let aligned_half_extent = config.resolution * (1u64 << depth) as f64 / 2.0;
         let half_extent = aligned_half_extent.max(half_extent);
-        OctoMap {
-            grid: GridSpec::new(config.resolution),
-            config,
-            half_extent,
-            depth,
-            nodes: Vec::new(),
-            leaf_values: Vec::new(),
-            root: NIL,
-            updates: 0,
-            occupied_blocks: HashMap::with_hasher(VoxelHashBuilder::default()),
-            occupied_count: 0,
-            known_leaves: HashMap::with_hasher(VoxelHashBuilder::default()),
-            // In-domain voxel indices are bounded by half_extent / resolution;
-            // query neighbourhoods only ever reach out-of-domain (hence
-            // never-occupied) voxels beyond the packing range, so packability
-            // of the domain itself is the only requirement.
-            index_packable: half_extent / config.resolution < (1u64 << 20) as f64,
-        }
+        self.grid = GridSpec::new(config.resolution);
+        self.config = config;
+        self.half_extent = half_extent;
+        self.depth = depth;
+        // In-domain voxel indices are bounded by half_extent / resolution;
+        // query neighbourhoods only ever reach out-of-domain (hence
+        // never-occupied) voxels beyond the packing range, so packability
+        // of the domain itself is the only requirement.
+        self.index_packable = half_extent / config.resolution < (1u64 << 20) as f64;
+        self.clear();
     }
 
     /// The map configuration.
@@ -273,9 +321,10 @@ impl OctoMap {
         } else {
             (*endpoint, true)
         };
-        let cells = grid.traverse(origin, &end);
+        let mut cells = RAY_CELLS.with(|c| c.take());
+        grid.traverse_into(origin, &end, &mut cells);
         let n = cells.len();
-        for (i, cell) in cells.into_iter().enumerate() {
+        for (i, &cell) in cells.iter().enumerate() {
             let center = grid.center_of(&cell);
             if center.x.abs() > half_extent
                 || center.y.abs() > half_extent
@@ -291,6 +340,7 @@ impl OctoMap {
             };
             apply(cell, center, delta);
         }
+        RAY_CELLS.with(|c| *c.borrow_mut() = cells);
     }
 
     /// Integrates a single sensor ray: every voxel between `origin` and
@@ -344,19 +394,26 @@ impl OctoMap {
 
     /// The batched insertion path: group per-voxel deltas across the whole
     /// scan, then apply each voxel's ordered sequence in one tree descent.
+    /// The grouping buffers come from a per-thread [`GroupScratch`], so the
+    /// steady-state mapping tick performs no grouping allocations at all —
+    /// the table, the entry vector and the spill vectors of the previous scan
+    /// are all recycled.
     fn insert_point_cloud_batched(&mut self, cloud: &PointCloud) {
         let (grid, config, half_extent) = (self.grid, self.config, self.half_extent);
-        let grouped = Self::group_ray_range(grid, config, half_extent, cloud, 0, cloud.len());
         let clamp = config.clamp;
-        for (_, center, first, rest) in grouped {
-            let count = 1 + rest.len() as u64;
-            self.update_leaf_apply(&center, count, move |log_odds| {
-                *log_odds = (*log_odds + first).clamp(clamp.0, clamp.1);
-                for delta in &rest {
-                    *log_odds = (*log_odds + delta).clamp(clamp.0, clamp.1);
-                }
-            });
-        }
+        GROUP_SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            Self::group_ray_range_into(grid, config, half_extent, cloud, 0, cloud.len(), scratch);
+            for (_, center, first, rest) in &scratch.grouped {
+                let count = 1 + rest.len() as u64;
+                self.update_leaf_apply(center, count, |log_odds| {
+                    *log_odds = (*log_odds + first).clamp(clamp.0, clamp.1);
+                    for delta in rest {
+                        *log_odds = (*log_odds + delta).clamp(clamp.0, clamp.1);
+                    }
+                });
+            }
+        });
     }
 
     /// Groups the per-voxel updates of rays `lo..hi` of `cloud` in
@@ -383,14 +440,39 @@ impl OctoMap {
         lo: usize,
         hi: usize,
     ) -> Vec<(u64, Vec3, f64, Vec<f64>)> {
+        let mut scratch = GroupScratch::default();
+        Self::group_ray_range_into(grid, config, half_extent, cloud, lo, hi, &mut scratch);
+        scratch.grouped
+    }
+
+    /// [`OctoMap::group_ray_range`] writing into reusable buffers: the table
+    /// and entry vector keep their capacity across scans, and the spill
+    /// vectors of the previous scan are recycled through
+    /// [`GroupScratch::spare`] so shared voxels stop allocating once the
+    /// buffers are warm. The grouping itself — entry order, per-voxel delta
+    /// order — is byte-for-byte the allocating version's.
+    fn group_ray_range_into(
+        grid: GridSpec,
+        config: OctoMapConfig,
+        half_extent: f64,
+        cloud: &PointCloud,
+        lo: usize,
+        hi: usize,
+        scratch: &mut GroupScratch,
+    ) {
         let origin = cloud.origin;
         let crossings_estimate =
             ((hi - lo) as f64 * (config.max_range / config.resolution)) as usize;
-        let mut grouped: Vec<(u64, Vec3, f64, Vec<f64>)> = Vec::new();
-        let mut index_of: HashMap<u64, u32, VoxelHashBuilder> = HashMap::with_capacity_and_hasher(
-            (crossings_estimate / 8).clamp(64, 1 << 18),
-            VoxelHashBuilder::default(),
-        );
+        scratch.recycle();
+        let desired = (crossings_estimate / 8).clamp(64, 1 << 18);
+        if scratch.index_of.capacity() < desired {
+            scratch.index_of.reserve(desired);
+        }
+        let GroupScratch {
+            index_of,
+            grouped,
+            spare,
+        } = scratch;
         for i in lo..hi {
             let point = cloud.point(i);
             Self::for_each_ray_update(
@@ -405,12 +487,12 @@ impl OctoMap {
                     }
                     std::collections::hash_map::Entry::Vacant(slot) => {
                         slot.insert(grouped.len() as u32);
-                        grouped.push((pack_voxel_key(&cell), center, delta, Vec::new()));
+                        let rest = spare.pop().unwrap_or_default();
+                        grouped.push((pack_voxel_key(&cell), center, delta, rest));
                     }
                 },
             );
         }
-        grouped
     }
 
     /// Integrates a whole point cloud using `threads` worker threads,
@@ -769,9 +851,18 @@ impl OctoMap {
     /// floating-point straddle at cell boundaries).
     fn segment_corridor_clear(&self, a: &Vec3, b: &Vec3, radius: f64) -> bool {
         let pad = (radius.max(0.0) / self.config.resolution).ceil() as i64 + 1;
-        let cells = self.grid.traverse(a, b);
+        let mut cells = RAY_CELLS.with(|c| c.take());
+        self.grid.traverse_into(a, b, &mut cells);
+        let clear = self.corridor_cells_clear(&cells, pad);
+        RAY_CELLS.with(|c| *c.borrow_mut() = cells);
+        clear
+    }
+
+    /// The probe loop of [`OctoMap::segment_corridor_clear`] over an
+    /// already-traversed cell sequence.
+    fn corridor_cells_clear(&self, cells: &[GridIndex], pad: i64) -> bool {
         let mut prev: Option<GridIndex> = None;
-        for cell in cells {
+        for &cell in cells {
             let occupied_near = match prev {
                 // First cell: probe the full corridor cube around it.
                 None => self.any_occupied_in_box(
@@ -935,21 +1026,38 @@ impl OctoMap {
     /// which remains as the regression oracle and the fallback for domains
     /// too wide for the voxel-key packing.
     pub fn free_voxel_centers(&self) -> Vec<Vec3> {
-        if !self.index_packable {
-            return self.free_voxel_centers_scan();
-        }
-        let mut centers: Vec<Vec3> = self
-            .known_leaves
-            .values()
-            .filter(|leaf| !leaf.occupied)
-            .map(|leaf| leaf.center)
-            .collect();
-        centers.sort_by(|a, b| {
-            (a.x, a.y, a.z)
-                .partial_cmp(&(b.x, b.y, b.z))
-                .expect("finite coordinates")
-        });
+        let mut centers = Vec::new();
+        self.free_voxel_centers_into(&mut centers);
         centers
+    }
+
+    /// [`OctoMap::free_voxel_centers`] into a caller-supplied buffer (cleared
+    /// first), so a per-replan caller — frontier extraction ticks this every
+    /// planning cycle — reuses one allocation instead of collecting a fresh
+    /// `Vec` per call. Contents and order are identical to the allocating
+    /// variant, which is implemented on top of this.
+    pub fn free_voxel_centers_into(&self, centers: &mut Vec<Vec3>) {
+        centers.clear();
+        if !self.index_packable {
+            centers.extend(self.free_voxel_centers_scan());
+            return;
+        }
+        centers.extend(
+            self.known_leaves
+                .values()
+                .filter(|leaf| !leaf.occupied)
+                .map(|leaf| leaf.center),
+        );
+        // `total_cmp` + unstable sort orders identically to the historical
+        // stable partial_cmp tuple sort here: centres are finite, never ±0.0
+        // (they sit at (k + ½)·resolution) and pairwise distinct, so the two
+        // comparators agree and stability cannot matter — while the unstable
+        // sort skips the merge-sort temp buffer this hot path paid per call.
+        centers.sort_unstable_by(|a, b| {
+            a.x.total_cmp(&b.x)
+                .then(a.y.total_cmp(&b.y))
+                .then(a.z.total_cmp(&b.z))
+        });
     }
 
     /// [`OctoMap::free_voxel_centers`] recomputed by a full tree walk — the
@@ -973,10 +1081,22 @@ impl OctoMap {
     /// canonical voxel centres. The tree walk remains as
     /// [`OctoMap::occupied_voxel_centers_scan`].
     pub fn occupied_voxel_centers(&self) -> Vec<Vec3> {
+        let mut centers = Vec::new();
+        self.occupied_voxel_centers_into(&mut centers);
+        centers
+    }
+
+    /// [`OctoMap::occupied_voxel_centers`] into a caller-supplied buffer
+    /// (cleared first), the zero-allocation sibling of
+    /// [`OctoMap::free_voxel_centers_into`]. Contents and order are identical
+    /// to the allocating variant, which is implemented on top of this.
+    pub fn occupied_voxel_centers_into(&self, centers: &mut Vec<Vec3>) {
+        centers.clear();
         if !self.index_packable {
-            return self.occupied_voxel_centers_scan();
+            centers.extend(self.occupied_voxel_centers_scan());
+            return;
         }
-        let mut centers: Vec<Vec3> = Vec::with_capacity(self.occupied_count);
+        centers.reserve(self.occupied_count);
         for (&key, &mask) in &self.occupied_blocks {
             let block = unpack_voxel_key(key);
             let mut m = mask;
@@ -991,12 +1111,12 @@ impl OctoMap {
                 centers.push(self.grid.center_of(&voxel));
             }
         }
-        centers.sort_by(|a, b| {
-            (a.x, a.y, a.z)
-                .partial_cmp(&(b.x, b.y, b.z))
-                .expect("finite coordinates")
+        // Same comparator-equivalence argument as `free_voxel_centers_into`.
+        centers.sort_unstable_by(|a, b| {
+            a.x.total_cmp(&b.x)
+                .then(a.y.total_cmp(&b.y))
+                .then(a.z.total_cmp(&b.z))
         });
-        centers
     }
 
     /// [`OctoMap::occupied_voxel_centers`] recomputed by a full tree walk —
@@ -1014,6 +1134,41 @@ impl OctoMap {
     /// observed.
     pub fn is_unknown(&self, point: &Vec3) -> bool {
         self.query(point) == Occupancy::Unknown
+    }
+
+    /// Returns `true` when any of the 6 face-neighbour voxels of the voxel
+    /// containing `point` is unknown — the frontier predicate, asked once per
+    /// free voxel every replan.
+    ///
+    /// Decision-identical to probing `point ± resolution` along each axis
+    /// with [`OctoMap::is_unknown`] (property-tested), but served from the
+    /// known-voxel block bitmasks: six hash-indexed bit tests instead of six
+    /// octree descents. An out-of-domain neighbour has no leaf, so it reads
+    /// as unknown from the index exactly as [`OctoMap::query`] reports it;
+    /// neighbour indices sit at most one voxel outside the domain, within the
+    /// alias-free range of the 21-bit key packing. Domains too wide for the
+    /// packing fall back to the probe loop.
+    pub fn has_unknown_neighbor6(&self, point: &Vec3) -> bool {
+        if !self.index_packable {
+            let r = self.config.resolution;
+            return [
+                Vec3::new(r, 0.0, 0.0),
+                Vec3::new(-r, 0.0, 0.0),
+                Vec3::new(0.0, r, 0.0),
+                Vec3::new(0.0, -r, 0.0),
+                Vec3::new(0.0, 0.0, r),
+                Vec3::new(0.0, 0.0, -r),
+            ]
+            .iter()
+            .any(|d| self.is_unknown(&(*point + *d)));
+        }
+        let idx = self.grid.index_of(point);
+        idx.neighbors6().iter().any(|n| {
+            let (block, bit) = block_of(n);
+            self.known_blocks
+                .get(&pack_voxel_key(&block))
+                .is_none_or(|mask| mask & bit == 0)
+        })
     }
 
     /// Rebuilds this map's observations into a new map at a different
@@ -1160,6 +1315,13 @@ impl OctoMap {
                     entry.insert(leaf);
                 }
             }
+            // A materialised leaf marks its voxel known forever (leaves are
+            // never removed short of `clear`), so the known-block index is
+            // append-only. Keyed off the leaf centre exactly like the
+            // occupied-block index below.
+            let idx = self.grid.index_of(&touch.center);
+            let (block, bit) = block_of(&idx);
+            *self.known_blocks.entry(pack_voxel_key(&block)).or_insert(0) |= bit;
         }
         let was = !touch.created && touch.before > threshold;
         if was == now {
@@ -1220,9 +1382,9 @@ impl OctoMap {
         let mut slot: (u32, usize) = (NIL, 0);
         let mut center = Vec3::ZERO;
         let mut half = self.half_extent;
-        let mut remaining = self.depth;
         let mut rank: u64 = 0;
         let mut created = false;
+        let mut remaining = self.depth;
         loop {
             let r = self.read_slot(slot);
             if remaining == 0 {
@@ -1359,6 +1521,44 @@ fn pack_voxel_key_checked(cell: &GridIndex) -> Option<u64> {
     } else {
         None
     }
+}
+
+/// Reusable buffers of the batched-insertion grouping pass: the voxel-key
+/// table, the first-touch-ordered entry vector and a pool of recycled spill
+/// vectors (the per-voxel `Vec<f64>` of later deltas). Held per thread by
+/// `GROUP_SCRATCH`; after the first scan on a thread the steady-state mapping
+/// tick groups without allocating.
+#[derive(Debug, Default)]
+struct GroupScratch {
+    index_of: HashMap<u64, u32, VoxelHashBuilder>,
+    #[allow(clippy::type_complexity)]
+    grouped: Vec<(u64, Vec3, f64, Vec<f64>)>,
+    spare: Vec<Vec<f64>>,
+}
+
+impl GroupScratch {
+    /// Clears the table and entry vector for the next scan, moving every
+    /// spill vector that actually holds an allocation into the spare pool.
+    fn recycle(&mut self) {
+        self.index_of.clear();
+        for (_, _, _, mut rest) in self.grouped.drain(..) {
+            if rest.capacity() > 0 {
+                rest.clear();
+                self.spare.push(rest);
+            }
+        }
+    }
+}
+
+thread_local! {
+    /// Per-thread grouping buffers for the serial batched insertion path.
+    static GROUP_SCRATCH: RefCell<GroupScratch> = RefCell::new(GroupScratch::default());
+    /// Per-thread DDA cell buffer shared by ray insertion and the segment
+    /// corridor prefilter — the two per-call traversals hot enough to show up
+    /// in episode allocation counts. Take/replace (not borrow-across-call) so
+    /// an unexpected nesting falls back to a fresh allocation instead of a
+    /// RefCell panic.
+    static RAY_CELLS: RefCell<Vec<GridIndex>> = const { RefCell::new(Vec::new()) };
 }
 
 /// Splits a voxel index into its 4×4×4 block coordinates and the block-local
@@ -1627,6 +1827,7 @@ impl PartialEq for OctoMap {
             && self.index_packable == other.index_packable
             && self.occupied_blocks == other.occupied_blocks
             && self.known_leaves == other.known_leaves
+            && self.known_blocks == other.known_blocks
             && self.subtree_eq(self.root, other, other.root)
     }
 }
@@ -2248,6 +2449,39 @@ mod tests {
                 prop_assert!(arena.occupied_voxel_count() >= arena.occupied_voxel_count_scan());
             }
 
+            /// The known-block-bitmask frontier predicate agrees with the
+            /// reference six-probe `is_unknown` loop on every known voxel
+            /// centre — the exact call sites frontier extraction probes.
+            #[test]
+            fn unknown_neighbor_index_matches_probe_loop(
+                res_idx in 0usize..RESOLUTIONS.len(),
+                rays in proptest::collection::vec(arb_point(20.0), 1..32),
+            ) {
+                let (arena, _) = paired_maps(res_idx, &rays);
+                let r = arena.resolution();
+                let offsets = [
+                    Vec3::new(r, 0.0, 0.0),
+                    Vec3::new(-r, 0.0, 0.0),
+                    Vec3::new(0.0, r, 0.0),
+                    Vec3::new(0.0, -r, 0.0),
+                    Vec3::new(0.0, 0.0, r),
+                    Vec3::new(0.0, 0.0, -r),
+                ];
+                for center in arena
+                    .free_voxel_centers()
+                    .into_iter()
+                    .chain(arena.occupied_voxel_centers())
+                {
+                    let reference = offsets.iter().any(|d| arena.is_unknown(&(center + *d)));
+                    prop_assert_eq!(
+                        arena.has_unknown_neighbor6(&center),
+                        reference,
+                        "diverged at {}",
+                        center
+                    );
+                }
+            }
+
             /// The block-bitmask-backed `occupied_voxel_centers` agrees with
             /// the tree walk bit-for-bit at dyadic resolutions (where leaf
             /// centres are exactly representable grid centres).
@@ -2263,6 +2497,47 @@ mod tests {
                     map.insert_ray(&origin, endpoint);
                 }
                 prop_assert_eq!(map.occupied_voxel_centers(), map.occupied_voxel_centers_scan());
+            }
+
+            /// A cleared (or reshaped) map is bit-identical to a fresh one
+            /// under any subsequent ray sequence: same logical tree, same
+            /// update/occupancy counters, same free-voxel index contents —
+            /// the contract the episode-reuse layer rests on.
+            #[test]
+            fn clear_then_reinsert_matches_fresh_map(
+                res_idx in 0usize..RESOLUTIONS.len(),
+                warmup_rays in proptest::collection::vec(arb_point(20.0), 1..32),
+                rays in proptest::collection::vec(arb_point(20.0), 1..32),
+                new_res_idx in 0usize..RESOLUTIONS.len(),
+            ) {
+                let origin = Vec3::new(0.0, 0.0, 1.5);
+                // Dirty a map with an unrelated ray sequence, then clear it.
+                let (mut reused, _) = paired_maps(res_idx, &warmup_rays);
+                reused.clear();
+                let config = OctoMapConfig::with_resolution(RESOLUTIONS[res_idx % RESOLUTIONS.len()]);
+                let mut fresh = OctoMap::new(config, 24.0);
+                for endpoint in &rays {
+                    reused.insert_ray(&origin, endpoint);
+                    fresh.insert_ray(&origin, endpoint);
+                }
+                prop_assert_eq!(&reused, &fresh);
+                prop_assert_eq!(reused.update_count(), fresh.update_count());
+                prop_assert_eq!(reused.known_voxel_count(), fresh.known_voxel_count());
+                prop_assert_eq!(reused.occupied_voxel_count(), fresh.occupied_voxel_count());
+                prop_assert_eq!(reused.free_voxel_centers(), fresh.free_voxel_centers());
+                prop_assert_eq!(reused.occupied_voxel_centers(), fresh.occupied_voxel_centers());
+                // Reshape to a different geometry: reset must equal new.
+                let new_config =
+                    OctoMapConfig::with_resolution(RESOLUTIONS[new_res_idx % RESOLUTIONS.len()]);
+                reused.reset(new_config, 30.0);
+                let mut fresh = OctoMap::new(new_config, 30.0);
+                for endpoint in &rays {
+                    reused.insert_ray(&origin, endpoint);
+                    fresh.insert_ray(&origin, endpoint);
+                }
+                prop_assert_eq!(&reused, &fresh);
+                prop_assert_eq!(reused.update_count(), fresh.update_count());
+                prop_assert_eq!(reused.free_voxel_centers(), fresh.free_voxel_centers());
             }
 
             /// Parallel scan insertion is bit-identical to the serial path at

@@ -7,6 +7,7 @@
 use mav_sensors::DepthImage;
 use mav_types::{Aabb, Vec3};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::fmt;
 
 /// A world-frame point cloud together with the sensor origin it was captured
@@ -47,7 +48,34 @@ impl PointCloud {
     /// Pixels with no return are skipped. Points are expressed in the world
     /// frame using the camera pose stored in the image.
     pub fn from_depth_image(image: &DepthImage) -> Self {
-        PointCloud::new(image.camera_pose.position, image.points())
+        let mut cloud = PointCloud::default();
+        cloud.fill_from_depth_image(image);
+        cloud
+    }
+
+    /// Refills this cloud from a depth image, reusing the coordinate buffers.
+    /// Produces exactly the points of [`PointCloud::from_depth_image`] (same
+    /// pixel order), which is implemented on top of this — the per-frame
+    /// episode hot path calls this on a scratch cloud instead of allocating
+    /// three fresh coordinate vectors per capture.
+    pub fn fill_from_depth_image(&mut self, image: &DepthImage) {
+        self.clear();
+        self.origin = image.camera_pose.position;
+        for v in 0..image.height {
+            for u in 0..image.width {
+                if let Some(p) = image.point_at(u, v) {
+                    self.push(p);
+                }
+            }
+        }
+    }
+
+    /// Removes every point while keeping the coordinate buffers' capacity.
+    /// The origin is unchanged.
+    pub fn clear(&mut self) {
+        self.xs.clear();
+        self.ys.clear();
+        self.zs.clear();
     }
 
     /// Appends a point.
@@ -120,27 +148,53 @@ impl PointCloud {
     ///
     /// Panics if `voxel_size` is not strictly positive.
     pub fn downsample(&self, voxel_size: f64) -> PointCloud {
+        let mut scratch = DownsampleScratch::default();
+        let mut out = PointCloud::default();
+        self.downsample_into(voxel_size, &mut scratch, &mut out);
+        out
+    }
+
+    /// [`PointCloud::downsample`] into a reusable cell map and output cloud:
+    /// the same centroid accumulation and determinism sort, with zero
+    /// allocations once the scratch buffers are warm. `downsample` is
+    /// implemented on top of this, so the two cannot diverge.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `voxel_size` is not strictly positive.
+    pub fn downsample_into(
+        &self,
+        voxel_size: f64,
+        scratch: &mut DownsampleScratch,
+        out: &mut PointCloud,
+    ) {
         assert!(voxel_size > 0.0, "voxel size must be positive");
-        use std::collections::HashMap;
-        let mut cells: HashMap<(i64, i64, i64), (Vec3, usize)> = HashMap::new();
+        scratch.cells.clear();
         for p in self.iter() {
             let key = (
                 (p.x / voxel_size).floor() as i64,
                 (p.y / voxel_size).floor() as i64,
                 (p.z / voxel_size).floor() as i64,
             );
-            let entry = cells.entry(key).or_insert((Vec3::ZERO, 0));
+            let entry = scratch.cells.entry(key).or_insert((Vec3::ZERO, 0));
             entry.0 += p;
             entry.1 += 1;
         }
-        let mut points: Vec<Vec3> = cells.into_values().map(|(sum, n)| sum / n as f64).collect();
+        scratch.centroids.clear();
+        scratch
+            .centroids
+            .extend(scratch.cells.values().map(|&(sum, n)| sum / n as f64));
         // Sort for determinism across hash orders.
-        points.sort_by(|a, b| {
+        scratch.centroids.sort_by(|a, b| {
             (a.x, a.y, a.z)
                 .partial_cmp(&(b.x, b.y, b.z))
                 .expect("finite coordinates")
         });
-        PointCloud::new(self.origin, points)
+        out.clear();
+        out.origin = self.origin;
+        for &p in &scratch.centroids {
+            out.push(p);
+        }
     }
 
     /// The point nearest to `query`, or `None` when empty.
@@ -159,6 +213,28 @@ impl PointCloud {
             .map(|p| p.distance(&self.origin))
             .min_by(|a, b| a.partial_cmp(b).expect("finite"))
     }
+}
+
+impl Default for PointCloud {
+    /// An empty cloud at the origin.
+    fn default() -> Self {
+        PointCloud {
+            origin: Vec3::ZERO,
+            xs: Vec::new(),
+            ys: Vec::new(),
+            zs: Vec::new(),
+        }
+    }
+}
+
+/// Reusable buffers for [`PointCloud::downsample_into`]: the voxel-cell
+/// accumulator map and the sorted-centroid staging vector. One instance per
+/// worker amortises the downsampling kernel's allocations across every frame
+/// of every episode it runs.
+#[derive(Debug, Default)]
+pub struct DownsampleScratch {
+    cells: HashMap<(i64, i64, i64), (Vec3, usize)>,
+    centroids: Vec<Vec3>,
 }
 
 impl fmt::Display for PointCloud {
@@ -263,6 +339,27 @@ mod tests {
         );
         assert_eq!(c.min_range(), Some(1.0));
         assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn reused_buffers_reproduce_the_allocating_paths_exactly() {
+        let world = EnvironmentConfig::urban_outdoor().with_seed(3).generate();
+        let camera = DepthCamera::new(DepthCameraConfig::default());
+        let mut scratch = DownsampleScratch::default();
+        let mut raw = PointCloud::default();
+        let mut coarse = PointCloud::default();
+        // Dirty the buffers with one frame, then reuse them on another: the
+        // reused results must equal the allocating ones field for field.
+        for (position, yaw) in [
+            (Vec3::new(0.0, 0.0, 2.0), 0.0),
+            (Vec3::new(5.0, -3.0, 2.5), 1.2),
+        ] {
+            let frame = camera.capture(&world, &Pose::new(position, yaw));
+            raw.fill_from_depth_image(&frame);
+            assert_eq!(raw, PointCloud::from_depth_image(&frame));
+            raw.downsample_into(0.5, &mut scratch, &mut coarse);
+            assert_eq!(coarse, raw.downsample(0.5));
+        }
     }
 
     #[test]

@@ -13,6 +13,36 @@ use crate::spatial::PointGrid;
 use mav_perception::OctoMap;
 use mav_types::{MavError, Result, Vec3};
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+
+thread_local! {
+    /// Per-thread working state for frontier extraction, which ticks once per
+    /// replan: the free-voxel-centre query alone runs to tens of thousands of
+    /// points on a partially mapped world, and the clustering pass behind it
+    /// used to rebuild a [`PointGrid`] (dense bucket array included) plus one
+    /// member `Vec` per cluster every call. Reusing all of it makes a replan
+    /// allocation-free in the steady state.
+    static SCRATCH: RefCell<FrontierScratch> = RefCell::new(FrontierScratch::default());
+}
+
+/// Reusable buffers for one frontier extraction (see [`SCRATCH`]).
+#[derive(Debug, Default)]
+struct FrontierScratch {
+    /// Free-voxel centres straight from the map.
+    centers: Vec<Vec3>,
+    /// Altitude-banded frontier candidates (subsampled in place when large).
+    points: Vec<Vec3>,
+    /// Radius index over the clustered points, rebuilt by `PointGrid::reset`.
+    grid: Option<PointGrid>,
+    /// Cluster id of each indexed point, by insertion order.
+    cluster_of: Vec<u32>,
+    /// Candidate buffer for the radius queries.
+    candidates: Vec<u32>,
+    /// Cluster member pool: a call's clusters are the first `active` entries
+    /// (see [`FrontierExplorer::cluster_into`]); entries past that are spares
+    /// from earlier calls kept for their capacity.
+    clusters: Vec<Vec<Vec3>>,
+}
 
 /// A cluster of frontier voxels.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -89,57 +119,71 @@ impl FrontierExplorer {
     /// Finds and clusters the frontiers of the map: free voxels with at least
     /// one unknown 6-neighbour, grouped by proximity.
     pub fn find_frontiers(&self, map: &OctoMap) -> Vec<Frontier> {
-        let resolution = map.resolution();
-        let mut frontier_points: Vec<Vec3> = Vec::new();
-        for center in map.free_voxel_centers() {
-            if center.z < self.config.min_altitude || center.z > self.config.max_altitude {
-                continue;
-            }
-            let neighbours = [
-                Vec3::new(resolution, 0.0, 0.0),
-                Vec3::new(-resolution, 0.0, 0.0),
-                Vec3::new(0.0, resolution, 0.0),
-                Vec3::new(0.0, -resolution, 0.0),
-                Vec3::new(0.0, 0.0, resolution),
-                Vec3::new(0.0, 0.0, -resolution),
-            ];
-            if neighbours.iter().any(|d| map.is_unknown(&(center + *d))) {
-                frontier_points.push(center);
-            }
-        }
-        // Bound the clustering cost on very large maps: a uniform stride keeps
-        // a representative subset (frontier clusters are spatially extended,
-        // so subsampling preserves them).
-        const MAX_FRONTIER_POINTS: usize = 1200;
-        if frontier_points.len() > MAX_FRONTIER_POINTS {
-            let stride = frontier_points.len() / MAX_FRONTIER_POINTS + 1;
-            frontier_points = frontier_points.into_iter().step_by(stride).collect();
-        }
-        let mut frontiers: Vec<Frontier> = self
-            .cluster(map, &frontier_points)
-            .into_iter()
-            .filter(|c| c.len() >= self.config.min_cluster_size)
-            .map(|c| {
-                let centroid = c.iter().fold(Vec3::ZERO, |acc, p| acc + *p) / c.len() as f64;
-                // Snap the representative to the member nearest the centroid so
-                // it is guaranteed to be a free voxel centre.
-                let center = c
-                    .iter()
-                    .copied()
-                    .min_by(|a, b| {
-                        a.distance_squared(&centroid)
-                            .partial_cmp(&b.distance_squared(&centroid))
-                            .expect("finite")
-                    })
-                    .expect("cluster non-empty");
-                Frontier {
-                    center,
-                    size: c.len(),
+        SCRATCH.with(|cell| {
+            let scratch = &mut *cell.borrow_mut();
+            map.free_voxel_centers_into(&mut scratch.centers);
+            scratch.points.clear();
+            for &center in scratch.centers.iter() {
+                if center.z < self.config.min_altitude || center.z > self.config.max_altitude {
+                    continue;
                 }
-            })
-            .collect();
-        frontiers.sort_by_key(|f| std::cmp::Reverse(f.size));
-        frontiers
+                // Six hash-indexed bit tests against the known-voxel block
+                // index — decision-identical to probing `center ± resolution`
+                // per axis with `is_unknown`, minus six octree descents.
+                if map.has_unknown_neighbor6(&center) {
+                    scratch.points.push(center);
+                }
+            }
+            // Bound the clustering cost on very large maps: a uniform stride
+            // keeps a representative subset (frontier clusters are spatially
+            // extended, so subsampling preserves them). In place — same
+            // elements as a `step_by(stride)` collect.
+            const MAX_FRONTIER_POINTS: usize = 1200;
+            if scratch.points.len() > MAX_FRONTIER_POINTS {
+                let stride = scratch.points.len() / MAX_FRONTIER_POINTS + 1;
+                let mut kept = 0;
+                let mut i = 0;
+                while i < scratch.points.len() {
+                    scratch.points[kept] = scratch.points[i];
+                    kept += 1;
+                    i += stride;
+                }
+                scratch.points.truncate(kept);
+            }
+            let FrontierScratch {
+                points,
+                grid,
+                cluster_of,
+                candidates,
+                clusters,
+                ..
+            } = scratch;
+            let active = self.cluster_into(map, points, grid, cluster_of, candidates, clusters);
+            let mut frontiers: Vec<Frontier> = clusters[..active]
+                .iter()
+                .filter(|c| c.len() >= self.config.min_cluster_size)
+                .map(|c| {
+                    let centroid = c.iter().fold(Vec3::ZERO, |acc, p| acc + *p) / c.len() as f64;
+                    // Snap the representative to the member nearest the
+                    // centroid so it is guaranteed to be a free voxel centre.
+                    let center = c
+                        .iter()
+                        .copied()
+                        .min_by(|a, b| {
+                            a.distance_squared(&centroid)
+                                .partial_cmp(&b.distance_squared(&centroid))
+                                .expect("finite")
+                        })
+                        .expect("cluster non-empty");
+                    Frontier {
+                        center,
+                        size: c.len(),
+                    }
+                })
+                .collect();
+            frontiers.sort_by_key(|f| std::cmp::Reverse(f.size));
+            frontiers
+        })
     }
 
     /// Greedy proximity clustering through the [`PointGrid`] radius index:
@@ -149,33 +193,86 @@ impl FrontierExplorer {
     /// grid's radius candidates are a superset that is re-tested with the
     /// exact member-distance predicate, and "first cluster in creation order
     /// with a match" is "minimum cluster id over all matches".
-    fn cluster(&self, map: &OctoMap, points: &[Vec3]) -> Vec<Vec<Vec3>> {
-        let mut clusters: Vec<Vec<Vec3>> = Vec::new();
-        let mut grid = PointGrid::new(&map.domain(), self.config.cluster_radius.max(1e-6));
-        // Cluster id of each grid point, indexed by insertion order.
-        let mut cluster_of: Vec<u32> = Vec::new();
-        let mut candidates: Vec<u32> = Vec::new();
+    ///
+    /// All working state is caller-owned so a replan reuses it: the clusters
+    /// land in the first `active` entries of `clusters` (the return value),
+    /// each recycled from the pool with its capacity intact; entries past
+    /// `active` are leftover spares and are not part of the result.
+    fn cluster_into(
+        &self,
+        map: &OctoMap,
+        points: &[Vec3],
+        grid_slot: &mut Option<PointGrid>,
+        cluster_of: &mut Vec<u32>,
+        candidates: &mut Vec<u32>,
+        clusters: &mut Vec<Vec<Vec3>>,
+    ) -> usize {
+        let cell = self.config.cluster_radius.max(1e-6);
+        let grid = match grid_slot {
+            Some(grid) => {
+                grid.reset(&map.domain(), cell);
+                grid
+            }
+            None => grid_slot.insert(PointGrid::new(&map.domain(), cell)),
+        };
+        cluster_of.clear();
+        let mut active = 0usize;
         for &p in points {
             candidates.clear();
-            grid.candidates_within(&p, self.config.cluster_radius, &mut candidates);
-            let joined = candidates
-                .iter()
-                .filter(|&&i| grid.point(i as usize).distance(&p) <= self.config.cluster_radius)
-                .map(|&i| cluster_of[i as usize])
-                .min();
+            grid.candidates_within(&p, self.config.cluster_radius, candidates);
+            // Min matching cluster id with an exact prune: a candidate whose
+            // id is not below the running min cannot change the result, so
+            // its (sqrt-paying) distance test is skipped. Frontier shells are
+            // dense — after the first match almost every later candidate
+            // shares that cluster and costs one integer compare.
+            let mut joined: Option<u32> = None;
+            for &i in candidates.iter() {
+                let id = cluster_of[i as usize];
+                if joined.is_some_and(|j| id >= j) {
+                    continue;
+                }
+                if grid.point(i as usize).distance(&p) <= self.config.cluster_radius {
+                    joined = Some(id);
+                }
+            }
             let id = match joined {
                 Some(id) => {
                     clusters[id as usize].push(p);
                     id
                 }
                 None => {
-                    clusters.push(vec![p]);
-                    (clusters.len() - 1) as u32
+                    if active == clusters.len() {
+                        clusters.push(Vec::new());
+                    }
+                    clusters[active].clear();
+                    clusters[active].push(p);
+                    active += 1;
+                    (active - 1) as u32
                 }
             };
             grid.insert(p);
             cluster_of.push(id);
         }
+        active
+    }
+
+    /// [`FrontierExplorer::cluster_into`] with owned state, for the
+    /// differential tests against [`FrontierExplorer::cluster_reference`].
+    #[cfg(test)]
+    fn cluster(&self, map: &OctoMap, points: &[Vec3]) -> Vec<Vec<Vec3>> {
+        let mut grid = None;
+        let mut cluster_of = Vec::new();
+        let mut candidates = Vec::new();
+        let mut clusters = Vec::new();
+        let active = self.cluster_into(
+            map,
+            points,
+            &mut grid,
+            &mut cluster_of,
+            &mut candidates,
+            &mut clusters,
+        );
+        clusters.truncate(active);
         clusters
     }
 

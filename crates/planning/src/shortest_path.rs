@@ -13,7 +13,43 @@ use rand::Rng;
 use rand_chacha::rand_core::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 use std::collections::{BinaryHeap, HashMap};
+
+/// Reusable per-thread planning buffers: the RRT tree (nodes + parents), the
+/// PRM roadmap (vertices + adjacency lists), the radius-query candidate
+/// staging vector and the bucket index. [`ShortestPathPlanner`] is a
+/// plain-data config (it serializes and compares), so its working memory
+/// lives here instead: one warm set per worker thread, handed to every plan
+/// call on that thread. Reuse is behaviour-transparent — each plan clears the
+/// buffers and [`PointGrid::reset`] restores the exact fresh-grid state — so
+/// planned paths are identical to a cold run (the determinism test pins
+/// this).
+#[derive(Default)]
+struct PlanScratch {
+    nodes: Vec<Vec3>,
+    parents: Vec<usize>,
+    vertices: Vec<Vec3>,
+    adjacency: Vec<Vec<(usize, f64)>>,
+    candidates: Vec<u32>,
+    grid: Option<PointGrid>,
+}
+
+thread_local! {
+    static PLAN_SCRATCH: RefCell<PlanScratch> = RefCell::new(PlanScratch::default());
+}
+
+/// Runs `f` with this thread's planning scratch. The scratch is moved out for
+/// the duration of the call (a nested plan simply gets a fresh one), so there
+/// is no aliasing even if a collision callback re-enters the planner.
+fn with_plan_scratch<R>(f: impl FnOnce(&mut PlanScratch) -> R) -> R {
+    PLAN_SCRATCH.with(|cell| {
+        let mut scratch = cell.take();
+        let result = f(&mut scratch);
+        *cell.borrow_mut() = scratch;
+        result
+    })
+}
 
 /// Which sampling-based planner to use (the "plug and play" knob).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -214,19 +250,46 @@ impl ShortestPathPlanner {
         start: Vec3,
         goal: Vec3,
     ) -> Result<PlannedPath> {
+        with_plan_scratch(|scratch| self.plan_rrt_with(map, checker, start, goal, scratch))
+    }
+
+    fn plan_rrt_with(
+        &self,
+        map: &OctoMap,
+        checker: &CollisionChecker,
+        start: Vec3,
+        goal: Vec3,
+        scratch: &mut PlanScratch,
+    ) -> Result<PlannedPath> {
         let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
-        let mut nodes: Vec<Vec3> = vec![start];
-        let mut parents: Vec<usize> = vec![0];
+        let PlanScratch {
+            nodes,
+            parents,
+            grid,
+            ..
+        } = scratch;
+        nodes.clear();
+        nodes.push(start);
+        parents.clear();
+        parents.push(0);
         // Bucket index over the tree nodes, sized by the extension step (the
         // distance nearest-neighbour queries typically resolve at). Exact,
         // so the grown tree is identical to the linear-scan tree.
-        let mut index = self
-            .config
-            .spatial_index
-            .then(|| PointGrid::new(&self.config.bounds, self.config.step.max(1e-6)));
-        if let Some(index) = index.as_mut() {
+        let mut index = if self.config.spatial_index {
+            let cell = self.config.step.max(1e-6);
+            let mut index = match grid.take() {
+                Some(mut reused) => {
+                    reused.reset(&self.config.bounds, cell);
+                    reused
+                }
+                None => PointGrid::new(&self.config.bounds, cell),
+            };
             index.insert(start);
-        }
+            Some(index)
+        } else {
+            None
+        };
+        let mut found: Option<PlannedPath> = None;
         for sample_count in 0..self.config.max_samples {
             let target = self.sample(&mut rng, &goal);
             // Nearest node in the tree.
@@ -273,16 +336,21 @@ impl ShortestPathPlanner {
                     idx = parents[idx];
                 }
                 waypoints.reverse();
-                return Ok(PlannedPath {
+                found = Some(PlannedPath {
                     waypoints,
                     samples_used: sample_count + 1,
                 });
+                break;
             }
         }
-        Err(MavError::planning_failed(
-            "rrt",
-            format!("no path within {} samples", self.config.max_samples),
-        ))
+        // Park the bucket index back in the scratch for the next plan.
+        *grid = index;
+        found.ok_or_else(|| {
+            MavError::planning_failed(
+                "rrt",
+                format!("no path within {} samples", self.config.max_samples),
+            )
+        })
     }
 
     fn plan_prm(
@@ -292,9 +360,29 @@ impl ShortestPathPlanner {
         start: Vec3,
         goal: Vec3,
     ) -> Result<PlannedPath> {
+        with_plan_scratch(|scratch| self.plan_prm_with(map, checker, start, goal, scratch))
+    }
+
+    fn plan_prm_with(
+        &self,
+        map: &OctoMap,
+        checker: &CollisionChecker,
+        start: Vec3,
+        goal: Vec3,
+        scratch: &mut PlanScratch,
+    ) -> Result<PlannedPath> {
         let mut rng = ChaCha8Rng::seed_from_u64(self.config.seed);
+        let PlanScratch {
+            vertices,
+            adjacency,
+            candidates,
+            grid,
+            ..
+        } = scratch;
         // Roadmap vertices: start, goal and free-space samples.
-        let mut vertices = vec![start, goal];
+        vertices.clear();
+        vertices.push(start);
+        vertices.push(goal);
         let roadmap_size = (self.config.max_samples / 8).clamp(50, 600);
         let mut attempts = 0usize;
         while vertices.len() < roadmap_size + 2 && attempts < self.config.max_samples {
@@ -312,22 +400,32 @@ impl ShortestPathPlanner {
         // adjacency lists are built in exactly the order of the historical
         // all-pairs loop (A* tie-breaking depends on it).
         let radius = self.config.step * 2.5;
-        let mut adjacency: Vec<Vec<(usize, f64)>> = vec![Vec::new(); vertices.len()];
-        let index = self.config.spatial_index.then(|| {
-            let mut grid = PointGrid::new(&self.config.bounds, radius.max(1e-6));
-            for v in &vertices {
-                grid.insert(*v);
+        for list in adjacency.iter_mut() {
+            list.clear();
+        }
+        adjacency.resize_with(vertices.len(), Vec::new);
+        let index = if self.config.spatial_index {
+            let mut index = match grid.take() {
+                Some(mut reused) => {
+                    reused.reset(&self.config.bounds, radius.max(1e-6));
+                    reused
+                }
+                None => PointGrid::new(&self.config.bounds, radius.max(1e-6)),
+            };
+            for v in vertices.iter() {
+                index.insert(*v);
             }
-            grid
-        });
-        let mut candidates: Vec<u32> = Vec::new();
+            Some(index)
+        } else {
+            None
+        };
         for i in 0..vertices.len() {
             match &index {
                 Some(grid) => {
                     candidates.clear();
-                    grid.candidates_within(&vertices[i], radius, &mut candidates);
+                    grid.candidates_within(&vertices[i], radius, candidates);
                     candidates.sort_unstable();
-                    for &j in &candidates {
+                    for &j in candidates.iter() {
                         let j = j as usize;
                         if j <= i {
                             continue;
@@ -351,7 +449,10 @@ impl ShortestPathPlanner {
             }
         }
         // A* from vertex 0 (start) to vertex 1 (goal).
-        let path_indices = astar(&vertices, &adjacency, 0, 1).ok_or_else(|| {
+        let found = astar(vertices, adjacency, 0, 1);
+        // Park the bucket index back in the scratch for the next plan.
+        *grid = index;
+        let path_indices = found.ok_or_else(|| {
             MavError::planning_failed("prm-astar", "roadmap does not connect start and goal")
         })?;
         let waypoints = path_indices.into_iter().map(|i| vertices[i]).collect();
@@ -566,6 +667,40 @@ mod tests {
             )
             .unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn warm_scratch_plans_match_a_cold_thread() {
+        // The thread-local scratch must be behaviour-transparent: a plan on a
+        // thread whose buffers are warm from unrelated planning equals the
+        // same plan on a brand-new thread (cold scratch), for both planners.
+        let map = wall_map();
+        let checker = CollisionChecker::new(0.33);
+        let start = Vec3::new(0.0, 0.0, 2.0);
+        let goal = Vec3::new(16.0, 0.0, 2.0);
+        for kind in [PlannerKind::Rrt, PlannerKind::PrmAstar] {
+            let planner = ShortestPathPlanner::new(PlannerConfig::new(kind, bounds()).with_seed(5));
+            let _ = planner.plan(
+                &map,
+                &checker,
+                Vec3::new(0.0, -5.0, 2.0),
+                Vec3::new(16.0, 5.0, 2.0),
+            );
+            let warm = planner.plan(&map, &checker, start, goal).unwrap();
+            let cold_planner = planner.clone();
+            let cold_map = map.clone();
+            let cold = std::thread::spawn(move || {
+                cold_planner
+                    .plan(&cold_map, &CollisionChecker::new(0.33), start, goal)
+                    .unwrap()
+            })
+            .join()
+            .unwrap();
+            assert_eq!(
+                warm, cold,
+                "{kind:?} diverged between warm and cold scratch"
+            );
+        }
     }
 
     #[test]

@@ -132,16 +132,27 @@ impl GridSpec {
     /// The result always starts with the cell containing `a` and ends with the
     /// cell containing `b`.
     pub fn traverse(&self, a: &Vec3, b: &Vec3) -> Vec<GridIndex> {
+        let mut cells = Vec::new();
+        self.traverse_into(a, b, &mut cells);
+        cells
+    }
+
+    /// [`GridSpec::traverse`] writing into a caller-owned buffer: `cells` is
+    /// cleared and refilled with exactly the sequence `traverse` returns, so
+    /// per-ray callers (map insertion, segment checks) can reuse one
+    /// allocation across an entire scan.
+    pub fn traverse_into(&self, a: &Vec3, b: &Vec3, cells: &mut Vec<GridIndex>) {
+        cells.clear();
         let start = self.index_of(a);
         let end = self.index_of(b);
-        let mut cells = vec![start];
+        cells.push(start);
         if start == end {
-            return cells;
+            return;
         }
         let dir = *b - *a;
         let len = dir.norm();
         if len <= f64::EPSILON {
-            return cells;
+            return;
         }
         let step = [
             if dir.x > 0.0 { 1i64 } else { -1 },
@@ -199,7 +210,6 @@ impl GridSpec {
         if *cells.last().expect("non-empty") != end {
             cells.push(end);
         }
-        cells
     }
 }
 

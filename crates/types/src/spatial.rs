@@ -60,6 +60,29 @@ impl PointGrid {
     ///
     /// Panics if `cell` is not strictly positive and finite.
     pub fn new(bounds: &Aabb, cell: f64) -> Self {
+        let mut grid = PointGrid {
+            origin: bounds.min,
+            extent: Vec3::ZERO,
+            cell: 1.0,
+            dims: [1, 1, 1],
+            buckets: Vec::new(),
+            points: Vec::new(),
+            next_retune: 2 * Self::LINEAR_SCAN_CUTOFF,
+        };
+        grid.reset(bounds, cell);
+        grid
+    }
+
+    /// Re-initialises the grid over new bounds, reusing the bucket and point
+    /// allocations. The resulting state is exactly that of
+    /// `PointGrid::new(bounds, cell)` — `new` is implemented on top of this —
+    /// so a planner can rebuild its per-plan index without reallocating the
+    /// bucket array every call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell` is not strictly positive and finite.
+    pub fn reset(&mut self, bounds: &Aabb, cell: f64) {
         assert!(
             cell.is_finite() && cell > 0.0,
             "bucket edge length must be positive, got {cell}"
@@ -70,15 +93,16 @@ impl PointGrid {
         let dim = |e: f64| ((e / cell).ceil() as i64).clamp(1, Self::MAX_DIM);
         let dims = [dim(extent.x), dim(extent.y), dim(extent.z)];
         let total = (dims[0] * dims[1] * dims[2]) as usize;
-        PointGrid {
-            origin: bounds.min,
-            extent,
-            cell,
-            dims,
-            buckets: vec![Vec::new(); total],
-            points: Vec::new(),
-            next_retune: 2 * Self::LINEAR_SCAN_CUTOFF,
+        self.origin = bounds.min;
+        self.extent = extent;
+        self.cell = cell;
+        self.dims = dims;
+        for bucket in &mut self.buckets {
+            bucket.clear();
         }
+        self.buckets.resize_with(total, Vec::new);
+        self.points.clear();
+        self.next_retune = 2 * Self::LINEAR_SCAN_CUTOFF;
     }
 
     /// Re-buckets the grid so the average occupied bucket holds ~8 points:
@@ -104,7 +128,14 @@ impl PointGrid {
         let dim = |e: f64| ((e / cell).ceil() as i64).clamp(1, Self::MAX_DIM);
         self.dims = [dim(self.extent.x), dim(self.extent.y), dim(self.extent.z)];
         let total = (self.dims[0] * self.dims[1] * self.dims[2]) as usize;
-        self.buckets = vec![Vec::new(); total];
+        // Re-shape in place rather than replacing the array: a retune usually
+        // coarsens (total shrinks), and `resize_with`'s truncation keeps the
+        // spine's capacity, so a later `reset` back to a fine cell re-grows
+        // within it instead of reallocating the whole header array.
+        for bucket in &mut self.buckets {
+            bucket.clear();
+        }
+        self.buckets.resize_with(total, Vec::new);
         for (index, point) in self.points.iter().enumerate() {
             let coord = |p: f64, o: f64, d: i64| (((p - o) / cell).floor() as i64).clamp(0, d - 1);
             let c = [
@@ -341,6 +372,37 @@ mod tests {
             );
         }
         assert_eq!(grid.len(), 700);
+    }
+
+    #[test]
+    fn reset_restores_the_exact_fresh_grid_state() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let mut grid = PointGrid::new(&bounds(), 2.5);
+        // Push past the retune threshold so cell/dims/next_retune all drift
+        // from their fresh values before the reset.
+        for _ in 0..700 {
+            grid.insert(Vec3::new(
+                rng.gen_range(-10.0..10.0),
+                rng.gen_range(-10.0..10.0),
+                rng.gen_range(0.0..5.0),
+            ));
+        }
+        let other = Aabb::new(Vec3::new(-4.0, -2.0, 0.0), Vec3::new(6.0, 8.0, 3.0));
+        grid.reset(&other, 1.25);
+        assert_eq!(grid, PointGrid::new(&other, 1.25));
+        // And behaviour after the reset matches a fresh grid exactly.
+        let mut fresh = PointGrid::new(&other, 1.25);
+        for _ in 0..300 {
+            let p = Vec3::new(
+                rng.gen_range(-5.0..7.0),
+                rng.gen_range(-3.0..9.0),
+                rng.gen_range(0.0..3.0),
+            );
+            assert_eq!(grid.insert(p), fresh.insert(p));
+            let q = Vec3::new(rng.gen_range(-6.0..8.0), rng.gen_range(-4.0..10.0), 1.0);
+            assert_eq!(grid.nearest(&q), fresh.nearest(&q));
+        }
+        assert_eq!(grid, fresh);
     }
 
     #[test]
