@@ -503,7 +503,7 @@ mod tests {
         }
         // The sum is accumulated in the exact record order: bit-identical.
         assert_eq!(hist.sum().to_bits(), values.iter().sum::<f64>().to_bits());
-        values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        values.sort_by(|a, b| a.total_cmp(b));
         assert_eq!(hist.count(), 5000);
         for q in [0.01f64, 0.25, 0.5, 0.9, 0.99] {
             let rank = ((q * 5000.0).ceil() as usize).clamp(1, 5000);

@@ -166,7 +166,9 @@ mod tests {
             .into_iter()
             .filter(|m| m.wing == WingType::Rotor)
             .collect();
-        rotors.sort_by(|a, b| a.battery_mah.partial_cmp(&b.battery_mah).unwrap());
+        // total_cmp ≡ partial_cmp().unwrap() for the strictly positive
+        // finite capacities in the catalog, and cannot panic.
+        rotors.sort_by(|a, b| a.battery_mah.total_cmp(&b.battery_mah));
         let half = rotors.len() / 2;
         let low: f64 = rotors[..half]
             .iter()

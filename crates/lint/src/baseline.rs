@@ -1,0 +1,357 @@
+//! The committed allowlist: `lint-baseline.json`.
+//!
+//! Findings the repository has explicitly accepted live in a committed
+//! baseline file. Each entry budgets one `(file, rule)` pair — `allowed` is
+//! the number of findings of that rule tolerated in that file — and carries a
+//! **written justification**; the loader rejects entries without one, so an
+//! allowance can never be silent. Keying on counts rather than line numbers
+//! makes the baseline robust to unrelated edits shifting lines, while still
+//! failing the build the moment a *new* finding appears: the budget is a
+//! ratchet, only deliberately raised (and reviewed) via `--update-baseline`.
+
+use crate::rules::{Finding, RuleId};
+use mav_types::{Json, ToJson};
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// Budget for one `(file, rule)` pair.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BaselineEntry {
+    /// Repo-relative path (forward slashes).
+    pub file: String,
+    /// The budgeted rule.
+    pub rule: RuleId,
+    /// How many findings of `rule` in `file` are accepted.
+    pub allowed: u64,
+    /// Why the findings are acceptable. Never empty.
+    pub justification: String,
+}
+
+/// The full committed allowlist.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    /// Budgets, kept sorted by `(file, rule)` for deterministic rendering.
+    pub entries: Vec<BaselineEntry>,
+}
+
+/// A baseline entry whose budget exceeds what the tree actually contains:
+/// the code got cleaner and the baseline should be tightened.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StaleEntry {
+    /// The entry's file.
+    pub file: String,
+    /// The entry's rule.
+    pub rule: RuleId,
+    /// The committed budget.
+    pub allowed: u64,
+    /// Findings actually present.
+    pub actual: u64,
+}
+
+/// Result of diffing current findings against the baseline.
+#[derive(Debug, Clone, Default)]
+pub struct BaselineOutcome {
+    /// Findings *not* covered by any budget — these fail the build.
+    pub new: Vec<Finding>,
+    /// How many findings the baseline absorbed.
+    pub baselined: usize,
+    /// Budgets larger than reality (warned, not fatal: tighten via
+    /// `--update-baseline`).
+    pub stale: Vec<StaleEntry>,
+}
+
+const SCHEMA: &str = "mav-lint-baseline";
+const VERSION: i128 = 1;
+
+impl Baseline {
+    /// An empty baseline: every finding is new.
+    pub fn empty() -> Baseline {
+        Baseline::default()
+    }
+
+    /// Loads a baseline from disk; a missing file is an empty baseline (the
+    /// bootstrap case), any other error is reported.
+    pub fn load(path: &Path) -> Result<Baseline, String> {
+        match std::fs::read_to_string(path) {
+            Ok(text) => Baseline::parse(&text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(Baseline::empty()),
+            Err(e) => Err(format!("reading {}: {e}", path.display())),
+        }
+    }
+
+    /// Parses the committed JSON document, validating schema, rule names and
+    /// the every-entry-has-a-justification contract.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let doc = Json::parse(text).map_err(|e| format!("baseline is not valid JSON: {e:?}"))?;
+        if doc.get("schema").and_then(Json::as_str) != Some(SCHEMA) {
+            return Err(format!("baseline schema is not {SCHEMA:?}"));
+        }
+        if doc.get("version").and_then(Json::as_i128) != Some(VERSION) {
+            return Err(format!("baseline version is not {VERSION}"));
+        }
+        let items = doc
+            .get("entries")
+            .and_then(Json::as_array)
+            .ok_or("baseline has no entries array")?;
+        let mut entries = Vec::new();
+        for (i, item) in items.iter().enumerate() {
+            let field_str = |k: &str| {
+                item.get(k)
+                    .and_then(Json::as_str)
+                    .map(str::to_string)
+                    .ok_or(format!("entry {i}: missing string field {k:?}"))
+            };
+            let file = field_str("file")?;
+            let rule_name = field_str("rule")?;
+            let rule = RuleId::from_name(&rule_name)
+                .ok_or(format!("entry {i}: unknown rule {rule_name:?}"))?;
+            let allowed = item
+                .get("allowed")
+                .and_then(Json::as_i128)
+                .filter(|&n| n > 0)
+                .ok_or(format!("entry {i}: allowed must be a positive integer"))?
+                as u64;
+            let justification = field_str("justification")?;
+            if justification.trim().is_empty() {
+                return Err(format!(
+                    "entry {i} ({file} {}): empty justification — every baseline allowance \
+                     must say why it is acceptable",
+                    rule.name()
+                ));
+            }
+            entries.push(BaselineEntry {
+                file,
+                rule,
+                allowed,
+                justification,
+            });
+        }
+        let mut baseline = Baseline { entries };
+        baseline.sort();
+        Ok(baseline)
+    }
+
+    fn sort(&mut self) {
+        self.entries
+            .sort_by(|a, b| (&a.file, a.rule).cmp(&(&b.file, b.rule)));
+    }
+
+    /// Diffs `findings` (sorted by file/line) against the budgets. Within a
+    /// `(file, rule)` group the *first* `allowed` findings (by position) are
+    /// absorbed and the overflow is new — deterministic, and in the common
+    /// case (budget N, N sites, one added) the report points at the
+    /// newly-added site or the one that moved past the budget.
+    pub fn apply(&self, findings: &[Finding]) -> BaselineOutcome {
+        let budget: BTreeMap<(&str, RuleId), u64> = self
+            .entries
+            .iter()
+            .map(|e| ((e.file.as_str(), e.rule), e.allowed))
+            .collect();
+        let mut groups: BTreeMap<(&str, RuleId), Vec<&Finding>> = BTreeMap::new();
+        for f in findings {
+            groups.entry((f.file.as_str(), f.rule)).or_default().push(f);
+        }
+        let mut outcome = BaselineOutcome::default();
+        for (key, group) in &groups {
+            let allowed = budget.get(key).copied().unwrap_or(0) as usize;
+            outcome.baselined += group.len().min(allowed);
+            for f in group.iter().skip(allowed) {
+                outcome.new.push((*f).clone());
+            }
+        }
+        outcome
+            .new
+            .sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
+        for e in &self.entries {
+            let actual = groups
+                .get(&(e.file.as_str(), e.rule))
+                .map_or(0, |g| g.len() as u64);
+            if actual < e.allowed {
+                outcome.stale.push(StaleEntry {
+                    file: e.file.clone(),
+                    rule: e.rule,
+                    allowed: e.allowed,
+                    actual,
+                });
+            }
+        }
+        outcome
+    }
+
+    /// Regenerates budgets from the current findings (`--update-baseline`),
+    /// preserving the justification of every surviving `(file, rule)` entry
+    /// and marking genuinely new ones for a human to fill in.
+    pub fn from_findings(findings: &[Finding], previous: &Baseline) -> Baseline {
+        let mut counts: BTreeMap<(String, RuleId), u64> = BTreeMap::new();
+        for f in findings {
+            *counts.entry((f.file.clone(), f.rule)).or_insert(0) += 1;
+        }
+        let old: BTreeMap<(&str, RuleId), &str> = previous
+            .entries
+            .iter()
+            .map(|e| ((e.file.as_str(), e.rule), e.justification.as_str()))
+            .collect();
+        let entries = counts
+            .into_iter()
+            .map(|((file, rule), allowed)| {
+                let justification = old
+                    .get(&(file.as_str(), rule))
+                    .map(|j| j.to_string())
+                    .unwrap_or_else(|| "TODO: justify this allowance".to_string());
+                BaselineEntry {
+                    file,
+                    rule,
+                    allowed,
+                    justification,
+                }
+            })
+            .collect();
+        let mut baseline = Baseline { entries };
+        baseline.sort();
+        baseline
+    }
+}
+
+impl ToJson for Baseline {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .field("schema", SCHEMA)
+            .field("version", VERSION as i64)
+            .field(
+                "entries",
+                Json::Array(
+                    self.entries
+                        .iter()
+                        .map(|e| {
+                            Json::object()
+                                .field("file", e.file.as_str())
+                                .field("rule", e.rule.name())
+                                .field("allowed", e.allowed as i64)
+                                .field("justification", e.justification.as_str())
+                        })
+                        .collect(),
+                ),
+            )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(file: &str, line: u32, rule: RuleId) -> Finding {
+        Finding {
+            file: file.to_string(),
+            line,
+            col: 1,
+            rule,
+            message: "m".to_string(),
+        }
+    }
+
+    fn one_entry(allowed: u64) -> Baseline {
+        Baseline {
+            entries: vec![BaselineEntry {
+                file: "a.rs".to_string(),
+                rule: RuleId::PanicLib,
+                allowed,
+                justification: "j".to_string(),
+            }],
+        }
+    }
+
+    #[test]
+    fn within_budget_is_absorbed() {
+        let findings = vec![
+            finding("a.rs", 1, RuleId::PanicLib),
+            finding("a.rs", 9, RuleId::PanicLib),
+        ];
+        let outcome = one_entry(2).apply(&findings);
+        assert!(outcome.new.is_empty());
+        assert_eq!(outcome.baselined, 2);
+        assert!(outcome.stale.is_empty());
+    }
+
+    #[test]
+    fn overflow_is_new_and_deterministic() {
+        let findings = vec![
+            finding("a.rs", 1, RuleId::PanicLib),
+            finding("a.rs", 9, RuleId::PanicLib),
+            finding("a.rs", 30, RuleId::PanicLib),
+        ];
+        let outcome = one_entry(2).apply(&findings);
+        assert_eq!(outcome.new.len(), 1);
+        assert_eq!(outcome.new[0].line, 30);
+    }
+
+    #[test]
+    fn unbudgeted_rule_or_file_is_new() {
+        let findings = vec![
+            finding("a.rs", 1, RuleId::RawSpawn),
+            finding("b.rs", 1, RuleId::PanicLib),
+        ];
+        let outcome = one_entry(2).apply(&findings);
+        assert_eq!(outcome.new.len(), 2);
+        // The unused budget shows up as stale.
+        assert_eq!(outcome.stale.len(), 1);
+        assert_eq!(outcome.stale[0].actual, 0);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_everything() {
+        let baseline = Baseline {
+            entries: vec![
+                BaselineEntry {
+                    file: "crates/x/src/lib.rs".to_string(),
+                    rule: RuleId::DetHashIter,
+                    allowed: 3,
+                    justification: "order-independent bitmask union".to_string(),
+                },
+                BaselineEntry {
+                    file: "crates/y/src/lib.rs".to_string(),
+                    rule: RuleId::PanicLib,
+                    allowed: 7,
+                    justification: "poisoned-lock expects".to_string(),
+                },
+            ],
+        };
+        let text = baseline.to_json().to_string_pretty();
+        let parsed = Baseline::parse(&text).expect("round trip");
+        assert_eq!(parsed, baseline);
+    }
+
+    #[test]
+    fn empty_justification_is_rejected() {
+        let text = r#"{"schema":"mav-lint-baseline","version":1,"entries":[
+            {"file":"a.rs","rule":"PANIC-LIB","allowed":1,"justification":"  "}]}"#;
+        assert!(Baseline::parse(text).is_err());
+    }
+
+    #[test]
+    fn unknown_rule_is_rejected() {
+        let text = r#"{"schema":"mav-lint-baseline","version":1,"entries":[
+            {"file":"a.rs","rule":"NOT-A-RULE","allowed":1,"justification":"j"}]}"#;
+        assert!(Baseline::parse(text).is_err());
+    }
+
+    #[test]
+    fn update_preserves_justifications() {
+        let findings = vec![
+            finding("a.rs", 1, RuleId::PanicLib),
+            finding("a.rs", 2, RuleId::PanicLib),
+            finding("a.rs", 3, RuleId::PanicLib),
+            finding("c.rs", 1, RuleId::RawSpawn),
+        ];
+        let updated = Baseline::from_findings(&findings, &one_entry(2));
+        assert_eq!(updated.entries.len(), 2);
+        assert_eq!(updated.entries[0].allowed, 3);
+        assert_eq!(updated.entries[0].justification, "j");
+        assert!(updated.entries[1].justification.starts_with("TODO"));
+    }
+
+    #[test]
+    fn missing_file_loads_empty() {
+        let loaded = Baseline::load(Path::new("/nonexistent/baseline.json")).unwrap();
+        assert!(loaded.entries.is_empty());
+    }
+}

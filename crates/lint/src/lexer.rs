@@ -1,0 +1,588 @@
+//! A hand-rolled, lenient Rust lexer.
+//!
+//! The determinism audit has to read source *text*, not compiled items, so it
+//! needs its own tokenizer — the same offline-shim discipline as
+//! `mav_types::json`: no crates.io, implement exactly the subset we need.
+//! "Lenient" means the lexer is **total**: any byte sequence produces a token
+//! stream (malformed constructs become [`TokenKind::Unknown`] or run to end of
+//! file) and lexing never panics — property-tested against adversarial inputs
+//! in `tests/lexer_props.rs`.
+//!
+//! The subtleties that matter for not mis-firing rules:
+//!
+//! - **Raw strings** `r"…"`, `r#"…"#` (any hash depth): a `HashMap` inside a
+//!   raw string is string payload, not an identifier.
+//! - **Nested block comments** `/* /* … */ */`: commented-out violations must
+//!   not fire.
+//! - **Lifetimes vs. char literals**: `'a` in `Vec<'a>` is a lifetime, `'a'`
+//!   is a char — disambiguated by the closing quote.
+//! - **Raw identifiers** `r#match` vs. raw strings `r#"…"#` — disambiguated
+//!   by what follows the `#`s.
+//!
+//! Comments are kept as tokens (the rule engine reads `mav-lint: allow(…)`
+//! annotations out of them) but are skipped for pattern matching.
+
+/// Byte range plus 1-based line/column of a token's first character.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based line of the first character.
+    pub line: u32,
+    /// 1-based character column of the first character.
+    pub col: u32,
+}
+
+/// What kind of lexeme a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw identifiers like `r#match`).
+    Ident,
+    /// A lifetime such as `'a` or `'static`.
+    Lifetime,
+    /// A char literal `'x'` (including escapes).
+    Char,
+    /// A string literal `"…"`, byte string `b"…"`, or their raw forms.
+    Str,
+    /// A numeric literal.
+    Number,
+    /// A single punctuation character.
+    Punct,
+    /// A `//` line comment (including doc comments).
+    LineComment,
+    /// A `/* … */` block comment (nesting handled).
+    BlockComment,
+    /// Anything unclassifiable — lenient catch-all, one character.
+    Unknown,
+}
+
+/// One lexeme: its kind and where it sits in the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    /// The lexeme class.
+    pub kind: TokenKind,
+    /// Source location.
+    pub span: Span,
+}
+
+impl Token {
+    /// The token's text, sliced back out of the source it was lexed from.
+    pub fn text<'s>(&self, src: &'s str) -> &'s str {
+        &src[self.span.start..self.span.end]
+    }
+}
+
+/// Lexes `src` into a complete token stream. Total: never panics, never
+/// drops source bytes between token spans except whitespace.
+pub fn lex(src: &str) -> Vec<Token> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'s> {
+    src: &'s str,
+    /// Byte offset of the next unread character.
+    pos: usize,
+    line: u32,
+    col: u32,
+    tokens: Vec<Token>,
+}
+
+impl<'s> Lexer<'s> {
+    fn new(src: &'s str) -> Self {
+        Lexer {
+            src,
+            pos: 0,
+            line: 1,
+            col: 1,
+            tokens: Vec::new(),
+        }
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.src[self.pos..].chars().next()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        let mut it = self.src[self.pos..].chars();
+        it.next();
+        it.next()
+    }
+
+    fn peek3(&self) -> Option<char> {
+        let mut it = self.src[self.pos..].chars();
+        it.next();
+        it.next();
+        it.next()
+    }
+
+    /// Consumes one character, maintaining line/col counters.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn bump_while(&mut self, pred: impl Fn(char) -> bool) {
+        while let Some(c) = self.peek() {
+            if pred(c) {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        while let Some(c) = self.peek() {
+            if c.is_whitespace() {
+                // Whitespace lives in the gaps between token spans; the span
+                // round-trip property checks gaps are whitespace-only.
+                self.bump_while(|c| c.is_whitespace());
+                continue;
+            }
+            let (start, line, col) = (self.pos, self.line, self.col);
+            let kind = self.next_kind(c);
+            debug_assert!(self.pos > start, "lexer must always make progress");
+            self.tokens.push(Token {
+                kind,
+                span: Span {
+                    start,
+                    end: self.pos,
+                    line,
+                    col,
+                },
+            });
+        }
+        self.tokens
+    }
+
+    /// Dispatches on the first character of the next token (never
+    /// whitespace — `run` consumes that into the inter-token gap).
+    fn next_kind(&mut self, first: char) -> TokenKind {
+        match first {
+            '/' => match self.peek2() {
+                Some('/') => {
+                    self.bump_while(|c| c != '\n');
+                    TokenKind::LineComment
+                }
+                Some('*') => {
+                    self.block_comment();
+                    TokenKind::BlockComment
+                }
+                _ => {
+                    self.bump();
+                    TokenKind::Punct
+                }
+            },
+            '\'' => self.quote(),
+            '"' => {
+                self.string_literal();
+                TokenKind::Str
+            }
+            'r' => self.r_prefixed(),
+            'b' => self.b_prefixed(),
+            c if is_ident_start(c) => {
+                self.ident();
+                TokenKind::Ident
+            }
+            c if c.is_ascii_digit() => {
+                self.number();
+                TokenKind::Number
+            }
+            _ => {
+                self.bump();
+                TokenKind::Punct
+            }
+        }
+    }
+
+    fn ident(&mut self) {
+        self.bump();
+        self.bump_while(is_ident_continue);
+    }
+
+    /// `r…`: raw string `r"…"`/`r#"…"#`, raw identifier `r#ident`, or a plain
+    /// identifier starting with `r`.
+    fn r_prefixed(&mut self) -> TokenKind {
+        match self.peek2() {
+            Some('"') => {
+                self.bump(); // r
+                self.raw_string(0);
+                TokenKind::Str
+            }
+            Some('#') => {
+                // Count hashes to see whether a quote follows (raw string)
+                // or an identifier does (raw identifier).
+                let rest = &self.src[self.pos..];
+                let hashes = rest[1..].chars().take_while(|&c| c == '#').count();
+                let after = rest[1..].chars().nth(hashes);
+                if after == Some('"') {
+                    self.bump(); // r
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    self.raw_string(hashes);
+                    TokenKind::Str
+                } else {
+                    // r#ident (or stray `r#` — consumed leniently as ident).
+                    self.bump(); // r
+                    self.bump(); // #
+                    self.bump_while(is_ident_continue);
+                    TokenKind::Ident
+                }
+            }
+            _ => {
+                self.ident();
+                TokenKind::Ident
+            }
+        }
+    }
+
+    /// `b…`: byte string `b"…"`, byte char `b'…'`, raw byte string
+    /// `br"…"`/`br#"…"#`, or a plain identifier starting with `b`.
+    fn b_prefixed(&mut self) -> TokenKind {
+        match (self.peek2(), self.peek3()) {
+            (Some('"'), _) => {
+                self.bump(); // b
+                self.string_literal();
+                TokenKind::Str
+            }
+            (Some('\''), _) => {
+                self.bump(); // b
+                self.char_literal();
+                TokenKind::Char
+            }
+            (Some('r'), Some('"')) => {
+                self.bump(); // b
+                self.bump(); // r
+                self.raw_string(0);
+                TokenKind::Str
+            }
+            (Some('r'), Some('#')) => {
+                let rest = &self.src[self.pos..];
+                let hashes = rest[2..].chars().take_while(|&c| c == '#').count();
+                let after = rest[2..].chars().nth(hashes);
+                if after == Some('"') {
+                    self.bump(); // b
+                    self.bump(); // r
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    self.raw_string(hashes);
+                    TokenKind::Str
+                } else {
+                    self.ident();
+                    TokenKind::Ident
+                }
+            }
+            _ => {
+                self.ident();
+                TokenKind::Ident
+            }
+        }
+    }
+
+    /// A `'…` token: lifetime or char literal. Called with `pos` at the `'`.
+    fn quote(&mut self) -> TokenKind {
+        match (self.peek2(), self.peek3()) {
+            // Escaped char literal: '\n', '\'', '\u{1F600}' …
+            (Some('\\'), _) => {
+                self.char_literal();
+                TokenKind::Char
+            }
+            // 'x' — a single character directly followed by a closing quote
+            // is a char literal, even when the character could start an
+            // identifier ('a' vs 'a).
+            (Some(c), Some('\'')) if c != '\'' => {
+                self.bump(); // '
+                self.bump(); // c
+                self.bump(); // '
+                TokenKind::Char
+            }
+            // 'ident — a lifetime (includes '_ and 'static).
+            (Some(c), _) if is_ident_start(c) => {
+                self.bump(); // '
+                self.bump_while(is_ident_continue);
+                TokenKind::Lifetime
+            }
+            // Non-identifier char not followed by a quote ('', '+x…): lone
+            // quote, lenient.
+            _ => {
+                self.bump();
+                TokenKind::Unknown
+            }
+        }
+    }
+
+    /// A char literal starting at `'` whose body may contain escapes.
+    /// Lenient: unterminated literals run to end of line or file.
+    fn char_literal(&mut self) {
+        self.bump(); // opening '
+        while let Some(c) = self.peek() {
+            match c {
+                '\\' => {
+                    self.bump();
+                    self.bump(); // the escaped char (or EOF)
+                }
+                '\'' => {
+                    self.bump();
+                    return;
+                }
+                '\n' => return, // unterminated: stop at the line break
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    /// A `"…"` string with escape handling. Lenient: unterminated runs to
+    /// end of file. Called with `pos` at the opening quote.
+    fn string_literal(&mut self) {
+        self.bump(); // opening "
+        while let Some(c) = self.peek() {
+            match c {
+                '\\' => {
+                    self.bump();
+                    self.bump(); // escaped char (also covers \" and \\)
+                }
+                '"' => {
+                    self.bump();
+                    return;
+                }
+                _ => {
+                    self.bump();
+                }
+            }
+        }
+    }
+
+    /// The body of a raw string: called with `pos` at the opening `"`, with
+    /// `hashes` hashes expected after the closing quote. Lenient:
+    /// unterminated runs to end of file.
+    fn raw_string(&mut self, hashes: usize) {
+        self.bump(); // opening "
+        while let Some(c) = self.peek() {
+            self.bump();
+            if c == '"' {
+                let rest = &self.src[self.pos..];
+                if rest.chars().take(hashes).filter(|&c| c == '#').count() == hashes {
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// A `/* … */` comment with nesting. Lenient: unterminated runs to end
+    /// of file. Called with `pos` at the `/`.
+    fn block_comment(&mut self) {
+        self.bump(); // /
+        self.bump(); // *
+        let mut depth = 1usize;
+        while let Some(c) = self.peek() {
+            if c == '/' && self.peek2() == Some('*') {
+                self.bump();
+                self.bump();
+                depth += 1;
+            } else if c == '*' && self.peek2() == Some('/') {
+                self.bump();
+                self.bump();
+                depth -= 1;
+                if depth == 0 {
+                    return;
+                }
+            } else {
+                self.bump();
+            }
+        }
+    }
+
+    /// A numeric literal: integers (decimal/hex/octal/binary), floats with
+    /// optional exponent, underscores, and type suffixes. The lexer does not
+    /// interpret the value, so the grammar here is deliberately permissive —
+    /// what matters is making progress and not swallowing `..` ranges or
+    /// method calls (`1..2`, `x.0.min(…)`).
+    fn number(&mut self) {
+        self.bump();
+        self.digitish();
+        // Fractional part: `.` followed by a digit, or a trailing `1.` —
+        // but never `..` (range) and never `.ident` (field/method access).
+        if self.peek() == Some('.') {
+            match self.peek2() {
+                Some(c) if c.is_ascii_digit() => {
+                    self.bump();
+                    self.digitish();
+                }
+                Some('.') => {}
+                Some(c) if is_ident_start(c) => {}
+                _ => {
+                    self.bump(); // trailing dot float: `1.`
+                }
+            }
+        }
+    }
+
+    /// Digits, underscores, suffix letters, and signed exponents.
+    fn digitish(&mut self) {
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                let is_exp = c == 'e' || c == 'E';
+                self.bump();
+                // A sign directly after e/E followed by a digit belongs to
+                // the exponent: 1e-5, 2.5E+10.
+                if is_exp {
+                    if let (Some(s), Some(d)) = (self.peek(), self.peek2()) {
+                        if (s == '+' || s == '-') && d.is_ascii_digit() {
+                            self.bump();
+                        }
+                    }
+                }
+            } else {
+                break;
+            }
+        }
+    }
+}
+
+/// Whether `c` can start an identifier.
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+/// Whether `c` can continue an identifier.
+fn is_ident_continue(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind != TokenKind::Unknown)
+            .map(|t| (t.kind, t.text(src).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = kinds("let x = a.b::c;");
+        assert_eq!(toks[0], (TokenKind::Ident, "let".into()));
+        assert_eq!(toks[1], (TokenKind::Ident, "x".into()));
+        assert_eq!(toks[2], (TokenKind::Punct, "=".into()));
+        assert!(toks.iter().any(|t| t.1 == "::" || t.1 == ":"));
+    }
+
+    #[test]
+    fn raw_string_hides_idents() {
+        let src = r####"let s = r#"HashMap.iter() "quoted" inside"#; x"####;
+        let toks = kinds(src);
+        assert!(!toks
+            .iter()
+            .any(|t| t.0 == TokenKind::Ident && t.1 == "HashMap"));
+        let raw = toks.iter().find(|t| t.0 == TokenKind::Str).unwrap();
+        assert!(raw.1.starts_with("r#\"") && raw.1.ends_with("\"#"));
+        assert_eq!(toks.last().unwrap().1, "x");
+    }
+
+    #[test]
+    fn nested_block_comment() {
+        let src = "a /* x /* y */ z */ b";
+        let toks = kinds(src);
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[1].0, TokenKind::BlockComment);
+        assert_eq!(toks[1].1, "/* x /* y */ z */");
+        assert_eq!(toks[2].1, "b");
+    }
+
+    #[test]
+    fn lifetime_vs_char_literal() {
+        let toks = kinds("fn f<'a>(x: &'a str) { let c = 'a'; let n = '\\n'; }");
+        let lifetimes: Vec<_> = toks.iter().filter(|t| t.0 == TokenKind::Lifetime).collect();
+        let chars: Vec<_> = toks.iter().filter(|t| t.0 == TokenKind::Char).collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert!(lifetimes.iter().all(|t| t.1 == "'a"));
+        assert_eq!(chars.len(), 2);
+        assert_eq!(chars[0].1, "'a'");
+        assert_eq!(chars[1].1, "'\\n'");
+    }
+
+    #[test]
+    fn raw_identifier_is_ident() {
+        let toks = kinds("let r#match = 1;");
+        assert!(toks
+            .iter()
+            .any(|t| t.0 == TokenKind::Ident && t.1 == "r#match"));
+    }
+
+    #[test]
+    fn byte_strings_and_raw_byte_strings() {
+        let toks = kinds(r###"let a = b"bytes"; let b = br#"raw HashMap"#; let c = b'x';"###);
+        let strs: Vec<_> = toks.iter().filter(|t| t.0 == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 2);
+        assert!(toks.iter().any(|t| t.0 == TokenKind::Char && t.1 == "b'x'"));
+        assert!(!toks
+            .iter()
+            .any(|t| t.0 == TokenKind::Ident && t.1 == "HashMap"));
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        let toks = kinds("for i in 1..20 { x.0.min(2.5e-3); let h = 0xFF_u32; let t = 1.; }");
+        let nums: Vec<_> = toks
+            .iter()
+            .filter(|t| t.0 == TokenKind::Number)
+            .map(|t| t.1.clone())
+            .collect();
+        assert_eq!(nums, vec!["1", "20", "0", "2.5e-3", "0xFF_u32", "1."]);
+    }
+
+    #[test]
+    fn line_and_col_tracking() {
+        let src = "ab\n  cd";
+        let toks = lex(src);
+        let cd = toks.iter().find(|t| t.text(src) == "cd").expect("cd lexed");
+        assert_eq!(cd.span.line, 2);
+        assert_eq!(cd.span.col, 3);
+    }
+
+    #[test]
+    fn unterminated_constructs_run_to_eof_without_panicking() {
+        for src in [
+            "\"never closed",
+            "r#\"never closed",
+            "/* never closed /* nested",
+            "'",
+            "b'",
+            "let x = 'a",
+        ] {
+            let toks = lex(src);
+            assert!(!toks.is_empty());
+            assert_eq!(toks.last().unwrap().span.end, src.len());
+        }
+    }
+
+    #[test]
+    fn string_escapes() {
+        let src = r#"let s = "a \" b \\"; let t = "\u{1F600}";"#;
+        let strs: Vec<_> = kinds(src)
+            .into_iter()
+            .filter(|t| t.0 == TokenKind::Str)
+            .collect();
+        assert_eq!(strs.len(), 2);
+        assert_eq!(strs[0].1, r#""a \" b \\""#);
+    }
+}

@@ -1,0 +1,148 @@
+//! The `mav-lint` CLI: audit the tree, diff against the committed baseline,
+//! exit non-zero on any non-baselined finding. See the crate docs for the
+//! rule catalogue and `README.md` ("Static analysis: the determinism audit")
+//! for the operational story.
+
+use mav_lint::baseline::Baseline;
+use mav_types::ToJson;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "mav-lint — determinism audit for the MAVBench-RS tree
+
+USAGE:
+    mav-lint [--root DIR] [--baseline FILE] [--json] [--update-baseline]
+
+OPTIONS:
+    --root DIR          Repository root to scan (default: current directory)
+    --baseline FILE     Baseline path (default: <root>/lint-baseline.json)
+    --json              Emit the machine-readable report on stdout
+    --update-baseline   Rewrite the baseline from current findings, keeping
+                        existing justifications; new entries get a TODO
+                        justification that must be filled in (the loader
+                        rejects empty ones)
+    -h, --help          This help
+
+EXIT STATUS:
+    0  no findings outside the baseline
+    1  new findings (the CI gate)
+    2  usage or I/O error";
+
+struct Args {
+    root: PathBuf,
+    baseline: PathBuf,
+    json: bool,
+    update_baseline: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut root = PathBuf::from(".");
+    let mut baseline: Option<PathBuf> = None;
+    let mut json = false;
+    let mut update_baseline = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => {
+                root = PathBuf::from(args.next().ok_or("--root needs a directory")?);
+            }
+            "--baseline" => {
+                baseline = Some(PathBuf::from(args.next().ok_or("--baseline needs a path")?));
+            }
+            "--json" => json = true,
+            "--update-baseline" => update_baseline = true,
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}\n\n{USAGE}")),
+        }
+    }
+    let baseline = baseline.unwrap_or_else(|| root.join("lint-baseline.json"));
+    Ok(Args {
+        root,
+        baseline,
+        json,
+        update_baseline,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let baseline = match Baseline::load(&args.baseline) {
+        Ok(b) => b,
+        Err(msg) => {
+            eprintln!("mav-lint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match mav_lint::run(&args.root, &baseline) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("mav-lint: scanning {}: {e}", args.root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    if args.update_baseline {
+        let updated = Baseline::from_findings(&report.findings, &baseline);
+        let text = updated.to_json().to_string_pretty();
+        if let Err(e) = std::fs::write(&args.baseline, text + "\n") {
+            eprintln!("mav-lint: writing {}: {e}", args.baseline.display());
+            return ExitCode::from(2);
+        }
+        let todo = updated
+            .entries
+            .iter()
+            .filter(|e| e.justification.starts_with("TODO"))
+            .count();
+        eprintln!(
+            "mav-lint: wrote {} entries ({} findings budgeted) to {}{}",
+            updated.entries.len(),
+            report.findings.len(),
+            args.baseline.display(),
+            if todo > 0 {
+                format!("; {todo} entries need a justification before the baseline loads")
+            } else {
+                String::new()
+            }
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    if args.json {
+        println!("{}", report.to_json().to_string_pretty());
+    } else {
+        for f in &report.outcome.new {
+            println!("{}", f.render());
+        }
+        for s in &report.outcome.stale {
+            eprintln!(
+                "mav-lint: stale baseline entry: {} {} allows {} but only {} present — \
+                 tighten with --update-baseline",
+                s.file,
+                s.rule.name(),
+                s.allowed,
+                s.actual
+            );
+        }
+        eprintln!(
+            "mav-lint: {} files, {} findings ({} baselined, {} new)",
+            report.files_scanned,
+            report.findings.len(),
+            report.outcome.baselined,
+            report.outcome.new.len()
+        );
+    }
+    if report.ok() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

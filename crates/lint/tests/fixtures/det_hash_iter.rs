@@ -1,0 +1,52 @@
+//@ path: crates/fake/src/index.rs
+//! DET-HASH-ITER fixture: hash-order iteration feeding results.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+pub fn bad_method_iter(cells: &HashMap<u64, f64>) -> Vec<f64> {
+    cells.values().copied().collect() //~ DET-HASH-ITER
+}
+
+pub fn bad_for_loop(seen: &HashSet<u64>) -> u64 {
+    let mut acc = 0;
+    for key in seen { //~ DET-HASH-ITER
+        acc ^= key;
+    }
+    acc
+}
+
+/// Silent: the iteration result is sorted immediately afterwards.
+pub fn sorted_method_iter(cells: &HashMap<u64, f64>) -> Vec<u64> {
+    let mut keys: Vec<u64> = cells.keys().copied().collect();
+    keys.sort_unstable();
+    keys
+}
+
+/// Silent: the for-loop accumulates into a buffer that is sorted after the
+/// loop (the collect-then-sort idiom used by the octree's voxel scans).
+pub fn sorted_after_loop(cells: &HashMap<u64, f64>) -> Vec<u64> {
+    let mut out = Vec::new();
+    for (key, _value) in cells {
+        out.push(*key);
+    }
+    out.sort_unstable();
+    out
+}
+
+/// Silent: BTreeMap iteration is ordered by definition (the name is
+/// distinct from the hash-typed ones above — the rule tracks names
+/// file-wide).
+pub fn btree_is_ordered(ordered_cells: &BTreeMap<u64, f64>) -> Vec<f64> {
+    ordered_cells.values().copied().collect()
+}
+
+/// Silent: order provably does not matter and the site says why.
+pub fn annotated_commutative_fold(cells: &HashMap<u64, u64>) -> u64 {
+    // mav-lint: allow(DET-HASH-ITER): XOR fold is order-independent
+    cells.values().fold(0, |acc, v| acc ^ v)
+}
+
+/// Silent: the violation lives inside a raw string.
+pub fn raw_string_decoy() -> &'static str {
+    r##"for k in map.keys() { emit(k) } // HashMap iteration"##
+}

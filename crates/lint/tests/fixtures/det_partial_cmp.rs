@@ -1,0 +1,55 @@
+//@ path: crates/fake/src/rank.rs
+//! DET-PARTIAL-CMP fixture: NaN-unsafe comparators.
+
+pub fn bad_sort(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap()); //~ DET-PARTIAL-CMP PANIC-LIB
+}
+
+pub fn bad_max(xs: &[f64]) -> Option<f64> {
+    xs.iter()
+        .copied()
+        .max_by(|a, b| a.partial_cmp(b).expect("finite")) //~ DET-PARTIAL-CMP PANIC-LIB
+}
+
+pub fn bad_unwrap_or(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal)); //~ DET-PARTIAL-CMP
+}
+
+/// Silent: total_cmp is the fix, not a finding.
+pub fn good_sort(xs: &mut [f64]) {
+    xs.sort_by(|a, b| a.total_cmp(b));
+}
+
+/// Silent: implementing `PartialOrd` mentions partial_cmp without calling
+/// `.unwrap()` on it.
+pub struct Score(pub f64);
+
+impl PartialEq for Score {
+    fn eq(&self, other: &Self) -> bool {
+        self.0 == other.0
+    }
+}
+
+impl PartialOrd for Score {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        self.0.partial_cmp(&other.0)
+    }
+}
+
+/// Silent: commented-out and raw-string decoys.
+pub fn decoys() -> &'static str {
+    // xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    r#"a.partial_cmp(b).unwrap()"#
+}
+
+#[cfg(test)]
+mod tests {
+    /// The rule fires even in test code: a NaN panic in a test comparator
+    /// is still a flaky test.
+    #[test]
+    fn still_checked_in_tests() {
+        let mut xs = [2.0, 1.0];
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap()); //~ DET-PARTIAL-CMP
+        assert_eq!(xs[0], 1.0);
+    }
+}

@@ -1,0 +1,34 @@
+//@ path: crates/fake/src/draw.rs
+//! DET-THREAD-RNG fixture: RNGs not threaded from the mission seed.
+
+pub fn bad_thread_rng() -> f64 {
+    let mut rng = rand::thread_rng(); //~ DET-THREAD-RNG
+    rng.gen_range(0.0..1.0)
+}
+
+pub fn bad_entropy_seeding() -> u64 {
+    let rng = SmallRng::from_entropy(); //~ DET-THREAD-RNG
+    rng.next_u64()
+}
+
+pub fn bad_rand_random() -> f64 {
+    rand::random() //~ DET-THREAD-RNG
+}
+
+/// Silent: seeded construction is the required form.
+pub fn good_seeded(seed: u64) -> SmallRng {
+    SmallRng::seed_from_u64(seed)
+}
+
+/// Silent: decoys in comments and strings.
+pub fn decoys() -> &'static str {
+    // let mut rng = rand::thread_rng();
+    "thread_rng is banned outside strings"
+}
+
+/// Silent: annotated with a justification.
+pub fn annotated() -> u64 {
+    // mav-lint: allow(DET-THREAD-RNG): fixture — jitter never reaches results
+    let rng = SmallRng::from_entropy();
+    rng.next_u64()
+}

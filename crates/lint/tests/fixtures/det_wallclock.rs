@@ -1,0 +1,39 @@
+//@ path: crates/fake/src/clock.rs
+//! DET-WALLCLOCK fixture: wall-clock reads in a simulation crate.
+
+pub fn bad_instant() -> f64 {
+    let started = std::time::Instant::now(); //~ DET-WALLCLOCK
+    started.elapsed().as_secs_f64()
+}
+
+pub fn bad_system_time() -> u64 {
+    let now = std::time::SystemTime::now(); //~ DET-WALLCLOCK
+    now.elapsed().map(|d| d.as_secs()).unwrap_or(0)
+}
+
+/// Silent: the violation only appears inside a raw string literal.
+pub fn raw_string_decoy() -> &'static str {
+    r#"let t = Instant::now(); SystemTime::now()"#
+}
+
+/// Silent: the violation is commented out.
+pub fn commented_decoy() -> u32 {
+    // let t = std::time::Instant::now();
+    /* SystemTime::now() would also be banned here */
+    7
+}
+
+/// Silent: annotated boundary with a written justification.
+pub fn audited_boundary() -> std::time::Instant {
+    // mav-lint: allow(DET-WALLCLOCK): fixture boundary — harness metadata only
+    std::time::Instant::now()
+}
+
+#[cfg(test)]
+mod tests {
+    /// Silent: test code may time the host.
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let _ = std::time::Instant::now();
+    }
+}

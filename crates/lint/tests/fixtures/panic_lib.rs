@@ -1,0 +1,55 @@
+//@ path: crates/fake/src/store.rs
+//! PANIC-LIB fixture: panic paths in library crates.
+
+pub fn bad_unwrap(xs: &[u32]) -> u32 {
+    *xs.first().unwrap() //~ PANIC-LIB
+}
+
+pub fn bad_expect(xs: &[u32]) -> u32 {
+    *xs.last().expect("non-empty") //~ PANIC-LIB
+}
+
+pub fn bad_panic(ok: bool) {
+    if !ok {
+        panic!("invariant broken"); //~ PANIC-LIB
+    }
+}
+
+/// Silent: Result propagation is the required form.
+pub fn good_checked(xs: &[u32]) -> Option<u32> {
+    xs.first().copied()
+}
+
+/// Silent: annotated invariant.
+pub fn annotated(xs: &[u32]) -> u32 {
+    // mav-lint: allow(PANIC-LIB): fixture — caller guarantees non-empty
+    *xs.first().unwrap()
+}
+
+/// Silent: decoys in comments and strings.
+pub fn decoys() -> &'static str {
+    // xs.first().unwrap()
+    r#"macro_rules! in_a_string { () => { x.unwrap() }; }"#
+}
+
+/// A macro *body* is not a decoy: the expansion panics wherever the macro
+/// is used, so the tokens inside still count.
+macro_rules! get_or_die {
+    ($opt:expr) => {
+        $opt.unwrap() //~ PANIC-LIB
+    };
+}
+
+pub fn uses_the_macro(x: Option<u32>) -> u32 {
+    get_or_die!(x)
+}
+
+#[cfg(test)]
+mod tests {
+    /// Silent: unwrap/expect/panic! are idiomatic in tests.
+    #[test]
+    fn unwrap_in_tests_is_fine() {
+        let xs = [1u32];
+        assert_eq!(*xs.first().unwrap(), 1);
+    }
+}

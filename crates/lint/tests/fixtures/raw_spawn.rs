@@ -1,0 +1,31 @@
+//@ path: crates/fake/src/pool.rs
+//! RAW-SPAWN fixture: unmanaged threads outside the rayon shim.
+
+pub fn bad_spawn() {
+    std::thread::spawn(|| {}); //~ RAW-SPAWN
+}
+
+pub fn bad_imported_spawn() {
+    use std::thread;
+    thread::spawn(|| {}); //~ RAW-SPAWN
+}
+
+/// Silent: the shim's deterministic pool is the sanctioned path.
+pub fn good_parallel(xs: &[u64]) -> Vec<u64> {
+    rayon::parallel_map_slice(xs, 2, |x| x * 2)
+}
+
+/// Silent: decoys in comments and strings.
+pub fn decoys() -> &'static str {
+    // std::thread::spawn(|| {});
+    "thread::spawn mentioned in a string"
+}
+
+#[cfg(test)]
+mod tests {
+    /// Silent: tests may spawn scaffolding threads.
+    #[test]
+    fn spawn_in_tests_is_fine() {
+        std::thread::spawn(|| {}).join().unwrap();
+    }
+}

@@ -1,0 +1,164 @@
+//! Property tests for the lenient lexer: on adversarial token soup it must
+//! never panic, and the spans it emits must tile the source exactly (ordered,
+//! non-overlapping, whitespace-only gaps, char-boundary aligned, line/col
+//! consistent with the byte offsets).
+
+use mav_lint::lexer::{lex, TokenKind};
+use proptest::prelude::*;
+
+/// Fragments chosen to collide: raw-string openers at several hash depths,
+/// unterminated strings/comments, lifetimes next to char literals, raw
+/// identifiers, byte strings, numbers against ranges, stray quotes and
+/// hashes, non-ASCII text, and the identifiers the rules look for (so a
+/// lexer bug would surface as a rule false positive too).
+const ALPHABET: &[&str] = &[
+    "r#\"",
+    "\"#",
+    "r##\"",
+    "\"##",
+    "r#ident",
+    "b\"bytes\"",
+    "br#\"raw\"#",
+    "\"",
+    "\\\"",
+    "\\",
+    "'a",
+    "'a'",
+    "'\\''",
+    "' '",
+    "<'static>",
+    "/*",
+    "*/",
+    "//",
+    "///",
+    "\n",
+    " ",
+    "\t",
+    "HashMap",
+    "Instant::now()",
+    ".partial_cmp(",
+    ".unwrap()",
+    "thread_rng",
+    "0.5e-3",
+    "1..20",
+    "0xFF_u32",
+    "1.",
+    "..=",
+    "::",
+    "#",
+    "#[cfg(test)]",
+    "mod",
+    "{",
+    "}",
+    "(",
+    ")",
+    "é∀",
+    "🦀",
+    "r",
+    "b",
+];
+
+fn assemble(ids: &[usize]) -> String {
+    ids.iter().map(|&i| ALPHABET[i % ALPHABET.len()]).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Lexing any splice of adversarial fragments terminates without
+    /// panicking and the spans round-trip the source.
+    #[test]
+    fn lex_is_total_and_spans_tile_the_source(
+        ids in proptest::collection::vec(0usize..ALPHABET.len(), 0..60),
+    ) {
+        let src = assemble(&ids);
+        let tokens = lex(&src);
+
+        let mut prev_end = 0usize;
+        for t in &tokens {
+            // Ordered, non-overlapping, in bounds, on char boundaries.
+            prop_assert!(t.span.start >= prev_end, "overlapping spans in {src:?}");
+            prop_assert!(t.span.end > t.span.start || t.kind == TokenKind::Unknown);
+            prop_assert!(t.span.end <= src.len());
+            prop_assert!(src.is_char_boundary(t.span.start));
+            prop_assert!(src.is_char_boundary(t.span.end));
+            // Gaps between tokens are whitespace only.
+            prop_assert!(
+                src[prev_end..t.span.start].chars().all(char::is_whitespace),
+                "non-whitespace gap {:?} in {src:?}",
+                &src[prev_end..t.span.start],
+            );
+            // line/col agree with the byte offset.
+            let prefix = &src[..t.span.start];
+            let line = 1 + prefix.matches('\n').count();
+            let col = 1 + prefix
+                .rsplit_once('\n')
+                .map_or(prefix, |(_, tail)| tail)
+                .chars()
+                .count();
+            prop_assert_eq!(t.span.line as usize, line, "line drift in {:?}", src.clone());
+            prop_assert_eq!(t.span.col as usize, col, "col drift in {:?}", src.clone());
+            prev_end = t.span.end;
+        }
+        // The tail after the last token is whitespace only.
+        prop_assert!(src[prev_end..].chars().all(char::is_whitespace));
+    }
+
+    /// A raw string at arbitrary hash depth swallows everything up to its
+    /// closing delimiter: no identifier tokens leak out of its body.
+    #[test]
+    fn raw_strings_swallow_their_body(hashes in 1usize..5, filler in 0usize..ALPHABET.len()) {
+        let h = "#".repeat(hashes);
+        // Quotes/hashes in the filler could legitimately close the raw
+        // string early; strip them so the body provably runs to `"{h}`.
+        let filler = ALPHABET[filler].replace(['"', '#'], "_");
+        let src = format!("let s = r{h}\"HashMap {filler} Instant::now()\"{h};");
+        let tokens = lex(&src);
+        let idents: Vec<&str> = tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text(&src))
+            .collect();
+        prop_assert!(!idents.contains(&"HashMap"), "raw string leaked: {src:?}");
+        prop_assert!(!idents.contains(&"Instant"), "raw string leaked: {src:?}");
+        prop_assert_eq!(
+            tokens.iter().filter(|t| t.kind == TokenKind::Str).count(),
+            1
+        );
+    }
+}
+
+/// Hand-picked pathological inputs that have bitten real Rust lexers.
+#[test]
+fn pathological_corpus() {
+    let corpus = [
+        "",
+        "r",
+        "r#",
+        "r#\"",
+        "r##\"unterminated",
+        "br###\"deep\"## not closed",
+        "'",
+        "'\\",
+        "b'",
+        "/* /* /* nested */ */",
+        "\"\\\"",
+        "// trailing line comment with no newline",
+        "0x",
+        "1e",
+        "1e+",
+        "r#match",
+        "'static",
+        "'a'b'c'd",
+        "….. 🦀 ..=..",
+        "#![allow(dead_code)]",
+    ];
+    for src in corpus {
+        let tokens = lex(src);
+        let mut prev = 0;
+        for t in &tokens {
+            assert!(t.span.start >= prev && t.span.end <= src.len(), "{src:?}");
+            prev = t.span.end;
+        }
+    }
+}

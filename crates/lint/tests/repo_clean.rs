@@ -1,0 +1,40 @@
+//! The final acceptance gate, runnable as a plain test: auditing this
+//! repository against the committed `lint-baseline.json` must produce zero
+//! new findings and zero stale budget — the baseline describes the tree
+//! exactly.
+
+use mav_lint::baseline::Baseline;
+use std::path::Path;
+
+#[test]
+fn repository_is_clean_against_committed_baseline() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .unwrap()
+        .to_path_buf();
+    let baseline = Baseline::load(&root.join("lint-baseline.json")).expect("baseline loads");
+    let report = mav_lint::run(&root, &baseline).expect("walk succeeds");
+    assert!(
+        report.files_scanned > 100,
+        "suspiciously few files scanned ({}) — wrong root?",
+        report.files_scanned
+    );
+    assert!(
+        report.outcome.new.is_empty(),
+        "non-baselined findings:\n{}",
+        report
+            .outcome
+            .new
+            .iter()
+            .map(|f| f.render())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+    assert!(
+        report.outcome.stale.is_empty(),
+        "baseline over-budgets (ratchet these down): {:?}",
+        report.outcome.stale
+    );
+    assert!(report.ok());
+}

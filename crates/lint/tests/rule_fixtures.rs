@@ -1,0 +1,103 @@
+//! Golden fixtures for the six rules.
+//!
+//! Each file under `tests/fixtures/` is a seeded Rust source (never
+//! compiled — the directory is also skipped by the repo walker) whose first
+//! line declares the repo-relative path it pretends to live at:
+//!
+//! ```text
+//! //@ path: crates/fake/src/clock.rs
+//! ```
+//!
+//! Every line carrying a trailing `//~ RULE-ID` marker must produce exactly
+//! that finding, and — the half that catches over-eager rules — every line
+//! *without* a marker must stay silent. The fixtures deliberately mix
+//! violations with decoys: raw strings containing banned identifiers,
+//! commented-out violations, `#[cfg(test)]` regions, annotated allowances.
+
+use mav_lint::rules::{check_file, RuleId};
+use mav_lint::scope::classify;
+use std::collections::BTreeSet;
+use std::path::Path;
+
+/// Parses `//~ RULE-ID [RULE-ID…]` markers into (line, rule) expectations.
+fn expected_findings(src: &str) -> BTreeSet<(usize, String)> {
+    let mut expected = BTreeSet::new();
+    for (i, line) in src.lines().enumerate() {
+        if let Some(rest) = line.split("//~").nth(1) {
+            for word in rest.split_whitespace() {
+                assert!(
+                    RuleId::from_name(word).is_some(),
+                    "fixture marker names unknown rule {word:?}"
+                );
+                expected.insert((i + 1, word.to_string()));
+            }
+        }
+    }
+    expected
+}
+
+fn declared_path(src: &str) -> &str {
+    src.lines()
+        .next()
+        .and_then(|l| l.strip_prefix("//@ path: "))
+        .expect("fixture must start with `//@ path: <rel-path>`")
+        .trim()
+}
+
+fn check_fixture(fixture: &Path) {
+    let src = std::fs::read_to_string(fixture).unwrap();
+    let rel_path = declared_path(&src);
+    let scope = classify(rel_path);
+    let actual: BTreeSet<(usize, String)> = check_file(rel_path, &src, &scope)
+        .into_iter()
+        .map(|f| (f.line as usize, f.rule.name().to_string()))
+        .collect();
+    let expected = expected_findings(&src);
+    let missing: Vec<_> = expected.difference(&actual).collect();
+    let unexpected: Vec<_> = actual.difference(&expected).collect();
+    assert!(
+        missing.is_empty() && unexpected.is_empty(),
+        "{}: rule findings diverge from //~ markers\n  missing:    {missing:?}\n  unexpected: {unexpected:?}",
+        fixture.display(),
+    );
+}
+
+#[test]
+fn fixtures_match_their_markers() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let mut fixtures: Vec<_> = std::fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|x| x == "rs"))
+        .collect();
+    fixtures.sort();
+    assert!(
+        fixtures.len() >= 6,
+        "expected one fixture per rule, found {fixtures:?}"
+    );
+    let mut rules_covered = BTreeSet::new();
+    for fixture in &fixtures {
+        let src = std::fs::read_to_string(fixture).unwrap();
+        for (_, rule) in expected_findings(&src) {
+            rules_covered.insert(rule);
+        }
+        check_fixture(fixture);
+    }
+    // Every rule must be proven to fire by at least one fixture violation.
+    for rule in RuleId::ALL {
+        assert!(
+            rules_covered.contains(rule.name()),
+            "no fixture exercises {}",
+            rule.name()
+        );
+    }
+}
+
+/// The pretend paths the fixtures declare must classify into the scope the
+/// fixtures assume, or the marker expectations above test the wrong thing.
+#[test]
+fn fixture_scopes_resolve_as_declared() {
+    use mav_lint::scope::FileScope;
+    assert_eq!(classify("crates/fake/src/clock.rs"), FileScope::SimLib);
+    assert_eq!(classify("crates/fake/src/pool.rs"), FileScope::SimLib);
+}

@@ -181,11 +181,10 @@ impl ObjectDetector {
         self.detect(world, pose)
             .into_iter()
             .filter(|d| d.class == class)
-            .max_by(|a, b| {
-                a.confidence
-                    .partial_cmp(&b.confidence)
-                    .expect("finite confidence")
-            })
+            // `total_cmp` ≡ the historical `partial_cmp().expect()`:
+            // confidences are finite and strictly positive, so the NaN/±0.0
+            // cases where the comparators differ cannot occur.
+            .max_by(|a, b| a.confidence.total_cmp(&b.confidence))
     }
 }
 

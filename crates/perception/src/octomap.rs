@@ -1465,10 +1465,16 @@ impl OctoMap {
             dedup.insert(key, (c, l));
         }
         let mut v: Vec<(Vec3, f64)> = dedup.into_values().collect();
+        // Chained `total_cmp` ≡ the historical `partial_cmp` tuple sort:
+        // leaf centres sit at (k + ½)·resolution, so they are finite, never
+        // ±0.0, and pairwise distinct after the dedup — the comparators can
+        // only disagree on values that never occur here (same argument as
+        // the `free_voxel_centers_into` hot path).
         v.sort_by(|a, b| {
-            (a.0.x, a.0.y, a.0.z)
-                .partial_cmp(&(b.0.x, b.0.y, b.0.z))
-                .expect("finite coordinates")
+            a.0.x
+                .total_cmp(&b.0.x)
+                .then(a.0.y.total_cmp(&b.0.y))
+                .then(a.0.z.total_cmp(&b.0.z))
         });
         v
     }
@@ -2050,10 +2056,13 @@ pub mod reference {
                 dedup.insert(key, (c, l));
             }
             let mut v: Vec<(Vec3, f64)> = dedup.into_values().collect();
+            // Same comparator-equivalence argument as `collect_leaves`:
+            // (k + ½)·resolution centres are finite, never ±0.0, distinct.
             v.sort_by(|a, b| {
-                (a.0.x, a.0.y, a.0.z)
-                    .partial_cmp(&(b.0.x, b.0.y, b.0.z))
-                    .expect("finite coordinates")
+                a.0.x
+                    .total_cmp(&b.0.x)
+                    .then(a.0.y.total_cmp(&b.0.y))
+                    .then(a.0.z.total_cmp(&b.0.z))
             });
             v
         }

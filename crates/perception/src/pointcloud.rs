@@ -184,11 +184,17 @@ impl PointCloud {
         scratch
             .centroids
             .extend(scratch.cells.values().map(|&(sum, n)| sum / n as f64));
-        // Sort for determinism across hash orders.
+        // Sort for determinism across hash orders. The chained `total_cmp`
+        // orders identically to the historical `partial_cmp` tuple sort:
+        // centroids are finite (means of capture points), and the sole case
+        // where the comparators disagree — an axis tie between -0.0 and
+        // +0.0 — cannot arise, since a -0.0 mean would need every point in
+        // the cell to carry an exact -0.0 coordinate, which capture
+        // geometry (origin + direction·range with range > 0) never emits.
         scratch.centroids.sort_by(|a, b| {
-            (a.x, a.y, a.z)
-                .partial_cmp(&(b.x, b.y, b.z))
-                .expect("finite coordinates")
+            a.x.total_cmp(&b.x)
+                .then(a.y.total_cmp(&b.y))
+                .then(a.z.total_cmp(&b.z))
         });
         out.clear();
         out.origin = self.origin;
@@ -199,19 +205,22 @@ impl PointCloud {
 
     /// The point nearest to `query`, or `None` when empty.
     pub fn nearest(&self, query: &Vec3) -> Option<Vec3> {
+        // `total_cmp` ≡ the historical `partial_cmp().expect()`: squared
+        // distances are finite non-negative, so the NaN/±0.0 cases where
+        // the comparators differ never occur.
         self.iter().min_by(|a, b| {
             a.distance_squared(query)
-                .partial_cmp(&b.distance_squared(query))
-                .expect("finite distances")
+                .total_cmp(&b.distance_squared(query))
         })
     }
 
     /// Minimum distance from the sensor origin to any point, or `None` when
     /// empty. Used as a cheap proximity alarm by the collision-check node.
     pub fn min_range(&self) -> Option<f64> {
+        // Same argument as `nearest`: finite non-negative distances.
         self.iter()
             .map(|p| p.distance(&self.origin))
-            .min_by(|a, b| a.partial_cmp(b).expect("finite"))
+            .min_by(|a, b| a.total_cmp(b))
     }
 }
 

@@ -166,13 +166,17 @@ impl FrontierExplorer {
                     let centroid = c.iter().fold(Vec3::ZERO, |acc, p| acc + *p) / c.len() as f64;
                     // Snap the representative to the member nearest the
                     // centroid so it is guaranteed to be a free voxel centre.
+                    // `total_cmp` ≡ the historical `partial_cmp().expect()`
+                    // here: squared distances are finite and non-negative, so
+                    // the only values the comparators order differently
+                    // (NaN, ±0.0 — distance² of +0.0 has one bit pattern)
+                    // never reach it, and it cannot panic.
                     let center = c
                         .iter()
                         .copied()
                         .min_by(|a, b| {
                             a.distance_squared(&centroid)
-                                .partial_cmp(&b.distance_squared(&centroid))
-                                .expect("finite")
+                                .total_cmp(&b.distance_squared(&centroid))
                         })
                         .expect("cluster non-empty");
                     Frontier {
@@ -297,12 +301,15 @@ impl FrontierExplorer {
     /// Picks the best frontier from `position` using the utility
     /// `size / (1 + w · distance)` — high exploratory promise, short path.
     pub fn select_frontier(&self, map: &OctoMap, position: &Vec3) -> Option<Frontier> {
+        // `total_cmp` ≡ the historical `partial_cmp().expect()`: utilities
+        // are strictly positive finite (size ≥ 1, denominator ≥ 1), so the
+        // NaN/±0.0 cases where the comparators differ cannot occur.
         self.find_frontiers(map).into_iter().max_by(|a, b| {
             let ua =
                 a.size as f64 / (1.0 + self.config.distance_weight * a.center.distance(position));
             let ub =
                 b.size as f64 / (1.0 + self.config.distance_weight * b.center.distance(position));
-            ua.partial_cmp(&ub).expect("finite utility")
+            ua.total_cmp(&ub)
         })
     }
 
@@ -326,12 +333,14 @@ impl FrontierExplorer {
         }
         // Try frontiers in descending utility order until one is reachable.
         let mut ranked = frontiers;
+        // Same comparator-equivalence argument as `select_frontier`: strictly
+        // positive finite utilities, so `total_cmp` orders identically.
         ranked.sort_by(|a, b| {
             let ua =
                 a.size as f64 / (1.0 + self.config.distance_weight * a.center.distance(&position));
             let ub =
                 b.size as f64 / (1.0 + self.config.distance_weight * b.center.distance(&position));
-            ub.partial_cmp(&ua).expect("finite utility")
+            ub.total_cmp(&ua)
         });
         for frontier in ranked {
             if let Ok(path) = planner.plan(map, checker, position, frontier.center) {

@@ -295,13 +295,15 @@ impl ShortestPathPlanner {
             // Nearest node in the tree.
             let nearest_idx = match &index {
                 Some(index) => index.nearest(&target).expect("tree is never empty"),
+                // `total_cmp` ≡ the historical `partial_cmp().expect()`:
+                // squared distances are finite non-negative, so the NaN/±0.0
+                // cases where the comparators differ never reach the sort.
                 None => nodes
                     .iter()
                     .enumerate()
                     .min_by(|a, b| {
                         a.1.distance_squared(&target)
-                            .partial_cmp(&b.1.distance_squared(&target))
-                            .expect("finite")
+                            .total_cmp(&b.1.distance_squared(&target))
                     })
                     .map(|(i, _)| i)
                     .expect("tree is never empty"),
@@ -479,10 +481,11 @@ fn astar(
     impl Ord for Frontier {
         fn cmp(&self, other: &Self) -> std::cmp::Ordering {
             // Reverse ordering: BinaryHeap is a max-heap, we need the min f.
-            other
-                .f
-                .partial_cmp(&self.f)
-                .unwrap_or(std::cmp::Ordering::Equal)
+            // `total_cmp` ≡ the historical `partial_cmp().unwrap_or(Equal)`
+            // for the finite non-negative f-costs this heap holds (g sums
+            // finite edge lengths, h is a distance); unlike the old
+            // comparator it cannot silently mis-order a NaN either.
+            other.f.total_cmp(&self.f)
         }
     }
     impl PartialOrd for Frontier {

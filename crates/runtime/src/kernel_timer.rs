@@ -3,6 +3,11 @@
 //! Every kernel invocation in the closed loop is charged to the mission clock
 //! and recorded here; the totals reproduce the kernel-breakdown figure of the
 //! paper (Fig. 15) and the per-application time profile of Table I.
+//!
+//! Despite the name, this module never reads the host clock: all durations
+//! are [`SimDuration`] charges computed from the compute model, so the
+//! recorded totals are bit-deterministic and safe to feed into mission
+//! results. (`mav-lint`'s DET-WALLCLOCK rule keeps it that way.)
 
 use mav_compute::KernelId;
 use mav_types::SimDuration;
@@ -80,9 +85,13 @@ impl KernelTimer {
     /// The kernel with the largest total time, if any: the application's
     /// compute bottleneck.
     pub fn bottleneck(&self) -> Option<KernelId> {
+        // `total_cmp` ≡ the historical `partial_cmp().expect()`: recorded
+        // durations are finite non-negative sums of kernel charges, so the
+        // NaN/±0.0 cases where the comparators differ never occur (ties
+        // still resolve to the last maximal kernel in BTreeMap order).
         self.totals
             .iter()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("durations are comparable"))
+            .max_by(|a, b| a.1.as_secs().total_cmp(&b.1.as_secs()))
             .map(|(k, _)| *k)
     }
 

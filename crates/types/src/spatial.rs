@@ -329,11 +329,7 @@ mod tests {
         points
             .iter()
             .enumerate()
-            .min_by(|a, b| {
-                a.1.distance_squared(q)
-                    .partial_cmp(&b.1.distance_squared(q))
-                    .expect("finite")
-            })
+            .min_by(|a, b| a.1.distance_squared(q).total_cmp(&b.1.distance_squared(q)))
             .map(|(i, _)| i)
     }
 
