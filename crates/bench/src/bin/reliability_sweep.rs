@@ -1,11 +1,13 @@
 //! PR 7 — Monte-Carlo reliability sweep: randomized scenarios, streaming
-//! aggregates, deterministic sharding, plus the replan-Hz × replan-mode grid.
+//! aggregates, deterministic sharding, plus the replan-Hz × replan-mode grid,
+//! a per-scenario-class breakdown, and (with `--faults`) the fault-intensity ×
+//! degradation-policy matrix.
 use mav_bench::{figures, run_figure};
 
 fn main() {
     run_figure(
         "reliability_sweep",
-        "Monte-Carlo reliability sweep over randomized scenarios (success/collision rates, time/energy p50/p99, episodes/sec) with a replan-Hz x replan-mode grid",
+        "Monte-Carlo reliability sweep over randomized scenarios (success/collision rates, time/energy p50/p99, episodes/sec) with a replan-Hz x replan-mode grid, per-class breakdown, and an optional --faults degradation matrix",
         figures::reliability_sweep,
     );
 }

@@ -21,6 +21,11 @@
 //!   (big.LITTLE-style cluster mapping; keys cam/map/plan/ctrl, values
 //!   `big@GHz`, `little@GHz` or `<cores>c@GHz` — omitted nodes stay at the
 //!   mission-global point);
+//! * `--faults cam-drop=0.1,plan-timeout=2x,battery-fade=0.2` — a seeded
+//!   fault plan every mission runs under (keys cam-drop, noise-burst,
+//!   kernel-spike, plan-timeout, topic-drop, battery-fade — omitted faults
+//!   stay off; omitting the flag keeps every mission bit-identical to the
+//!   fault-free build);
 //! * `--help` — usage.
 //!
 //! A binary is a one-liner: `run_figure(NAME, DESCRIPTION, figures::NAME)`.
@@ -30,7 +35,7 @@
 
 use mav_compute::OperatingPoint;
 use mav_core::sweep::SweepRunner;
-use mav_core::{ExecModel, MissionConfig, NodeOpConfig, RateConfig, ReplanMode};
+use mav_core::{ExecModel, FaultPlan, MissionConfig, NodeOpConfig, RateConfig, ReplanMode};
 use mav_types::{Frequency, Json};
 
 /// Parsed command-line options shared by every harness binary.
@@ -56,6 +61,9 @@ pub struct Cli {
     /// Per-node operating points to impose on every mission (`--node-op`);
     /// `None` leaves each figure's configuration (normally mission-global).
     pub node_ops: Option<NodeOpConfig>,
+    /// Fault plan to impose on every mission (`--faults`); `None` keeps
+    /// faults off (the bit-identical default).
+    pub faults: Option<FaultPlan>,
 }
 
 /// What a figure builder hands back to the driver.
@@ -124,6 +132,14 @@ impl Cli {
                         .ok_or_else(|| CliError::Invalid("--node-op needs a value".into()))?;
                     cli.node_ops = Some(parse_node_ops(&value)?);
                 }
+                "--faults" => {
+                    let value = args
+                        .next()
+                        .ok_or_else(|| CliError::Invalid("--faults needs a value".into()))?;
+                    cli.faults = Some(FaultPlan::parse(&value).map_err(|reason| {
+                        CliError::Invalid(format!("invalid --faults: {reason}"))
+                    })?);
+                }
                 "--help" | "-h" => return Err(CliError::Help),
                 other => return Err(CliError::Invalid(format!("unknown argument `{other}`"))),
             }
@@ -157,8 +173,12 @@ impl Cli {
             Some(model) => config.with_exec_model(model),
             None => config,
         };
-        match self.node_ops {
+        let config = match self.node_ops {
             Some(node_ops) => config.with_node_ops(node_ops),
+            None => config,
+        };
+        match self.faults {
+            Some(plan) => config.with_fault_plan(plan),
             None => config,
         }
     }
@@ -297,7 +317,7 @@ fn usage(name: &str, description: &str) -> String {
     format!(
         "{name} — {description}\n\n\
          usage: {name} [--fast] [--json] [--threads N] [--rates LIST] [--replan-mode MODE]\n       \
-         [--exec-model MODEL] [--node-op LIST]\n\n\
+         [--exec-model MODEL] [--node-op LIST] [--faults LIST]\n\n\
          options:\n  \
          --fast        run scaled-down scenarios that finish in seconds (alias: --quick)\n  \
          --json        print the figure data as JSON instead of text tables\n  \
@@ -314,6 +334,10 @@ fn usage(name: &str, description: &str) -> String {
          per-node operating points, e.g. plan=big@2.2,cam=little@1.4\n                \
          (keys cam/map/plan/ctrl; values big@GHz, little@GHz or <cores>c@GHz;\n                \
          omitted nodes stay at the mission-global point)\n  \
+         --faults LIST\n                \
+         seeded fault plan, e.g. cam-drop=0.1,plan-timeout=2x,battery-fade=0.2\n                \
+         (keys cam-drop, noise-burst, kernel-spike, plan-timeout, topic-drop,\n                \
+         battery-fade; omitted faults stay off)\n  \
          --help        show this message"
     )
 }
@@ -353,8 +377,15 @@ pub fn run_figure(name: &str, description: &str, body: impl FnOnce(&Cli) -> Figu
             .field("rates", rates_json)
             .field("replan_mode", replan_mode_json)
             .field("exec_model", exec_model_json)
-            .field("node_ops", node_ops_json)
-            .field("data", output.json);
+            .field("node_ops", node_ops_json);
+        // Unlike the always-present flag fields above, `faults` only appears
+        // when a plan was requested: fault-free harness JSON stays
+        // byte-identical to every pre-fault-injection archive.
+        let document = match cli.faults {
+            Some(plan) => document.field("faults", plan.label().as_str()),
+            None => document,
+        };
+        let document = document.field("data", output.json);
         println!("{}", document.to_string_pretty());
     } else {
         println!("== {name}: {description} ==");
@@ -577,6 +608,33 @@ mod tests {
         assert_eq!(cfg.rates.camera_fps, Some(5.0));
         let plain = Cli::default().scale(MissionConfig::new(ApplicationId::Mapping3D));
         assert!(plain.rates.is_legacy());
+    }
+
+    #[test]
+    fn faults_parse_and_apply_to_every_mission() {
+        use mav_compute::ApplicationId;
+        let cli = parse(&["--faults", "cam-drop=0.1,plan-timeout=2x,battery-fade=0.2"]).unwrap();
+        let plan = cli.faults.unwrap();
+        assert_eq!(plan.camera_dropout, 0.1);
+        assert_eq!(plan.plan_timeout_factor, 2.0);
+        assert_eq!(plan.battery_fade, 0.2);
+        let cfg = cli.scale(MissionConfig::new(ApplicationId::PackageDelivery));
+        assert_eq!(cfg.fault_plan, plan);
+        // No flag: faults stay off and the config is untouched.
+        let plain = Cli::default().scale(MissionConfig::new(ApplicationId::PackageDelivery));
+        assert!(plain.fault_plan.is_none());
+        assert_eq!(parse(&[]).unwrap().faults, None);
+    }
+
+    #[test]
+    fn bad_faults_are_rejected() {
+        for spec in ["cam-drop", "cam-drop=x", "warp-core=0.5", "cam-drop=1.5"] {
+            assert!(
+                matches!(parse(&["--faults", spec]), Err(CliError::Invalid(_))),
+                "`{spec}` should be rejected"
+            );
+        }
+        assert!(matches!(parse(&["--faults"]), Err(CliError::Invalid(_))));
     }
 
     #[test]

@@ -16,7 +16,8 @@ use mav_core::experiments::{
 };
 use mav_core::microbench::{hover_endurance_minutes, slam_fps_sweep, SlamMicrobenchConfig};
 use mav_core::reliability::{
-    reliability_rate_grid_with, reliability_sweep_with, ScenarioGenerator,
+    reliability_fault_grid_with, reliability_rate_grid_with, reliability_sweep_classified,
+    ScenarioGenerator, DEFAULT_SHARD_SIZE,
 };
 use mav_core::velocity::velocity_vs_process_time;
 use mav_energy::{
@@ -909,19 +910,32 @@ pub fn table2_noise_reliability(cli: &Cli) -> FigureOutput {
 /// replan mode × executor model, all drawn by the seeded
 /// [`ScenarioGenerator`]), aggregated by streaming statistics and sharded
 /// deterministically over the sweep workers — plus the replan-Hz ×
-/// replan-mode reliability grid. The generator draws its own rates/modes per
-/// episode, so the top-level `--rates`/`--replan-mode`/`--exec-model` flags
-/// do not apply here; `--fast` scales the episode counts.
+/// replan-mode reliability grid and a per-scenario-class breakdown. With
+/// `--faults` the sweep samples fault cohorts (none / half / full intensity)
+/// per episode and appends the fault-intensity × degradation-policy matrix.
+/// The generator draws its own rates/modes per episode, so the top-level
+/// `--rates`/`--replan-mode`/`--exec-model` flags do not apply here;
+/// `--fast` scales the episode counts.
 pub fn reliability_sweep(cli: &Cli) -> FigureOutput {
     let runner = cli.runner();
     let episodes: u64 = if cli.fast { 192 } else { 1920 };
     let episodes_per_cell: u64 = if cli.fast { 24 } else { 192 };
-    let generator = ScenarioGenerator::new(ApplicationId::PackageDelivery, 29);
+    let mut generator = ScenarioGenerator::new(ApplicationId::PackageDelivery, 29);
+    if let Some(plan) = cli.faults {
+        // Fault cohorts: a third of the episodes fault-free, a third at half
+        // intensity, a third at the requested plan — separable afterwards
+        // through the per-class breakdown. Degraded runs get the defensive
+        // posture so the responses under test actually engage.
+        generator = generator
+            .with_fault_plans(vec![mav_core::FaultPlan::none(), plan.scaled(0.5), plan])
+            .with_degradation(mav_core::DegradationConfig::defensive());
+    }
     // Harness timing: episodes/sec throughput metadata only — the sweep's
     // reliability statistics are computed from simulated-clock outcomes.
     #[allow(clippy::disallowed_methods)]
     let started = std::time::Instant::now();
-    let stats = reliability_sweep_with(&runner, &generator, episodes);
+    let (stats, classes) =
+        reliability_sweep_classified(&runner, &generator, episodes, DEFAULT_SHARD_SIZE);
     let wall_secs = started.elapsed().as_secs_f64();
     let episodes_per_sec = episodes as f64 / wall_secs.max(1e-9);
     let grid = reliability_rate_grid_with(
@@ -977,18 +991,79 @@ pub fn reliability_sweep(cli: &Cli) -> FigureOutput {
         ],
         &rows,
     ));
-    FigureOutput {
-        text,
-        json: Json::object()
-            .field(
-                "scenario",
-                "Package Delivery; ScenarioGenerator seed 29 drawing density/extent/noise/\
-                 rates/replan-mode/exec-model per episode; grid seed 31 pins rates+mode per cell",
-            )
-            .field("episodes", episodes)
-            .field("wall_secs", wall_secs)
-            .field("episodes_per_sec", episodes_per_sec)
-            .field("aggregate", stats.to_json())
-            .field("rate_grid", grid.to_json()),
+    text.push_str("\n-- scenario-class breakdown --\n");
+    let class_rows: Vec<Vec<String>> = classes
+        .iter()
+        .map(|(class, cs)| {
+            vec![
+                class.clone(),
+                cs.episodes.to_string(),
+                format!("{:.0}%", cs.success_rate() * 100.0),
+                format!("{:.0}%", cs.collision_rate() * 100.0),
+                format!("{:.0}%", cs.abort_rate() * 100.0),
+            ]
+        })
+        .collect();
+    text.push_str(&format_table(
+        &["class", "episodes", "success", "collisions", "aborts"],
+        &class_rows,
+    ));
+    let class_json = classes.iter().fold(Json::object(), |json, (class, cs)| {
+        json.field(class.as_str(), cs.to_json())
+    });
+    let fault_matrix = cli.faults.map(|plan| {
+        reliability_fault_grid_with(
+            &runner,
+            ApplicationId::PackageDelivery,
+            31,
+            episodes_per_cell,
+            &plan,
+        )
+    });
+    if let Some(cells) = &fault_matrix {
+        text.push_str(&format!(
+            "\n-- fault-intensity x degradation-policy matrix ({episodes_per_cell} episodes/cell) --\n"
+        ));
+        let matrix_rows: Vec<Vec<String>> = cells
+            .iter()
+            .map(|cell| {
+                vec![
+                    cell.label(),
+                    format!("{:.0}%", cell.stats.survival_rate() * 100.0),
+                    format!("{:.0}%", cell.stats.success_rate() * 100.0),
+                    format!("{:.1}%", cell.stats.degraded_time_fraction() * 100.0),
+                    format!("{:.2}", cell.stats.mean_recover_secs()),
+                    format!("{:.1}", cell.stats.time.quantile(0.5)),
+                ]
+            })
+            .collect();
+        text.push_str(&format_table(
+            &[
+                "cell",
+                "survival",
+                "success",
+                "degraded time",
+                "recover (s)",
+                "p50 time (s)",
+            ],
+            &matrix_rows,
+        ));
     }
+    let json = Json::object()
+        .field(
+            "scenario",
+            "Package Delivery; ScenarioGenerator seed 29 drawing density/extent/noise/\
+             rates/replan-mode/exec-model per episode; grid seed 31 pins rates+mode per cell",
+        )
+        .field("episodes", episodes)
+        .field("wall_secs", wall_secs)
+        .field("episodes_per_sec", episodes_per_sec)
+        .field("aggregate", stats.to_json())
+        .field("rate_grid", grid.to_json())
+        .field("classes", class_json);
+    let json = match fault_matrix {
+        Some(cells) => json.field("fault_matrix", cells.to_json()),
+        None => json,
+    };
+    FigureOutput { text, json }
 }

@@ -95,6 +95,7 @@ fn invalid_config_report(application: ApplicationId, reason: String) -> MissionR
         0.0,
         0.0,
         KernelTimer::new(),
+        None,
     )
 }
 

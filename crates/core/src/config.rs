@@ -1,5 +1,6 @@
 //! Mission configuration: every knob the MAVBench experiments turn.
 
+use crate::faults::FaultPlan;
 use mav_compute::{ApplicationId, CloudConfig, OperatingPoint};
 use mav_dynamics::QuadrotorConfig;
 use mav_energy::BatteryConfig;
@@ -323,6 +324,189 @@ impl std::fmt::Display for ReplanMode {
     }
 }
 
+/// How the vehicle reacts when a threat enters the Eq. 2 stopping distance
+/// (PR 9, ROADMAP brake-policy carry-over).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum BrakePolicy {
+    /// The historical Eq. 2 stop: any threat inside the stopping distance
+    /// zeroes the velocity command outright (bit-identical default).
+    #[default]
+    Binary,
+    /// Graded slow-down: the command is scaled by `distance / stopping
+    /// distance`, so the vehicle sheds speed proportionally to how deep the
+    /// threat sits inside the braking envelope instead of slamming to zero.
+    Graded,
+}
+
+/// Fraction of the stopping distance that stays a hard-stop core under
+/// [`BrakePolicy::Graded`]. A purely proportional slow-down decays the
+/// command geometrically but never to zero, so over enough control ticks
+/// (e.g. a planning job at its timeout budget) the vehicle creeps inside
+/// the obstacle's collision radius; the core makes the graded ramp land on
+/// a full stop while still well clear of the threat.
+pub const GRADED_HARD_STOP_FRACTION: f64 = 0.5;
+
+impl BrakePolicy {
+    /// The CLI/figure label of this policy.
+    pub fn label(&self) -> &'static str {
+        match self {
+            BrakePolicy::Binary => "binary",
+            BrakePolicy::Graded => "graded",
+        }
+    }
+
+    /// The velocity-command scale for a threat at `distance` metres with an
+    /// Eq. 2 stopping distance of `stop` metres (callers only consult this
+    /// inside the braking envelope, `distance < stop`). Binary stops
+    /// outright; graded ramps linearly from full speed at the envelope edge
+    /// down to a full stop at the [`GRADED_HARD_STOP_FRACTION`] core.
+    pub fn brake_factor(&self, distance: f64, stop: f64) -> f64 {
+        match self {
+            BrakePolicy::Binary => 0.0,
+            BrakePolicy::Graded => {
+                let core = GRADED_HARD_STOP_FRACTION * stop;
+                ((distance - core) / (stop - core).max(f64::EPSILON)).clamp(0.0, 1.0)
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for BrakePolicy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Degraded-mode responses of the flight stack (PR 9). All off by default:
+/// the default mission flies exactly the pre-fault-era code paths, pinned by
+/// `tests/golden_legacy.rs`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DegradationConfig {
+    /// Stale-perception watchdog: when the path tracker sees no fresh depth
+    /// frame for longer than the grace interval, it decays the Eq. 2
+    /// velocity cap in proportion to the sensing age instead of flying blind
+    /// on the last cap.
+    pub perception_watchdog: bool,
+    /// Grace multiplier on the expected sensing interval before the watchdog
+    /// engages (the tracker tolerates this many nominal frame periods of
+    /// silence).
+    pub stale_grace_factor: f64,
+    /// Abandon an in-motion planning job whose charged latency exceeds this
+    /// budget, falling back to the hover-to-plan path (`None`: never).
+    pub plan_timeout_secs: Option<f64>,
+    /// How the vehicle brakes for threats inside the stopping distance.
+    pub brake_policy: BrakePolicy,
+    /// Partial-trajectory splicing on replan: graft the fresh segment onto
+    /// the still-collision-free prefix of the current plan instead of
+    /// replacing the whole trajectory.
+    pub plan_splicing: bool,
+}
+
+impl DegradationConfig {
+    /// Every response off: the historical fly-blind behaviour.
+    pub fn off() -> Self {
+        DegradationConfig {
+            perception_watchdog: false,
+            stale_grace_factor: 2.0,
+            plan_timeout_secs: None,
+            brake_policy: BrakePolicy::Binary,
+            plan_splicing: false,
+        }
+    }
+
+    /// The full defensive stack: watchdog + planner-timeout fallback +
+    /// graded braking (splicing stays opt-in).
+    pub fn defensive() -> Self {
+        DegradationConfig {
+            perception_watchdog: true,
+            stale_grace_factor: 2.0,
+            plan_timeout_secs: Some(4.0),
+            brake_policy: BrakePolicy::Graded,
+            plan_splicing: false,
+        }
+    }
+
+    /// Whether every response is off (the bit-identical default).
+    pub fn is_off(&self) -> bool {
+        !self.perception_watchdog
+            && self.plan_timeout_secs.is_none()
+            && self.brake_policy == BrakePolicy::Binary
+            && !self.plan_splicing
+    }
+
+    /// Enables the stale-perception watchdog (builder style).
+    pub fn with_watchdog(mut self) -> Self {
+        self.perception_watchdog = true;
+        self
+    }
+
+    /// Sets the in-motion planning job budget (builder style).
+    pub fn with_plan_timeout(mut self, secs: f64) -> Self {
+        self.plan_timeout_secs = Some(secs);
+        self
+    }
+
+    /// Sets the brake policy (builder style).
+    pub fn with_brake_policy(mut self, policy: BrakePolicy) -> Self {
+        self.brake_policy = policy;
+        self
+    }
+
+    /// Enables partial-trajectory splicing on replan (builder style).
+    pub fn with_plan_splicing(mut self) -> Self {
+        self.plan_splicing = true;
+        self
+    }
+
+    /// A compact label for reports: `off`, or the enabled responses joined
+    /// with `+` (e.g. `watchdog+graded`).
+    pub fn label(&self) -> String {
+        if self.is_off() {
+            return "off".into();
+        }
+        let mut parts: Vec<&str> = Vec::new();
+        if self.perception_watchdog {
+            parts.push("watchdog");
+        }
+        if self.plan_timeout_secs.is_some() {
+            parts.push("plan-timeout");
+        }
+        if self.brake_policy == BrakePolicy::Graded {
+            parts.push("graded");
+        }
+        if self.plan_splicing {
+            parts.push("splicing");
+        }
+        parts.join("+")
+    }
+
+    /// Validates the responses.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive message for the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(self.stale_grace_factor.is_finite() && self.stale_grace_factor >= 1.0) {
+            return Err(format!(
+                "stale_grace_factor must be >= 1, got {}",
+                self.stale_grace_factor
+            ));
+        }
+        if let Some(secs) = self.plan_timeout_secs {
+            if !(secs.is_finite() && secs > 0.0) {
+                return Err(format!("plan_timeout_secs must be positive, got {secs}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+impl Default for DegradationConfig {
+    fn default() -> Self {
+        DegradationConfig::off()
+    }
+}
+
 /// How the OctoMap resolution is chosen during the mission (the paper's
 /// energy case study, Fig. 19).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -454,6 +638,13 @@ pub struct MissionConfig {
     /// (the parallel path is pinned to the serial one), so this is purely a
     /// wall-clock knob for multi-core hosts.
     pub map_insert_threads: usize,
+    /// Seeded fault intensities for this mission (PR 9). The default,
+    /// [`FaultPlan::none`], compiles to no injector at all, leaving every
+    /// historical code path untouched.
+    pub fault_plan: FaultPlan,
+    /// Degraded-mode responses of the flight stack (PR 9). The default,
+    /// [`DegradationConfig::off`], is the historical fly-blind behaviour.
+    pub degradation: DegradationConfig,
     /// RNG seed shared by all stochastic components.
     pub seed: u64,
 }
@@ -489,6 +680,8 @@ impl MissionConfig {
             exec_model: ExecModel::default(),
             node_ops: NodeOpConfig::mission_global(),
             map_insert_threads: 1,
+            fault_plan: FaultPlan::none(),
+            degradation: DegradationConfig::off(),
             seed: 42,
         }
     }
@@ -554,6 +747,18 @@ impl MissionConfig {
         self
     }
 
+    /// Overrides the fault plan (builder style).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
+
+    /// Overrides the degraded-mode responses (builder style).
+    pub fn with_degradation(mut self, degradation: DegradationConfig) -> Self {
+        self.degradation = degradation;
+        self
+    }
+
     /// A scaled-down configuration for fast unit/integration testing: a small
     /// world, a coarse camera and map, and short distances. The physics and
     /// kernels are identical — only the scenario is smaller.
@@ -601,6 +806,8 @@ impl MissionConfig {
         }
         self.rates.validate()?;
         self.node_ops.validate()?;
+        self.fault_plan.validate()?;
+        self.degradation.validate()?;
         Ok(())
     }
 }
@@ -751,6 +958,53 @@ mod tests {
             .with_control(OperatingPoint::little_cluster(Frequency::from_ghz(1.5)));
         assert!(builders.validate().is_ok());
         assert!(!builders.is_mission_global());
+    }
+
+    #[test]
+    fn fault_and_degradation_default_off_and_validate() {
+        let cfg = MissionConfig::new(ApplicationId::PackageDelivery);
+        assert!(cfg.fault_plan.is_none());
+        assert!(cfg.degradation.is_off());
+        assert_eq!(cfg.degradation.brake_policy, BrakePolicy::Binary);
+        assert_eq!(cfg.degradation.label(), "off");
+        assert!(cfg.validate().is_ok());
+
+        let defensive = DegradationConfig::defensive();
+        assert!(!defensive.is_off());
+        assert_eq!(defensive.label(), "watchdog+plan-timeout+graded");
+        let cfg = cfg
+            .with_fault_plan(FaultPlan::parse("cam-drop=0.1,battery-fade=0.2").unwrap())
+            .with_degradation(defensive);
+        assert!(cfg.validate().is_ok());
+        assert!(!cfg.fault_plan.is_none());
+
+        let mut bad = MissionConfig::new(ApplicationId::PackageDelivery);
+        bad.fault_plan.battery_fade = 1.5;
+        assert!(bad.validate().is_err());
+        let mut bad = MissionConfig::new(ApplicationId::PackageDelivery);
+        bad.degradation.stale_grace_factor = 0.0;
+        assert!(bad.validate().is_err());
+        let bad = DegradationConfig::off().with_plan_timeout(-1.0);
+        assert!(bad.validate().is_err());
+        assert_eq!(BrakePolicy::Graded.label(), "graded");
+        assert_eq!(format!("{}", BrakePolicy::Binary), "binary");
+        // Binary always stops; graded ramps from full speed at the envelope
+        // edge down to a full stop at the hard-stop core (never a creep).
+        assert_eq!(BrakePolicy::Binary.brake_factor(4.9, 5.0), 0.0);
+        assert_eq!(BrakePolicy::Graded.brake_factor(5.0, 5.0), 1.0);
+        let mid = BrakePolicy::Graded.brake_factor(4.0, 5.0);
+        assert!(mid > 0.0 && mid < 1.0, "mid-envelope factor {mid}");
+        let core = GRADED_HARD_STOP_FRACTION * 5.0;
+        assert_eq!(BrakePolicy::Graded.brake_factor(core, 5.0), 0.0);
+        assert_eq!(BrakePolicy::Graded.brake_factor(0.1, 5.0), 0.0);
+        assert_eq!(
+            DegradationConfig::off()
+                .with_watchdog()
+                .with_brake_policy(BrakePolicy::Graded)
+                .with_plan_splicing()
+                .label(),
+            "watchdog+graded+splicing"
+        );
     }
 
     #[test]

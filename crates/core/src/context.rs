@@ -15,6 +15,7 @@
 //! [`crate::config::RateConfig`].
 
 use crate::config::{MissionConfig, ResolutionPolicy};
+use crate::faults::{DegradedState, DegradedSummary, FaultInjector};
 use crate::flight::{
     CollisionAlert, CollisionMonitorNode, DepthCameraNode, EnergyNode, FlightCtx, FlightEvent,
     InMotionPlanner, OctoMapNode, PathTrackerNode, PlannerNode, Timeline,
@@ -86,6 +87,11 @@ pub struct MissionContext {
     mapped_volume: f64,
     clouds: CloudScratch,
     scratch: Option<Rc<RefCell<EpisodeScratch>>>,
+    /// Compiled fault injector; `None` for the default empty plan, keeping
+    /// every historical code path structurally untouched.
+    faults: Option<FaultInjector>,
+    /// Degraded-mode bookkeeping the flight nodes report into.
+    degraded: DegradedState,
 }
 
 impl MissionContext {
@@ -118,7 +124,18 @@ impl MissionContext {
         };
         let start = Pose::new(Vec3::new(0.0, 0.0, config.quadrotor.cruise_altitude), 0.0);
         let quad = Quadrotor::new(config.quadrotor.clone(), start);
-        let battery = Battery::new(config.battery);
+        let faults = FaultInjector::compile(&config.fault_plan, config.seed);
+        // Battery capacity fade: an aged pack starts the mission with part of
+        // its rated capacity gone. Gated on the injector so the fault-free
+        // constructor input is the exact same `config.battery` as ever.
+        let battery = match faults.as_ref().filter(|inj| inj.plan().battery_fade > 0.0) {
+            Some(inj) => {
+                let mut pack = config.battery;
+                pack.capacity_mah *= inj.battery_capacity_scale();
+                Battery::new(pack)
+            }
+            None => Battery::new(config.battery),
+        };
         let rotor_power = RotorPowerModel::new(Default::default(), config.quadrotor.mass);
         let platform = match &config.cloud {
             Some(cloud) => mav_compute::ComputePlatform::tx2_with_cloud(
@@ -162,6 +179,8 @@ impl MissionContext {
             mapped_volume: 0.0,
             clouds,
             scratch,
+            faults,
+            degraded: DegradedState::default(),
             config,
         })
     }
@@ -256,6 +275,14 @@ impl MissionContext {
         };
         if kernel == KernelId::OctomapGeneration {
             latency = latency * ResolutionPolicy::octomap_cost_multiplier(self.current_resolution);
+        }
+        // Fault injection: kernel latency spikes and planner-latency stretch.
+        // This is the single chokepoint every kernel charge passes through,
+        // so spiked time lands in the timer, the executor round, and the
+        // energy account exactly like honest latency. Absent an injector the
+        // expression above is the historical one, untouched.
+        if let Some(inj) = self.faults.as_mut() {
+            latency = latency * inj.kernel_latency_factor(kernel);
         }
         self.timer.record(kernel, latency);
         latency
@@ -427,6 +454,7 @@ impl MissionContext {
             if hovering {
                 self.hover_time += step_d;
             }
+            self.degraded.accumulate(step_d);
             self.clock.advance(step_d);
             remaining -= step;
         }
@@ -463,6 +491,54 @@ impl MissionContext {
         let mut frame = self.camera.capture(&self.world, &pose);
         self.depth_noise.apply(&mut frame);
         frame
+    }
+
+    /// [`MissionContext::capture_depth`] subject to fault injection: `None`
+    /// when the frame is lost to a dropout window, and noise bursts stack
+    /// extra Gaussian error on top of the configured sensor noise. Without
+    /// an injector this is exactly `capture_depth` — the flight graph's
+    /// camera node calls this so faults reach the closed loop.
+    pub fn capture_depth_faulted(&mut self) -> Option<DepthImage> {
+        let dropped = match self.faults.as_mut() {
+            None => false,
+            Some(inj) => inj.drop_frame(),
+        };
+        if dropped {
+            return None;
+        }
+        let mut frame = self.capture_depth();
+        if let Some(inj) = self.faults.as_mut() {
+            inj.maybe_burst(&mut frame);
+        }
+        Some(frame)
+    }
+
+    /// Whether fault injection eats the guarded topic publish happening right
+    /// now (collision alerts, velocity commands). Always `false` without an
+    /// injector.
+    pub fn fault_drop_message(&mut self) -> bool {
+        match self.faults.as_mut() {
+            None => false,
+            Some(inj) => inj.drop_message(),
+        }
+    }
+
+    /// Marks a degradation response active (stale-perception cap decay,
+    /// planner-timeout fallback). Idempotent while already degraded.
+    pub fn note_degraded(&mut self) {
+        let now = self.clock.now();
+        self.degraded.note_degraded(now);
+    }
+
+    /// Marks the active degradation response cleared, counting the recovery.
+    pub fn note_recovered(&mut self) {
+        let now = self.clock.now();
+        self.degraded.note_recovered(now);
+    }
+
+    /// The degraded-mode summary so far (`None` if never degraded).
+    pub fn degraded_summary(&self, failed: bool) -> Option<DegradedSummary> {
+        self.degraded.summary(self.clock.now().as_secs(), failed)
     }
 
     /// Integrates a depth frame into the occupancy map: point-cloud
@@ -604,6 +680,12 @@ impl MissionContext {
         // points ride in the same way, scaling each node's charged kernel
         // latencies independently.
         let node_ops = self.config.node_ops;
+        let degradation = self.config.degradation;
+        // A fresh validated plan is the recovery point of every degraded
+        // interval that ends in a successful replan: close any open one now.
+        if !degradation.is_off() {
+            self.note_recovered();
+        }
         let mut exec: Executor<FlightCtx> = Executor::new().with_exec_model(self.config.exec_model);
         let mut energy = EnergyNode::new(events.clone()).with_watchdog(start_time, max_episode);
         if replan_mode == crate::config::ReplanMode::PlanInMotion {
@@ -613,7 +695,8 @@ impl MissionContext {
         exec.add_node(energy);
         exec.add_node(DepthCameraNode::new(frames.clone(), rates.camera_period()));
         exec.add_node(
-            OctoMapNode::new(frames, rates.mapping_period()).with_operating_point(node_ops.mapping),
+            OctoMapNode::new(frames.clone(), rates.mapping_period())
+                .with_operating_point(node_ops.mapping),
         );
         let mut tracker_node = PathTrackerNode::new(
             plan.clone(),
@@ -624,7 +707,15 @@ impl MissionContext {
             events.clone(),
             rates.control_period(),
         )
-        .with_operating_point(node_ops.control);
+        .with_operating_point(node_ops.control)
+        .with_brake_policy(degradation.brake_policy);
+        if degradation.perception_watchdog {
+            tracker_node = tracker_node.with_stale_guard(
+                frames,
+                rates.camera_period(),
+                degradation.stale_grace_factor,
+            );
+        }
         if replan_mode == crate::config::ReplanMode::PlanInMotion {
             tracker_node =
                 tracker_node.with_brake_guard(threats.clone(), self.config.stopping_distance);
@@ -638,7 +729,12 @@ impl MissionContext {
             rates.replan_period(),
         ));
         let mut planner_node = PlannerNode::new(alerts, events.clone(), rates.replan_period())
-            .with_operating_point(node_ops.planning);
+            .with_operating_point(node_ops.planning)
+            .with_brake_policy(degradation.brake_policy)
+            .with_splicing(degradation.plan_splicing);
+        if let Some(budget) = degradation.plan_timeout_secs {
+            planner_node = planner_node.with_job_budget(SimDuration::from_secs(budget));
+        }
         if replan_mode == crate::config::ReplanMode::PlanInMotion {
             if let Some(goal) = goal {
                 planner_node = planner_node.with_in_motion(InMotionPlanner {
@@ -689,6 +785,7 @@ impl MissionContext {
         } else {
             0.0
         };
+        let degraded = self.degraded_summary(failure.is_some());
         MissionReport::from_counters(
             self.config.application,
             self.config.operating_point,
@@ -704,6 +801,7 @@ impl MissionContext {
             self.mapped_volume,
             tracking_error,
             self.timer.clone(),
+            degraded,
         )
     }
 }

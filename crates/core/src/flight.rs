@@ -47,6 +47,7 @@
 //! collision monitor, a slow planner lets the vehicle fly on a colliding
 //! plan until the next replan tick.
 
+use crate::config::BrakePolicy;
 use crate::context::MissionContext;
 use mav_compute::{KernelId, OperatingPoint};
 use mav_control::{PathTracker, PathTrackerConfig};
@@ -383,8 +384,14 @@ impl Node<FlightCtx<'_>> for DepthCameraNode {
     }
 
     fn tick(&mut self, ctx: &mut FlightCtx<'_>, _now: SimTime) -> Result<NodeOutput> {
-        let frame = ctx.mission.capture_depth();
-        self.frames.publish(Arc::new(frame));
+        // A fault-injected dropout window returns `None`: no frame is
+        // published, the latched topic keeps its stale value, and the
+        // mapper's sequence gate simply sees nothing new — exactly the frame
+        // drop model the latched-topic semantics already define. Without an
+        // injector this is `capture_depth` verbatim.
+        if let Some(frame) = ctx.mission.capture_depth_faulted() {
+            self.frames.publish(Arc::new(frame));
+        }
         Ok(NodeOutput::idle())
     }
 }
@@ -447,6 +454,90 @@ impl Node<FlightCtx<'_>> for OctoMapNode {
     }
 }
 
+/// The stale-perception watchdog state carried by [`PathTrackerNode`] when
+/// [`crate::config::DegradationConfig::perception_watchdog`] is on.
+///
+/// Watches the depth-frame topic's sequence number: while fresh frames keep
+/// arriving the guard is inert, but once the sensing age grows past a grace
+/// window (a configured multiple of the expected frame interval) it decays
+/// the Eq. 2 velocity cap in proportion to the overrun — the degraded-mode
+/// alternative to flying blind at full speed on a map that is no longer
+/// being updated. The expected interval self-calibrates to the larger of the
+/// configured camera period and the tracker's own observed tick gap, so
+/// legacy tick-synchronous schedules (camera period zero) are judged against
+/// the cadence the graph actually runs at.
+#[derive(Debug)]
+pub struct StaleGuard {
+    frames: Topic<Arc<DepthImage>>,
+    last_sequence: u64,
+    last_fresh: Option<SimTime>,
+    last_tick: Option<SimTime>,
+    camera_period: SimDuration,
+    grace_factor: f64,
+}
+
+/// Hard floor on the stale-perception cap decay: even arbitrarily old
+/// sensing keeps the vehicle crawling toward safety instead of freezing it
+/// mid-air (a hover burns battery without making progress or re-observing
+/// anything new).
+const STALE_CAP_FLOOR: f64 = 0.2;
+
+/// How many samples of the stale plan a splice may keep: the validated
+/// prefix only ever covers the near future — the far tail was going to be
+/// replaced by the fresh segment anyway, and shorter prefixes keep the
+/// smoother's waypoint count bounded.
+const SPLICE_HORIZON: usize = 32;
+
+/// Downsampling stride from (dense) plan samples to smoother waypoints when
+/// splicing: the smoother re-times the corridor, it does not need every
+/// sample back.
+const SPLICE_STRIDE: usize = 4;
+
+impl StaleGuard {
+    /// Creates a guard watching `frames`, expecting a frame roughly every
+    /// `camera_period` and tolerating `grace_factor` missed intervals before
+    /// the decay starts.
+    pub fn new(
+        frames: Topic<Arc<DepthImage>>,
+        camera_period: SimDuration,
+        grace_factor: f64,
+    ) -> Self {
+        StaleGuard {
+            last_sequence: frames.sequence(),
+            frames,
+            last_fresh: None,
+            last_tick: None,
+            camera_period,
+            grace_factor,
+        }
+    }
+
+    /// The velocity-cap scale for this tick: `1.0` while sensing is fresh,
+    /// `grace / age` (floored at [`STALE_CAP_FLOOR`]) once the sensing age
+    /// exceeds the grace window.
+    fn cap_scale(&mut self, now: SimTime) -> f64 {
+        let own_gap = self
+            .last_tick
+            .map(|t| now.since(t))
+            .unwrap_or(SimDuration::ZERO);
+        self.last_tick = Some(now);
+        let sequence = self.frames.sequence();
+        if sequence != self.last_sequence || self.last_fresh.is_none() {
+            self.last_sequence = sequence;
+            self.last_fresh = Some(now);
+            return 1.0;
+        }
+        let age = now.since(self.last_fresh.unwrap_or(now)).as_secs();
+        let expected = self.camera_period.as_secs().max(own_gap.as_secs());
+        let grace = self.grace_factor * expected;
+        if grace <= 0.0 || age <= grace {
+            1.0
+        } else {
+            (grace / age).max(STALE_CAP_FLOOR)
+        }
+    }
+}
+
 /// Samples the current plan at the current plan time and publishes a clamped
 /// velocity command; publishes [`FlightEvent::Completed`] when the end of
 /// the plan has been reached. Charges the configured control kernels
@@ -465,6 +556,10 @@ pub struct PathTrackerNode {
     /// In-motion brake guard: the latched threat topic plus the stopping
     /// distance the tracker checks it against on every tick.
     brake_guard: Option<(Topic<Option<Vec3>>, f64)>,
+    /// How a close threat maps to a brake command (binary stop by default).
+    brake_policy: BrakePolicy,
+    /// Stale-perception watchdog (degraded-mode cap decay), off by default.
+    stale_guard: Option<StaleGuard>,
     /// Per-node operating point for the control kernels (`None`:
     /// mission-global).
     op: Option<OperatingPoint>,
@@ -493,6 +588,8 @@ impl PathTrackerNode {
             events,
             period,
             brake_guard: None,
+            brake_policy: BrakePolicy::Binary,
+            stale_guard: None,
             op: None,
         }
     }
@@ -518,6 +615,26 @@ impl PathTrackerNode {
         stopping_distance: f64,
     ) -> Self {
         self.brake_guard = Some((threats, stopping_distance));
+        self
+    }
+
+    /// Selects how a close threat maps to a brake command (builder style).
+    /// [`BrakePolicy::Binary`] is the bit-identical historical default.
+    pub fn with_brake_policy(mut self, policy: BrakePolicy) -> Self {
+        self.brake_policy = policy;
+        self
+    }
+
+    /// Arms the stale-perception watchdog (builder style): the tracker decays
+    /// its velocity cap once the depth-frame topic stops advancing for longer
+    /// than `grace_factor` expected frame intervals.
+    pub fn with_stale_guard(
+        mut self,
+        frames: Topic<Arc<DepthImage>>,
+        camera_period: SimDuration,
+        grace_factor: f64,
+    ) -> Self {
+        self.stale_guard = Some(StaleGuard::new(frames, camera_period, grace_factor));
         self
     }
 
@@ -557,20 +674,47 @@ impl Node<FlightCtx<'_>> for PathTrackerNode {
             self.events.publish(FlightEvent::Completed);
             return Ok(NodeOutput::kernels(kernel_time));
         }
+        // Stale-perception watchdog: with no fresh depth frame for longer
+        // than the grace window, the Eq. 2 cap decays with sensing age and
+        // the mission is marked degraded until frames resume. Without the
+        // guard (the default) `cap == self.cap` and the command below is
+        // bit-identical to the historical one.
+        let cap = match self.stale_guard.as_mut() {
+            Some(guard) => {
+                let scale = guard.cap_scale(now);
+                if scale < 1.0 {
+                    ctx.mission.note_degraded();
+                } else {
+                    ctx.mission.note_recovered();
+                }
+                self.cap * scale
+            }
+            None => self.cap,
+        };
         // A latched threat (in-motion planning job in progress) inside the
-        // stopping distance overrides the tracking command with a stop until
-        // the planner releases the latch.
-        let braked = self.brake_guard.as_ref().is_some_and(|(threats, stop)| {
+        // stopping distance overrides the tracking command until the planner
+        // releases the latch: a full stop under the binary policy, a
+        // slow-down proportional to the remaining threat distance under the
+        // graded one.
+        let threat_proximity = self.brake_guard.as_ref().and_then(|(threats, stop)| {
             threats
                 .latest()
                 .flatten()
-                .is_some_and(|threat| state.pose.position.distance(&threat) < *stop)
+                .map(|threat| (state.pose.position.distance(&threat), *stop))
+                .filter(|(distance, stop)| distance < stop)
         });
-        if braked {
-            self.commands.publish(Vec3::ZERO);
-            return Ok(NodeOutput::kernels(kernel_time));
+        let command = match threat_proximity {
+            Some((distance, stop)) => {
+                cmd.velocity.clamp_norm(cap) * self.brake_policy.brake_factor(distance, stop)
+            }
+            None => cmd.velocity.clamp_norm(cap),
+        };
+        // A fault-injected message drop loses this tick's command: the
+        // latched topic keeps the previous one, exactly like a lost wire
+        // message under latest-value semantics.
+        if !ctx.mission.fault_drop_message() {
+            self.commands.publish(command);
         }
-        self.commands.publish(cmd.velocity.clamp_norm(self.cap));
         Ok(NodeOutput::kernels(kernel_time))
     }
 }
@@ -648,10 +792,17 @@ impl Node<FlightCtx<'_>> for CollisionMonitorNode {
             // position, and a sample can sit a whole inflation radius away
             // from the obstruction it grazes. Falls back to the sample when
             // the obstruction is not an occupied voxel.
-            self.alerts.publish(CollisionAlert {
-                at: now,
-                position: hit.blocking_voxel.unwrap_or(points[hit.index].position),
-            });
+            //
+            // A fault-injected message drop loses the alert: the planner
+            // stays oblivious until the monitor's next tick re-detects the
+            // obstruction — the degraded-mode scenario the stale-perception
+            // watchdog exists to survive.
+            if !ctx.mission.fault_drop_message() {
+                self.alerts.publish(CollisionAlert {
+                    at: now,
+                    position: hit.blocking_voxel.unwrap_or(points[hit.index].position),
+                });
+            }
         }
         Ok(NodeOutput::idle())
     }
@@ -719,6 +870,17 @@ pub struct PlannerNode {
     /// First flagged obstruction of the plan the active job is replacing.
     threat: Option<Vec3>,
     replans: u32,
+    /// Hard latency budget for one planning job (degradation response): a
+    /// job whose accumulated kernel charges exceed it is abandoned in favour
+    /// of the hover-to-plan fallback. `None` (the default) never times out.
+    job_budget: Option<SimDuration>,
+    /// Kernel latency charged by the active job so far.
+    job_spent: SimDuration,
+    /// Splice the fresh segment onto the validated prefix of the stale plan
+    /// instead of replacing the whole plan (off by default).
+    splice: bool,
+    /// How a close threat maps to a brake command (binary stop by default).
+    brake_policy: BrakePolicy,
     /// Per-node operating point for the planning kernels (`None`:
     /// mission-global).
     op: Option<OperatingPoint>,
@@ -739,8 +901,35 @@ impl PlannerNode {
             job: Vec::new(),
             threat: None,
             replans: 0,
+            job_budget: None,
+            job_spent: SimDuration::ZERO,
+            splice: false,
+            brake_policy: BrakePolicy::Binary,
             op: None,
         }
+    }
+
+    /// Caps one planning job's accumulated kernel latency (builder style):
+    /// exceeding the budget abandons the job and falls back to the
+    /// hover-to-plan path, marking the mission degraded.
+    pub fn with_job_budget(mut self, budget: SimDuration) -> Self {
+        self.job_budget = Some(budget);
+        self
+    }
+
+    /// Enables partial-trajectory splicing on replan (builder style): the
+    /// fresh segment is grafted onto the still-collision-free prefix of the
+    /// stale plan instead of replacing it wholesale.
+    pub fn with_splicing(mut self, splice: bool) -> Self {
+        self.splice = splice;
+        self
+    }
+
+    /// Selects how a close threat maps to a brake command (builder style).
+    /// [`BrakePolicy::Binary`] is the bit-identical historical default.
+    pub fn with_brake_policy(mut self, policy: BrakePolicy) -> Self {
+        self.brake_policy = policy;
+        self
     }
 
     /// Pins the node's kernel charges to its own operating point (builder
@@ -771,16 +960,59 @@ impl PlannerNode {
     /// back to ending the episode when no plan can be found.
     fn finish_plan(&mut self, ctx: &mut FlightCtx<'_>) {
         let Some(im) = &self.in_motion else { return };
-        let start = ctx.mission.pose().position;
+        // Partial-trajectory splicing (off by default): plan the fresh
+        // segment from the end of the still-collision-free prefix of the
+        // stale plan and smooth the concatenated waypoints, instead of
+        // throwing the validated prefix away and planning from the current
+        // pose. With an empty prefix (splicing off, empty plan, or nothing
+        // validated ahead of the vehicle) this is the historical code path
+        // verbatim.
+        let prefix = if self.splice {
+            self.validated_prefix(ctx)
+        } else {
+            Vec::new()
+        };
+        let pose = ctx.mission.pose().position;
         let cap = ctx.mission.velocity_cap();
-        let smoothed = im
-            .planner
-            .plan(&ctx.mission.map, &im.checker, start, im.goal)
-            .map(|path| path.shortcut(&ctx.mission.map, &im.checker))
-            .and_then(|path| {
-                PathSmoother::new(SmootherConfig::new(cap.max(0.5), im.max_acceleration))
-                    .smooth(&path.waypoints, ctx.mission.clock.now())
+        let now = ctx.mission.clock.now();
+        let build = |start: Vec3, prefix: &[Vec3]| {
+            im.planner
+                .plan(&ctx.mission.map, &im.checker, start, im.goal)
+                .map(|path| path.shortcut(&ctx.mission.map, &im.checker))
+                .and_then(|path| {
+                    let smoother =
+                        PathSmoother::new(SmootherConfig::new(cap.max(0.5), im.max_acceleration));
+                    if prefix.is_empty() {
+                        smoother.smooth(&path.waypoints, now)
+                    } else {
+                        let mut waypoints = prefix.to_vec();
+                        for &w in &path.waypoints {
+                            if waypoints.last().is_none_or(|last| last.distance(&w) > 1e-9) {
+                                waypoints.push(w);
+                            }
+                        }
+                        smoother.smooth(&waypoints, now)
+                    }
+                })
+        };
+        let mut smoothed = match prefix.last().copied() {
+            Some(start) => build(start, &prefix),
+            None => build(pose, &[]),
+        };
+        // A spliced trajectory is only published if it is still collision-free
+        // end to end on the current map: smoothing across the splice junction
+        // can cut a corner the raw prefix samples cleared. On any hit, fall
+        // back to the historical replace-the-whole-plan path.
+        if !prefix.is_empty() {
+            let collides = smoothed.as_ref().map_or(true, |trajectory| {
+                im.checker
+                    .first_collision_report(&ctx.mission.map, trajectory, 0)
+                    .is_some()
             });
+            if collides {
+                smoothed = build(pose, &[]);
+            }
+        }
         match smoothed {
             Ok(trajectory) => {
                 ctx.mission.note_replan();
@@ -796,6 +1028,68 @@ impl PlannerNode {
         // round's command from the stale plan (it runs earlier in the round),
         // so the publication round must still brake if the threat is close.
         // The caller clears it after that last brake check.
+    }
+
+    /// The still-collision-free prefix of the currently latched plan, from
+    /// the sample nearest the vehicle forward: downsampled to smoother
+    /// waypoints, capped at [`SPLICE_HORIZON`] samples, cut at the first
+    /// colliding sample. Empty when nothing ahead of the vehicle is
+    /// validated (which makes [`PlannerNode::finish_plan`] fall back to the
+    /// replace-the-whole-plan path).
+    fn validated_prefix(&self, ctx: &FlightCtx<'_>) -> Vec<Vec3> {
+        let Some(im) = &self.in_motion else {
+            return Vec::new();
+        };
+        let Some(plan) = im.plan.latest() else {
+            return Vec::new();
+        };
+        let points = plan.points();
+        if points.is_empty() {
+            return Vec::new();
+        }
+        let pose = ctx.mission.pose().position;
+        let nearest = points
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| {
+                a.position
+                    .distance(&pose)
+                    .total_cmp(&b.position.distance(&pose))
+            })
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        let first_hit = im
+            .checker
+            .first_collision_report(&ctx.mission.map, &plan, nearest)
+            .map(|hit| hit.index)
+            .unwrap_or(points.len());
+        // The flagged obstruction that triggered this replan is typically NOT
+        // in the map yet (the alert races map integration), so the map check
+        // above cannot see it: cut the prefix before the first sample inside
+        // the threat's stopping-distance bubble as well.
+        let threat_hit = self
+            .threat
+            .and_then(|threat| {
+                points[nearest..]
+                    .iter()
+                    .position(|p| p.position.distance(&threat) < im.stopping_distance)
+            })
+            .map(|offset| nearest + offset)
+            .unwrap_or(points.len());
+        let end = first_hit.min(threat_hit).min(nearest + SPLICE_HORIZON);
+        if end <= nearest + 1 {
+            return Vec::new();
+        }
+        let mut prefix: Vec<Vec3> = points[nearest..end]
+            .iter()
+            .step_by(SPLICE_STRIDE)
+            .map(|p| p.position)
+            .collect();
+        let tail = points[end - 1].position;
+        if prefix.last().is_none_or(|last| last.distance(&tail) > 1e-9) {
+            prefix.push(tail);
+        }
+        prefix
     }
 
     /// Folds newly drained alerts into the tracked threat, keeping whichever
@@ -821,16 +1115,31 @@ impl PlannerNode {
         ctx.mission.pose().position.distance(&threat) < im.stopping_distance
     }
 
+    /// The brake command for the currently latched threat: a full stop under
+    /// the binary policy, the latest command scaled by the remaining threat
+    /// distance (down to the hard-stop core) under the graded one.
+    fn braked_command(&self, ctx: &FlightCtx<'_>, im: &InMotionPlanner) -> Vec3 {
+        let Some(threat) = self.threat else {
+            return Vec3::ZERO;
+        };
+        let distance = ctx.mission.pose().position.distance(&threat);
+        let factor = self
+            .brake_policy
+            .brake_factor(distance, im.stopping_distance);
+        im.commands.latest().unwrap_or(Vec3::ZERO) * factor
+    }
+
     /// While a job runs, flying on towards a threat inside the stopping
     /// distance would blind-fly the vehicle into an obstacle it has already
     /// seen. Latches the nearest threat for the tracker's per-tick proximity
-    /// check and, when already close, zeroes the command for the current
+    /// check and, when already close, brakes the command for the current
     /// round's charge (the tracker ran earlier in this round).
     fn brake_if_threat_close(&self, ctx: &mut FlightCtx<'_>) {
         let Some(im) = &self.in_motion else { return };
         im.threats.publish(self.threat);
         if self.threat_is_close(ctx) {
-            im.commands.publish(Vec3::ZERO);
+            let command = self.braked_command(ctx, im);
+            im.commands.publish(command);
         }
     }
 
@@ -839,6 +1148,25 @@ impl PlannerNode {
         if let Some(im) = &self.in_motion {
             im.threats.publish(None);
         }
+    }
+
+    /// `true` once the active job's accumulated kernel latency blew the
+    /// configured budget. Always `false` without a budget (the default).
+    fn job_timed_out(&self) -> bool {
+        self.job_budget
+            .is_some_and(|budget| self.job_spent > budget)
+    }
+
+    /// Planner-timeout degradation response: abandons the active job,
+    /// releases the brake latch and hands the episode back to the
+    /// application through the existing hover-to-plan path, marking the
+    /// mission degraded.
+    fn abandon_job(&mut self, ctx: &mut FlightCtx<'_>) {
+        ctx.mission.note_degraded();
+        self.job.clear();
+        self.release_brake();
+        self.threat = None;
+        self.events.publish(FlightEvent::NeedsReplan);
     }
 }
 
@@ -878,16 +1206,27 @@ impl Node<FlightCtx<'_>> for PlannerNode {
             self.track_nearest_threat(ctx, &self.alerts.drain());
             let kernel = self.job.remove(0);
             let latency = ctx.mission.charge_kernel_at(kernel, self.op);
-            if self.job.is_empty() {
+            self.job_spent += latency;
+            // Planner-timeout degradation response: a job whose accumulated
+            // kernel latency blew the budget (e.g. under injected latency
+            // spikes or a plan-timeout stretch) is abandoned — the latch is
+            // released and the episode falls back to the existing
+            // hover-to-plan path instead of flying the stale plan for an
+            // unbounded planning stall. With no budget (the default) the
+            // branch is never taken.
+            if self.job_timed_out() {
+                self.abandon_job(ctx);
+            } else if self.job.is_empty() {
                 self.finish_plan(ctx);
                 // The fresh plan only reaches the tracker *next* round; this
                 // round's charge still flies the tracker's stale-plan
-                // command, so a close threat zeroes it one last time. The
+                // command, so a close threat brakes it one last time. The
                 // latch is released either way — from the next round the
                 // tracker flies whatever the plan topic now holds.
                 if self.threat_is_close(ctx) {
                     if let Some(im) = &self.in_motion {
-                        im.commands.publish(Vec3::ZERO);
+                        let command = self.braked_command(ctx, im);
+                        im.commands.publish(command);
                     }
                 }
                 self.release_brake();
@@ -907,9 +1246,15 @@ impl Node<FlightCtx<'_>> for PlannerNode {
             // planning now, smoothing (and publication) next round.
             self.track_nearest_threat(ctx, &pending);
             self.job = vec![KernelId::MotionPlanning, KernelId::PathSmoothing];
+            self.job_spent = SimDuration::ZERO;
             let kernel = self.job.remove(0);
             let latency = ctx.mission.charge_kernel_at(kernel, self.op);
-            self.brake_if_threat_close(ctx);
+            self.job_spent += latency;
+            if self.job_timed_out() {
+                self.abandon_job(ctx);
+            } else {
+                self.brake_if_threat_close(ctx);
+            }
             return Ok(NodeOutput::kernel(kernel, latency));
         }
         Ok(NodeOutput::idle())

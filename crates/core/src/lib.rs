@@ -27,6 +27,7 @@ pub mod apps;
 pub mod config;
 pub mod context;
 pub mod experiments;
+pub mod faults;
 pub mod flight;
 pub mod microbench;
 pub mod qof;
@@ -36,11 +37,17 @@ pub mod sweep;
 pub mod velocity;
 
 pub use apps::{run_mission, run_mission_with_scratch};
-pub use config::{MissionConfig, NodeOpConfig, RateConfig, ReplanMode, ResolutionPolicy};
+pub use config::{
+    BrakePolicy, DegradationConfig, MissionConfig, NodeOpConfig, RateConfig, ReplanMode,
+    ResolutionPolicy,
+};
 pub use context::{FlightOutcome, MissionContext};
+pub use faults::{DegradedMode, DegradedSummary, FaultInjector, FaultPlan, FaultSpec};
 pub use flight::{FlightCtx, FlightEvent};
 pub use mav_runtime::{ExecModel, ExecStage};
 pub use qof::{MissionFailure, MissionReport};
-pub use reliability::{ReliabilityStats, ScenarioGenerator, StreamingHistogram};
+pub use reliability::{
+    ClassStats, FaultGridCell, ReliabilityStats, ScenarioGenerator, StreamingHistogram,
+};
 pub use scratch::{with_episode_scratch, EpisodeScratch};
 pub use sweep::{SweepOutcome, SweepPoint, SweepReport, SweepRunner};

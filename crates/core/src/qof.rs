@@ -5,6 +5,7 @@
 //! error and the mapped volume. A [`MissionReport`] carries all of them plus
 //! the per-kernel time breakdown used by Table I and Fig. 15.
 
+use crate::faults::DegradedSummary;
 use mav_compute::{ApplicationId, OperatingPoint};
 use mav_energy::EnergyAccount;
 use mav_runtime::KernelTimer;
@@ -79,6 +80,10 @@ pub struct MissionReport {
     pub tracking_error: f64,
     /// Per-kernel simulated time totals.
     pub kernel_timer: KernelTimer,
+    /// Degraded-mode summary: `None` for a mission that never degraded
+    /// (including every fault-free mission), so legacy reports — and their
+    /// JSON — are untouched by the fault-injection subsystem.
+    pub degraded: Option<DegradedSummary>,
 }
 
 impl MissionReport {
@@ -109,6 +114,7 @@ impl MissionReport {
         mapped_volume: f64,
         tracking_error: f64,
         kernel_timer: KernelTimer,
+        degraded: Option<DegradedSummary>,
     ) -> Self {
         let mission_time_secs = mission_time.as_secs();
         MissionReport {
@@ -133,6 +139,7 @@ impl MissionReport {
             mapped_volume,
             tracking_error,
             kernel_timer,
+            degraded,
         }
     }
 }
@@ -146,7 +153,7 @@ impl mav_types::ToJson for MissionFailure {
 impl mav_types::ToJson for MissionReport {
     fn to_json(&self) -> mav_types::Json {
         use mav_types::{Json, ToJson};
-        Json::object()
+        let json = Json::object()
             .field("application", self.application.to_json())
             .field("operating_point", self.operating_point.to_json())
             .field("failure", self.failure.as_ref().map(ToJson::to_json))
@@ -163,7 +170,13 @@ impl mav_types::ToJson for MissionReport {
             .field("detections", self.detections)
             .field("mapped_volume", self.mapped_volume)
             .field("tracking_error", self.tracking_error)
-            .field("kernel_timer", self.kernel_timer.to_json())
+            .field("kernel_timer", self.kernel_timer.to_json());
+        // Only degraded missions carry the extra section: fault-free reports
+        // stay byte-identical to every pre-fault-injection harness output.
+        match &self.degraded {
+            Some(degraded) => json.field("degraded", degraded.to_json()),
+            None => json,
+        }
     }
 }
 
@@ -222,6 +235,7 @@ mod tests {
             0.0,
             0.0,
             KernelTimer::new(),
+            None,
         )
     }
 
@@ -269,6 +283,7 @@ mod tests {
             0.0,
             0.0,
             KernelTimer::new(),
+            None,
         );
         assert_eq!(r.average_velocity, 0.0);
         assert!(!format!("{r}").is_empty());

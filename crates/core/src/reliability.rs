@@ -25,14 +25,16 @@
 //!   shard order.
 
 use crate::apps::run_mission_with_scratch;
-use crate::config::{MissionConfig, RateConfig, ReplanMode};
+use crate::config::{DegradationConfig, MissionConfig, RateConfig, ReplanMode};
 use crate::experiments::quick_config;
+use crate::faults::FaultPlan;
 use crate::qof::{MissionFailure, MissionReport};
 use crate::scratch::with_episode_scratch;
 use crate::sweep::{splitmix64, SweepRunner};
 use mav_compute::ApplicationId;
 use mav_runtime::ExecModel;
 use mav_types::{Json, ToJson};
+use std::collections::BTreeMap;
 
 /// A streaming quantile sketch over positive values: log-spaced bins with
 /// integer counts, plus exact count/sum/min/max.
@@ -183,6 +185,15 @@ pub struct ReliabilityStats {
     pub collisions: u64,
     /// Total re-planning episodes across all missions.
     pub replans: u64,
+    /// Episodes whose report carried a degraded-mode summary.
+    pub degraded_episodes: u64,
+    /// Total simulated seconds spent degraded, across all episodes.
+    pub degraded_time_secs: f64,
+    /// Total Degraded → Nominal recoveries, across all episodes.
+    pub recoveries: u64,
+    /// Total seconds from entering Degraded to recovering, across all
+    /// episodes (`mean × count` per episode, folded in record order).
+    pub recover_time_secs: f64,
     /// Mission-time distribution, seconds.
     pub time: StreamingHistogram,
     /// Total-energy distribution, kilojoules.
@@ -205,6 +216,12 @@ impl ReliabilityStats {
             self.collisions += 1;
         }
         self.replans += u64::from(report.replans);
+        if let Some(degraded) = &report.degraded {
+            self.degraded_episodes += 1;
+            self.degraded_time_secs += degraded.degraded_secs;
+            self.recoveries += u64::from(degraded.recoveries);
+            self.recover_time_secs += degraded.mean_recover_secs * f64::from(degraded.recoveries);
+        }
         self.time.record(report.mission_time_secs);
         self.energy.record(report.energy_kj());
     }
@@ -216,6 +233,10 @@ impl ReliabilityStats {
         self.successes += other.successes;
         self.collisions += other.collisions;
         self.replans += other.replans;
+        self.degraded_episodes += other.degraded_episodes;
+        self.degraded_time_secs += other.degraded_time_secs;
+        self.recoveries += other.recoveries;
+        self.recover_time_secs += other.recover_time_secs;
         self.time.merge(&other.time);
         self.energy.merge(&other.energy);
     }
@@ -235,6 +256,36 @@ impl ReliabilityStats {
             0.0
         } else {
             self.collisions as f64 / self.episodes as f64
+        }
+    }
+
+    /// Fraction of episodes the vehicle survived (did not collide). Under a
+    /// fault plan this is the headline robustness number: an abort or timeout
+    /// is a failed mission but a surviving vehicle.
+    pub fn survival_rate(&self) -> f64 {
+        if self.episodes == 0 {
+            0.0
+        } else {
+            1.0 - self.collision_rate()
+        }
+    }
+
+    /// Fraction of total simulated mission time spent degraded.
+    pub fn degraded_time_fraction(&self) -> f64 {
+        if self.time.sum() > 0.0 {
+            self.degraded_time_secs / self.time.sum()
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean seconds from entering Degraded to recovering (zero if no
+    /// recovery ever happened).
+    pub fn mean_recover_secs(&self) -> f64 {
+        if self.recoveries == 0 {
+            0.0
+        } else {
+            self.recover_time_secs / self.recoveries as f64
         }
     }
 }
@@ -281,6 +332,14 @@ pub struct ScenarioGenerator {
     pub replan_modes: Vec<ReplanMode>,
     /// Executor-model choices.
     pub exec_models: Vec<ExecModel>,
+    /// Fault-plan choices. The default single-element `[FaultPlan::none()]`
+    /// list draws nothing (keeping every episode seed bit-identical to the
+    /// pre-fault generator); a multi-element list samples a fault profile
+    /// per episode.
+    pub fault_plans: Vec<FaultPlan>,
+    /// Degradation policy applied to every episode (never drawn: the policy
+    /// is the experiment variable, not part of the scenario randomness).
+    pub degradation: DegradationConfig,
 }
 
 impl ScenarioGenerator {
@@ -300,6 +359,8 @@ impl ScenarioGenerator {
             ],
             replan_modes: vec![ReplanMode::HoverToPlan, ReplanMode::PlanInMotion],
             exec_models: vec![ExecModel::Serial, ExecModel::Pipelined],
+            fault_plans: vec![FaultPlan::none()],
+            degradation: DegradationConfig::off(),
         }
     }
 
@@ -339,37 +400,213 @@ impl ScenarioGenerator {
         self
     }
 
-    /// The mission configuration of episode `index` — a pure function of
-    /// `(base_seed, index)` and the choice lists.
-    pub fn episode(&self, index: u64) -> MissionConfig {
+    /// Replaces the fault-plan choices (builder style). A single-element
+    /// list applies that plan to every episode without spending a draw.
+    pub fn with_fault_plans(mut self, plans: Vec<FaultPlan>) -> Self {
+        self.fault_plans = plans;
+        self
+    }
+
+    /// Sets the degradation policy every episode runs under (builder style).
+    pub fn with_degradation(mut self, degradation: DegradationConfig) -> Self {
+        self.degradation = degradation;
+        self
+    }
+
+    /// The raw choice-list indices (plus the episode seed) of episode
+    /// `index`: the single source of truth shared by [`Self::episode`] and
+    /// [`Self::episode_class`], so the class label always matches the
+    /// mission actually generated.
+    fn draws(&self, index: u64) -> EpisodeDraws {
         let mut state = splitmix64(self.base_seed ^ index.wrapping_mul(0x9e37_79b9_7f4a_7c15));
         let mut pick = |len: usize| -> usize {
             assert!(len > 0, "scenario choice lists must be non-empty");
             state = splitmix64(state);
             (state % len as u64) as usize
         };
-        let density_at = pick(self.densities.len());
-        let extent_at = pick(self.extents.len());
-        let noise_at = pick(self.noise_levels.len());
-        let rates_at = pick(self.rates.len());
-        let mode_at = pick(self.replan_modes.len());
-        let exec_at = pick(self.exec_models.len());
+        let density = pick(self.densities.len());
+        let extent = pick(self.extents.len());
+        let noise = pick(self.noise_levels.len());
+        let rates = pick(self.rates.len());
+        let mode = pick(self.replan_modes.len());
+        let exec = pick(self.exec_models.len());
+        // The fault draw only happens when there is a real choice to make: a
+        // single-plan list (the default) leaves the draw sequence — and with
+        // it every episode seed — bit-identical to the pre-fault generator.
+        let fault = if self.fault_plans.len() > 1 {
+            pick(self.fault_plans.len())
+        } else {
+            0
+        };
         let episode_seed = splitmix64(state);
-        let mut cfg = quick_config(MissionConfig::fast_test(self.application));
-        cfg.environment.obstacle_density = self.densities[density_at];
-        cfg.environment.extent = self.extents[extent_at];
-        cfg.with_depth_noise(self.noise_levels[noise_at])
-            .with_rates(self.rates[rates_at])
-            .with_replan_mode(self.replan_modes[mode_at])
-            .with_exec_model(self.exec_models[exec_at])
-            .with_seed(episode_seed)
+        EpisodeDraws {
+            density,
+            extent,
+            noise,
+            rates,
+            mode,
+            exec,
+            fault,
+            episode_seed,
+        }
     }
+
+    /// The mission configuration of episode `index` — a pure function of
+    /// `(base_seed, index)` and the choice lists.
+    pub fn episode(&self, index: u64) -> MissionConfig {
+        let d = self.draws(index);
+        let mut cfg = quick_config(MissionConfig::fast_test(self.application));
+        cfg.environment.obstacle_density = self.densities[d.density];
+        cfg.environment.extent = self.extents[d.extent];
+        cfg.with_depth_noise(self.noise_levels[d.noise])
+            .with_rates(self.rates[d.rates])
+            .with_replan_mode(self.replan_modes[d.mode])
+            .with_exec_model(self.exec_models[d.exec])
+            .with_fault_plan(self.fault_plans[d.fault])
+            .with_degradation(self.degradation)
+            .with_seed(d.episode_seed)
+    }
+
+    /// The scenario class of episode `index`: the replan policy plus the
+    /// fault cohort, e.g. `"hover+faults:none"` or
+    /// `"in-motion+faults:cam-drop=0.1"`. Keys the per-class breakdown of
+    /// [`reliability_sweep_classified`], so fault cohorts are separable from
+    /// one sweep's JSON without re-running.
+    pub fn episode_class(&self, index: u64) -> String {
+        let d = self.draws(index);
+        format!(
+            "{}+faults:{}",
+            self.replan_modes[d.mode].label(),
+            self.fault_plans[d.fault].label()
+        )
+    }
+}
+
+/// The per-episode choice-list indices drawn by [`ScenarioGenerator::draws`].
+struct EpisodeDraws {
+    density: usize,
+    extent: usize,
+    noise: usize,
+    rates: usize,
+    mode: usize,
+    exec: usize,
+    fault: usize,
+    episode_seed: u64,
 }
 
 /// Episodes per shard of the sharded sweep. Shard boundaries are part of the
 /// determinism contract (they fix the f64 summation order), so the default is
 /// a named constant rather than a tuning knob.
 pub const DEFAULT_SHARD_SIZE: u64 = 32;
+
+/// All-integer per-scenario-class counters: the per-class leg of a
+/// classified sweep. Merging adds counts, so the breakdown is trivially
+/// thread-count invariant.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ClassStats {
+    /// Episodes recorded in this class.
+    pub episodes: u64,
+    /// Episodes that completed successfully.
+    pub successes: u64,
+    /// Episodes that ended in a collision.
+    pub collisions: u64,
+    /// Episodes that failed without colliding (timeout, battery, watchdog).
+    pub aborts: u64,
+}
+
+impl ClassStats {
+    /// Folds one mission report into the class.
+    pub fn record(&mut self, report: &MissionReport) {
+        self.episodes += 1;
+        if report.success() {
+            self.successes += 1;
+        } else if matches!(report.failure, Some(MissionFailure::Collision)) {
+            self.collisions += 1;
+        } else {
+            self.aborts += 1;
+        }
+    }
+
+    /// Adds another accumulator's counts into this one.
+    pub fn merge(&mut self, other: &ClassStats) {
+        self.episodes += other.episodes;
+        self.successes += other.successes;
+        self.collisions += other.collisions;
+        self.aborts += other.aborts;
+    }
+
+    fn rate(&self, count: u64) -> f64 {
+        if self.episodes == 0 {
+            0.0
+        } else {
+            count as f64 / self.episodes as f64
+        }
+    }
+
+    /// Fraction of the class's episodes that completed their mission.
+    pub fn success_rate(&self) -> f64 {
+        self.rate(self.successes)
+    }
+
+    /// Fraction of the class's episodes that ended in a collision.
+    pub fn collision_rate(&self) -> f64 {
+        self.rate(self.collisions)
+    }
+
+    /// Fraction of the class's episodes that aborted without a collision.
+    pub fn abort_rate(&self) -> f64 {
+        self.rate(self.aborts)
+    }
+}
+
+impl ToJson for ClassStats {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .field("episodes", self.episodes)
+            .field("successes", self.successes)
+            .field("success_rate", self.rate(self.successes))
+            .field("collisions", self.collisions)
+            .field("collision_rate", self.rate(self.collisions))
+            .field("aborts", self.aborts)
+            .field("abort_rate", self.rate(self.aborts))
+    }
+}
+
+/// [`reliability_sweep_sharded`] plus a per-scenario-class breakdown keyed by
+/// [`ScenarioGenerator::episode_class`]. The aggregate is recorded in the
+/// same episode order as the plain sweep, so its bits are unchanged; the
+/// class map is all-integer and merges in shard order.
+pub fn reliability_sweep_classified(
+    runner: &SweepRunner,
+    generator: &ScenarioGenerator,
+    episodes: u64,
+    shard_size: u64,
+) -> (ReliabilityStats, BTreeMap<String, ClassStats>) {
+    let shards = runner.run_sharded(episodes, shard_size, |range| {
+        with_episode_scratch(|scratch| {
+            let mut acc = ReliabilityStats::new();
+            let mut classes: BTreeMap<String, ClassStats> = BTreeMap::new();
+            for index in range {
+                let report = run_mission_with_scratch(generator.episode(index), scratch);
+                acc.record(&report);
+                classes
+                    .entry(generator.episode_class(index))
+                    .or_default()
+                    .record(&report);
+            }
+            (acc, classes)
+        })
+    });
+    let mut total = ReliabilityStats::new();
+    let mut classes: BTreeMap<String, ClassStats> = BTreeMap::new();
+    for (shard, shard_classes) in &shards {
+        total.merge(shard);
+        for (class, stats) in shard_classes {
+            classes.entry(class.clone()).or_default().merge(stats);
+        }
+    }
+    (total, classes)
+}
 
 /// [`reliability_sweep_with`] with an explicit shard size (tests use small
 /// shards to exercise multi-shard merging with few episodes).
@@ -379,21 +616,7 @@ pub fn reliability_sweep_sharded(
     episodes: u64,
     shard_size: u64,
 ) -> ReliabilityStats {
-    let shards = runner.run_sharded(episodes, shard_size, |range| {
-        with_episode_scratch(|scratch| {
-            let mut acc = ReliabilityStats::new();
-            for index in range {
-                let report = run_mission_with_scratch(generator.episode(index), scratch);
-                acc.record(&report);
-            }
-            acc
-        })
-    });
-    let mut total = ReliabilityStats::new();
-    for shard in &shards {
-        total.merge(shard);
-    }
-    total
+    reliability_sweep_classified(runner, generator, episodes, shard_size).0
 }
 
 /// Runs `episodes` scenario-generator episodes and returns the streaming
@@ -469,6 +692,98 @@ pub fn reliability_rate_grid_with(
             cells.push(RateGridCell {
                 replan_hz,
                 replan_mode,
+                stats,
+            });
+        }
+    }
+    cells
+}
+
+/// One cell of the fault-intensity × degradation-policy matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultGridCell {
+    /// Fault-intensity scale in `[0, 1]` applied to the base plan.
+    pub intensity: f64,
+    /// The scaled fault plan every episode of this cell ran under.
+    pub plan: FaultPlan,
+    /// Short name of the cell's degradation policy (`"fly-blind"`, …).
+    pub policy: &'static str,
+    /// The degradation policy itself.
+    pub degradation: DegradationConfig,
+    /// The cell's aggregate over its episodes.
+    pub stats: ReliabilityStats,
+}
+
+impl FaultGridCell {
+    /// A compact `"fly-blind@x0.5"` cell label.
+    pub fn label(&self) -> String {
+        format!("{}@x{}", self.policy, self.intensity)
+    }
+}
+
+impl ToJson for FaultGridCell {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .field("label", self.label().as_str())
+            .field("intensity", self.intensity)
+            .field("faults", self.plan.label().as_str())
+            .field("policy", self.policy)
+            .field("degradation", self.degradation.label().as_str())
+            .field("survival_rate", self.stats.survival_rate())
+            .field(
+                "degraded_time_fraction",
+                self.stats.degraded_time_fraction(),
+            )
+            .field("mean_recover_secs", self.stats.mean_recover_secs())
+            .field("degraded_episodes", self.stats.degraded_episodes)
+            .field("stats", self.stats.to_json())
+    }
+}
+
+/// The degradation-policy axis of [`reliability_fault_grid_with`]: fly-blind
+/// (no response at all), the stale-perception watchdog with the binary
+/// brake, and the full defensive posture (watchdog + planner timeout +
+/// graded brake).
+pub fn fault_grid_policies() -> [(&'static str, DegradationConfig); 3] {
+    [
+        ("fly-blind", DegradationConfig::off()),
+        (
+            "watchdog",
+            DegradationConfig::off()
+                .with_watchdog()
+                .with_plan_timeout(4.0),
+        ),
+        ("watchdog+graded", DegradationConfig::defensive()),
+    ]
+}
+
+/// The fault-intensity × degradation-policy reliability matrix: the base
+/// fault plan scaled to each intensity, crossed with
+/// [`fault_grid_policies`]. Every cell sweeps the same scenario seeds, so
+/// the *only* thing that varies across a row is the degradation policy —
+/// the survival comparison the fault matrix exists to make.
+pub fn reliability_fault_grid_with(
+    runner: &SweepRunner,
+    application: ApplicationId,
+    base_seed: u64,
+    episodes_per_cell: u64,
+    plan: &FaultPlan,
+) -> Vec<FaultGridCell> {
+    let intensities = [0.0, 0.5, 1.0];
+    let policies = fault_grid_policies();
+    let mut cells = Vec::with_capacity(intensities.len() * policies.len());
+    for &intensity in &intensities {
+        let scaled = plan.scaled(intensity);
+        for (policy, degradation) in &policies {
+            let generator = ScenarioGenerator::new(application, base_seed)
+                .with_fault_plans(vec![scaled])
+                .with_degradation(*degradation);
+            let stats = reliability_sweep_with(runner, &generator, episodes_per_cell);
+            cells.push(FaultGridCell {
+                intensity,
+                plan: scaled,
+                policy,
+                degradation: *degradation,
                 stats,
             });
         }
@@ -606,6 +921,110 @@ mod tests {
                 "energy sum bits diverged at {threads} threads"
             );
         }
+    }
+
+    #[test]
+    fn single_fault_plan_spends_no_draw_and_default_matches_pre_fault_generator() {
+        // The default generator and one with a pinned *non-none* single plan
+        // must draw identical episode seeds: the plan is applied without
+        // consuming RNG state, so fault cohorts see the same scenarios.
+        let plain = tiny_generator();
+        let faulted = tiny_generator()
+            .with_fault_plans(vec![FaultPlan::parse("cam-drop=0.2").unwrap()])
+            .with_degradation(DegradationConfig::defensive());
+        for index in 0..8u64 {
+            let a = plain.episode(index);
+            let b = faulted.episode(index);
+            assert_eq!(a.seed, b.seed, "episode {index} seed diverged");
+            assert!(a.fault_plan.is_none());
+            assert!(!b.fault_plan.is_none());
+            assert!(b.degradation.perception_watchdog);
+        }
+        // A multi-plan list does draw, and the class label tracks the drawn
+        // cohort of the episode actually generated.
+        let mixed = tiny_generator().with_fault_plans(vec![
+            FaultPlan::none(),
+            FaultPlan::parse("cam-drop=0.5").unwrap(),
+        ]);
+        for index in 0..16u64 {
+            let cfg = mixed.episode(index);
+            let class = mixed.episode_class(index);
+            assert_eq!(
+                class.ends_with("faults:none"),
+                cfg.fault_plan.is_none(),
+                "episode {index}: class {class} vs plan {:?}",
+                cfg.fault_plan
+            );
+        }
+    }
+
+    #[test]
+    fn classified_sweep_breakdown_adds_up_and_keeps_aggregate_bits() {
+        let generator = tiny_generator().with_fault_plans(vec![
+            FaultPlan::none(),
+            FaultPlan::parse("kernel-spike=0.3").unwrap(),
+        ]);
+        let runner = SweepRunner::new().with_threads(2);
+        let (stats, classes) = reliability_sweep_classified(&runner, &generator, 12, 4);
+        assert_eq!(stats.episodes, 12);
+        assert!(!classes.is_empty());
+        let class_total: u64 = classes.values().map(|c| c.episodes).sum();
+        assert_eq!(class_total, 12);
+        let successes: u64 = classes.values().map(|c| c.successes).sum();
+        assert_eq!(successes, stats.successes);
+        for class in classes.values() {
+            assert_eq!(
+                class.episodes,
+                class.successes + class.collisions + class.aborts
+            );
+            assert!(class.to_json().to_string_pretty().contains("abort_rate"));
+        }
+        // The classified aggregate is bit-identical to the plain sweep, and
+        // invariant to thread count.
+        for threads in [1, 4] {
+            let (again, classes_again) = reliability_sweep_classified(
+                &SweepRunner::new().with_threads(threads),
+                &generator,
+                12,
+                4,
+            );
+            assert_eq!(stats, again, "aggregate diverged at {threads} threads");
+            assert_eq!(
+                classes, classes_again,
+                "classes diverged at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn fault_grid_covers_the_matrix_and_zero_intensity_rows_match() {
+        let plan = FaultPlan::parse("cam-drop=0.3,plan-timeout=3x").unwrap();
+        let cells = reliability_fault_grid_with(
+            &SweepRunner::new().with_threads(2),
+            ApplicationId::Scanning,
+            5,
+            2,
+            &plan,
+        );
+        assert_eq!(cells.len(), 9);
+        let labels: Vec<String> = cells.iter().map(FaultGridCell::label).collect();
+        let mut unique = labels.clone();
+        unique.sort();
+        unique.dedup();
+        assert_eq!(unique.len(), labels.len(), "duplicate cells: {labels:?}");
+        for cell in &cells {
+            assert_eq!(cell.stats.episodes, 2);
+            assert!((cell.intensity - 0.0).abs() < 1e-12 || !cell.plan.is_none());
+            let json = cell.to_json().to_string_pretty();
+            assert!(json.contains("survival_rate"));
+            assert!(json.contains("degraded_time_fraction"));
+        }
+        // Intensity 0 with the fly-blind policy is the plain sweep: no
+        // faults, no degradation, no degraded episodes.
+        let baseline = &cells[0];
+        assert_eq!(baseline.policy, "fly-blind");
+        assert!(baseline.plan.is_none());
+        assert_eq!(baseline.stats.degraded_episodes, 0);
     }
 
     #[test]

@@ -75,6 +75,10 @@ mod tests {
             FileScope::SimLib
         );
         assert_eq!(classify("crates/core/src/sweep.rs"), FileScope::SimLib);
+        // The fault injector lives inside the deterministic simulation core:
+        // it must stay under the DET-THREAD-RNG / DET-WALLCLOCK rules, never
+        // graduate into a harness or allowlisted boundary file.
+        assert_eq!(classify("crates/core/src/faults.rs"), FileScope::SimLib);
         assert_eq!(classify("crates/bench/src/figures.rs"), FileScope::Harness);
         assert_eq!(classify("crates/lint/src/rules.rs"), FileScope::Harness);
         assert_eq!(classify("src/lib.rs"), FileScope::Harness);
@@ -92,5 +96,6 @@ mod tests {
     fn wallclock_allowlist() {
         assert!(wallclock_allowed("crates/core/src/sweep.rs"));
         assert!(!wallclock_allowed("crates/core/src/flight.rs"));
+        assert!(!wallclock_allowed("crates/core/src/faults.rs"));
     }
 }

@@ -1,0 +1,313 @@
+//! PR 9 — deterministic fault injection and graceful degradation.
+//!
+//! Three properties are pinned here:
+//!
+//! 1. **Faults off is free.** An empty [`FaultPlan`] and a disabled
+//!    [`DegradationConfig`] must leave every golden-legacy mission
+//!    bit-identical to the default configuration — the injector compiles to
+//!    `None` and every degradation hook takes the historical branch verbatim.
+//! 2. **Fault traces are schedule-independent.** With a seeded fault plan the
+//!    reliability-sweep aggregates (and the per-class breakdown) hash to the
+//!    same SHA-256 digest at 1, 2, 4 and 8 worker threads: every injector
+//!    draw is a pure function of `(seed, site, counter)`, never of worker
+//!    identity or wall-clock interleaving.
+//! 3. **Degradation pays for itself.** Partial-trajectory splicing recovers
+//!    from injected planner timeouts in less mission time than discarding
+//!    the whole plan, on a pinned ensemble of replanning-heavy scenarios.
+
+use mav_compute::{ApplicationId, CloudConfig};
+use mav_core::experiments::quick_config;
+use mav_core::reliability::reliability_sweep_classified;
+use mav_core::{
+    run_mission, DegradationConfig, FaultPlan, MissionConfig, MissionReport, ReplanMode,
+    ResolutionPolicy, ScenarioGenerator, SweepRunner,
+};
+use mav_types::ToJson;
+
+// ---------------------------------------------------------------------------
+// A minimal SHA-256 (FIPS 180-4), enough to fingerprint aggregate JSON. The
+// workspace deliberately has no crypto dependency; this stays test-only.
+// ---------------------------------------------------------------------------
+
+const SHA256_K: [u32; 64] = [
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13, 0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208, 0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+];
+
+fn sha256_hex(data: &[u8]) -> String {
+    let mut h: [u32; 8] = [
+        0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab,
+        0x5be0cd19,
+    ];
+    let mut message = data.to_vec();
+    let bit_len = (data.len() as u64) * 8;
+    message.push(0x80);
+    while message.len() % 64 != 56 {
+        message.push(0);
+    }
+    message.extend_from_slice(&bit_len.to_be_bytes());
+    for block in message.chunks_exact(64) {
+        let mut w = [0u32; 64];
+        for (i, word) in block.chunks_exact(4).enumerate() {
+            w[i] = u32::from_be_bytes([word[0], word[1], word[2], word[3]]);
+        }
+        for i in 16..64 {
+            let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+            let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+            w[i] = w[i - 16]
+                .wrapping_add(s0)
+                .wrapping_add(w[i - 7])
+                .wrapping_add(s1);
+        }
+        let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut hh] = h;
+        for i in 0..64 {
+            let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+            let ch = (e & f) ^ (!e & g);
+            let t1 = hh
+                .wrapping_add(s1)
+                .wrapping_add(ch)
+                .wrapping_add(SHA256_K[i])
+                .wrapping_add(w[i]);
+            let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+            let maj = (a & b) ^ (a & c) ^ (b & c);
+            let t2 = s0.wrapping_add(maj);
+            hh = g;
+            g = f;
+            f = e;
+            e = d.wrapping_add(t1);
+            d = c;
+            c = b;
+            b = a;
+            a = t1.wrapping_add(t2);
+        }
+        h[0] = h[0].wrapping_add(a);
+        h[1] = h[1].wrapping_add(b);
+        h[2] = h[2].wrapping_add(c);
+        h[3] = h[3].wrapping_add(d);
+        h[4] = h[4].wrapping_add(e);
+        h[5] = h[5].wrapping_add(f);
+        h[6] = h[6].wrapping_add(g);
+        h[7] = h[7].wrapping_add(hh);
+    }
+    h.iter().map(|word| format!("{word:08x}")).collect()
+}
+
+/// The eight mission configurations pinned by `tests/golden_legacy.rs`, in
+/// the same order. Kept in sync by hand: if golden_legacy gains a fixture,
+/// add it here so the faults-off invariance covers it too.
+fn golden_configs() -> Vec<(&'static str, MissionConfig)> {
+    let mut scanning = MissionConfig::fast_test(ApplicationId::Scanning).with_seed(3);
+    scanning.environment.extent = 30.0;
+    let mut delivery = MissionConfig::fast_test(ApplicationId::PackageDelivery).with_seed(9);
+    delivery.environment.extent = 30.0;
+    delivery.environment.obstacle_density = 1.0;
+    let mut mapping = MissionConfig::fast_test(ApplicationId::Mapping3D).with_seed(4);
+    mapping.environment.extent = 25.0;
+    let mut sar = MissionConfig::fast_test(ApplicationId::SearchAndRescue).with_seed(6);
+    sar.environment.extent = 25.0;
+    sar.environment.people = 6;
+    let mut photo = MissionConfig::fast_test(ApplicationId::AerialPhotography).with_seed(8);
+    photo.environment.extent = 40.0;
+    photo.environment.obstacle_density = 0.2;
+    photo.time_budget_secs = 60.0;
+    let mut dynres = MissionConfig::fast_test(ApplicationId::PackageDelivery)
+        .with_seed(13)
+        .with_resolution_policy(ResolutionPolicy::dynamic_default());
+    dynres.environment.extent = 30.0;
+    dynres.environment.obstacle_density = 1.0;
+    let mut cloud = MissionConfig::fast_test(ApplicationId::Mapping3D)
+        .with_seed(4)
+        .with_cloud(CloudConfig::planning_offload());
+    cloud.environment.extent = 25.0;
+    let mut noise = MissionConfig::fast_test(ApplicationId::PackageDelivery)
+        .with_seed(1000)
+        .with_depth_noise(1.0);
+    noise.environment.extent = 30.0;
+    noise.environment.obstacle_density = 1.0;
+    vec![
+        ("scanning seed 3", scanning),
+        ("package delivery seed 9", delivery),
+        ("mapping seed 4", mapping),
+        ("search and rescue seed 6", sar),
+        ("aerial photography seed 8", photo),
+        ("delivery dynamic resolution seed 13", dynres),
+        ("mapping cloud offload seed 4", cloud),
+        ("delivery noise 1.0 seed 1000", noise),
+    ]
+}
+
+fn assert_reports_bit_identical(label: &str, baseline: &MissionReport, probed: &MissionReport) {
+    let metrics = [
+        (
+            "mission_time_secs",
+            baseline.mission_time_secs,
+            probed.mission_time_secs,
+        ),
+        (
+            "hover_time_secs",
+            baseline.hover_time_secs,
+            probed.hover_time_secs,
+        ),
+        ("distance_m", baseline.distance_m, probed.distance_m),
+        ("velocity_cap", baseline.velocity_cap, probed.velocity_cap),
+        (
+            "total_energy_j",
+            baseline.total_energy.as_joules(),
+            probed.total_energy.as_joules(),
+        ),
+        (
+            "battery_remaining_pct",
+            baseline.battery_remaining_pct,
+            probed.battery_remaining_pct,
+        ),
+        (
+            "mapped_volume",
+            baseline.mapped_volume,
+            probed.mapped_volume,
+        ),
+        (
+            "tracking_error",
+            baseline.tracking_error,
+            probed.tracking_error,
+        ),
+    ];
+    for (metric, want, got) in metrics {
+        assert_eq!(
+            got.to_bits(),
+            want.to_bits(),
+            "{label}: {metric} drifted with an empty fault plan (got {got}, want {want})"
+        );
+    }
+    assert_eq!(
+        baseline, probed,
+        "{label}: report drifted with an empty fault plan"
+    );
+}
+
+/// Property 1: an explicitly-empty fault plan plus disabled degradation is
+/// structurally the same mission as the default configuration, bit for bit,
+/// for every fixture golden_legacy pins — and no degraded summary appears.
+#[test]
+fn empty_fault_plan_leaves_every_golden_mission_bit_identical() {
+    for (label, config) in golden_configs() {
+        let baseline = run_mission(config.clone());
+        let probed = run_mission(
+            config
+                .with_fault_plan(FaultPlan::none())
+                .with_degradation(DegradationConfig::off()),
+        );
+        assert!(
+            baseline.degraded.is_none() && probed.degraded.is_none(),
+            "{label}: faults-off mission must not emit a degraded summary"
+        );
+        assert_reports_bit_identical(label, &baseline, &probed);
+    }
+}
+
+/// Property 2: with a seeded fault plan, the sweep aggregates and the
+/// per-class breakdown are SHA-256-identical at every worker-thread count.
+#[test]
+fn seeded_fault_sweep_hashes_identically_across_threads() {
+    let plan = FaultPlan::parse(
+        "cam-drop=0.2@3,noise-burst=0.25,kernel-spike=0.2@3,plan-timeout=2x,\
+         topic-drop=0.05,battery-fade=0.2",
+    )
+    .expect("fault plan parses");
+    let generator = ScenarioGenerator::new(ApplicationId::PackageDelivery, 77)
+        .with_fault_plans(vec![FaultPlan::none(), plan.scaled(0.5), plan])
+        .with_degradation(DegradationConfig::defensive());
+    let mut digests = Vec::new();
+    for threads in [1usize, 2, 4, 8] {
+        let runner = SweepRunner::new().with_threads(threads);
+        let (stats, classes) = reliability_sweep_classified(&runner, &generator, 64, 16);
+        let mut fingerprint = stats.to_json().to_string_compact();
+        for (class, class_stats) in &classes {
+            fingerprint.push_str(class);
+            fingerprint.push_str(&class_stats.to_json().to_string_compact());
+        }
+        digests.push((threads, sha256_hex(fingerprint.as_bytes())));
+    }
+    let (_, reference) = digests[0].clone();
+    for (threads, digest) in &digests {
+        assert_eq!(
+            digest, &reference,
+            "fault-sweep aggregate digest diverged at {threads} threads"
+        );
+    }
+    // The digest must also fingerprint a sweep that actually injected faults:
+    // the cohort labels prove all three fault plans were exercised.
+    let (_, classes) =
+        reliability_sweep_classified(&SweepRunner::new().with_threads(2), &generator, 64, 16);
+    let labels: Vec<&str> = classes.keys().map(|k| k.as_str()).collect();
+    assert!(
+        labels.iter().any(|l| l.ends_with("+faults:none")),
+        "expected a fault-free cohort, got {labels:?}"
+    );
+    assert!(
+        labels.iter().any(|l| l.contains("cam-drop")),
+        "expected a faulted cohort, got {labels:?}"
+    );
+}
+
+/// Injected faults must actually perturb the mission — otherwise property 1
+/// would hold vacuously.
+#[test]
+fn injected_faults_perturb_the_mission() {
+    let (_, config) = golden_configs().remove(1);
+    let baseline = run_mission(config.clone());
+    let faulted = run_mission(
+        config.with_fault_plan(
+            FaultPlan::parse("cam-drop=0.5@4,kernel-spike=0.5@4,battery-fade=0.3")
+                .expect("fault plan parses"),
+        ),
+    );
+    assert_ne!(
+        baseline, faulted,
+        "a heavy fault plan left the mission untouched — injector hooks are dead"
+    );
+}
+
+/// Property 3 (satellite: partial-trajectory splicing): with the planner
+/// stretched 3× by an injected plan-timeout fault, grafting the fresh
+/// segment onto the still-valid prefix of the stale plan recovers in less
+/// total mission time than replacing the whole trajectory. Direction-tested
+/// over a pinned replanning-heavy ensemble (the `replan_scenario` shape at
+/// thirty seeds) so one lucky seed can't decide it.
+#[test]
+fn plan_splicing_shortens_recovery_under_planner_timeouts() {
+    let plan = FaultPlan::parse("plan-timeout=3x").expect("fault plan parses");
+    let policy = DegradationConfig::off()
+        .with_watchdog()
+        .with_plan_timeout(1.0);
+    let mission = |seed: u64, splice: bool| -> MissionReport {
+        let mut cfg = quick_config(MissionConfig::new(ApplicationId::PackageDelivery))
+            .with_seed(seed)
+            .with_replan_mode(ReplanMode::PlanInMotion)
+            .with_fault_plan(plan);
+        cfg.environment.extent = 70.0;
+        cfg.environment.obstacle_density = 3.0;
+        let degradation = if splice {
+            policy.with_plan_splicing()
+        } else {
+            policy
+        };
+        run_mission(cfg.with_degradation(degradation))
+    };
+    let mut discard_total = 0.0;
+    let mut splice_total = 0.0;
+    for seed in 1u64..=30 {
+        discard_total += mission(seed, false).mission_time_secs;
+        splice_total += mission(seed, true).mission_time_secs;
+    }
+    assert!(
+        splice_total < discard_total,
+        "plan splicing should shorten recovery under planner timeouts: \
+         spliced ensemble {splice_total:.2} s vs discard {discard_total:.2} s"
+    );
+}
