@@ -1,6 +1,6 @@
 //! The shared command-line driver for every `fig*`/`table*` harness binary.
 //!
-//! All 16 binaries accept the same flags:
+//! All 18 harness binaries accept the same flags:
 //!
 //! * `--fast` (alias `--quick`) — run on scaled-down scenarios that finish in
 //!   seconds instead of the paper-sized ones;
@@ -33,10 +33,9 @@
 //! [`FigureOutput`] carrying both renderings; the driver prints the one the
 //! user asked for.
 
-use mav_compute::OperatingPoint;
 use mav_core::sweep::SweepRunner;
 use mav_core::{ExecModel, FaultPlan, MissionConfig, NodeOpConfig, RateConfig, ReplanMode};
-use mav_types::{Frequency, Json};
+use mav_types::Json;
 
 /// Parsed command-line options shared by every harness binary.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -184,124 +183,32 @@ impl Cli {
     }
 }
 
-/// Parses an `--exec-model` value.
+/// Parses an `--exec-model` value through the shared [`ExecModel::parse`]
+/// parser (HTTP job specs route through the same function).
 fn parse_exec_model(value: &str) -> Result<ExecModel, CliError> {
-    match value.trim() {
-        "serial" => Ok(ExecModel::Serial),
-        "pipelined" | "pipeline" => Ok(ExecModel::Pipelined),
-        other => Err(CliError::Invalid(format!(
-            "unknown exec model `{other}` (expected serial or pipelined)"
-        ))),
-    }
+    ExecModel::parse(value).map_err(CliError::Invalid)
 }
 
-/// Parses one `--node-op` operating-point value: `big@2.2` (4 cores),
-/// `little@1.4` (2 cores) or an explicit `3c@1.5`.
-fn parse_operating_point(value: &str) -> Result<OperatingPoint, CliError> {
-    let Some((cluster, ghz)) = value.split_once('@') else {
-        return Err(CliError::Invalid(format!(
-            "operating point `{value}` must look like big@2.2, little@1.4 or 3c@1.5"
-        )));
-    };
-    let ghz: f64 = ghz
-        .trim()
-        .trim_end_matches("GHz")
-        .parse()
-        .map_err(|_| CliError::Invalid(format!("invalid frequency `{ghz}`")))?;
-    if !(ghz.is_finite() && ghz > 0.0) {
-        return Err(CliError::Invalid(format!(
-            "frequency must be positive, got {ghz} GHz"
-        )));
-    }
-    let frequency = Frequency::from_ghz(ghz);
-    match cluster.trim() {
-        "big" => Ok(OperatingPoint::big_cluster(frequency)),
-        "little" => Ok(OperatingPoint::little_cluster(frequency)),
-        cores => {
-            let cores: u32 = cores
-                .strip_suffix('c')
-                .and_then(|n| n.parse().ok())
-                .filter(|&n| n >= 1)
-                .ok_or_else(|| {
-                    CliError::Invalid(format!(
-                        "unknown cluster `{cores}` (expected big, little or <cores>c)"
-                    ))
-                })?;
-            Ok(OperatingPoint::new(cores, frequency))
-        }
-    }
-}
-
-/// Parses a `--node-op plan=big@2.2,cam=little@1.4` list (any non-empty
-/// subset of the cam/map/plan/ctrl keys) into a [`NodeOpConfig`].
+/// Parses a `--node-op plan=big@2.2,cam=little@1.4` list through the shared
+/// [`NodeOpConfig::parse`] parser (HTTP job specs route through the same
+/// function).
 fn parse_node_ops(spec: &str) -> Result<NodeOpConfig, CliError> {
-    let mut ops = NodeOpConfig::mission_global();
-    for part in spec.split(',') {
-        let Some((key, value)) = part.split_once('=') else {
-            return Err(CliError::Invalid(format!(
-                "node op `{part}` must look like key=point (keys: cam, map, plan, ctrl; \
-                 points: big@2.2, little@1.4, 3c@1.5)"
-            )));
-        };
-        let point = parse_operating_point(value.trim())?;
-        match key.trim() {
-            "cam" => ops.camera = Some(point),
-            "map" => ops.mapping = Some(point),
-            "plan" => ops.planning = Some(point),
-            "ctrl" => ops.control = Some(point),
-            other => {
-                return Err(CliError::Invalid(format!(
-                    "unknown node key `{other}` (expected cam, map, plan or ctrl)"
-                )))
-            }
-        }
-    }
-    ops.validate()
-        .map_err(|reason| CliError::Invalid(format!("invalid --node-op: {reason}")))?;
-    Ok(ops)
+    NodeOpConfig::parse(spec)
+        .map_err(|reason| CliError::Invalid(format!("invalid --node-op: {reason}")))
 }
 
-/// Parses a `--replan-mode` value.
+/// Parses a `--replan-mode` value through the shared [`ReplanMode::parse`]
+/// parser (HTTP job specs route through the same function).
 fn parse_replan_mode(value: &str) -> Result<ReplanMode, CliError> {
-    match value.trim() {
-        "hover-to-plan" | "hover" => Ok(ReplanMode::HoverToPlan),
-        "plan-in-motion" | "motion" => Ok(ReplanMode::PlanInMotion),
-        other => Err(CliError::Invalid(format!(
-            "unknown replan mode `{other}` (expected hover-to-plan or plan-in-motion)"
-        ))),
-    }
+    ReplanMode::parse(value).map_err(CliError::Invalid)
 }
 
-/// Parses a `cam=15,map=4,plan=2,ctrl=50` rate list (any non-empty subset of
-/// the four keys) into a [`RateConfig`].
+/// Parses a `cam=15,map=4,plan=2,ctrl=50` rate list through the shared
+/// [`RateConfig::parse`] parser (HTTP job specs route through the same
+/// function).
 fn parse_rates(spec: &str) -> Result<RateConfig, CliError> {
-    let mut rates = RateConfig::legacy();
-    for part in spec.split(',') {
-        let Some((key, value)) = part.split_once('=') else {
-            return Err(CliError::Invalid(format!(
-                "rate `{part}` must look like key=hz (keys: cam, map, plan, ctrl)"
-            )));
-        };
-        let hz: f64 = value
-            .trim()
-            .parse()
-            .map_err(|_| CliError::Invalid(format!("invalid rate value `{value}`")))?;
-        match key.trim() {
-            "cam" => rates.camera_fps = Some(hz),
-            "map" => rates.mapping_hz = Some(hz),
-            "plan" => rates.replan_hz = Some(hz),
-            "ctrl" => rates.control_hz = Some(hz),
-            other => {
-                return Err(CliError::Invalid(format!(
-                    "unknown rate key `{other}` (expected cam, map, plan or ctrl)"
-                )))
-            }
-        }
-    }
-    rates
-        .validate()
-        .map_err(|reason| CliError::Invalid(format!("invalid --rates: {reason}")))?;
-    Ok(rates)
+    RateConfig::parse(spec)
+        .map_err(|reason| CliError::Invalid(format!("invalid --rates: {reason}")))
 }
 
 /// Why parsing stopped.
@@ -396,6 +303,8 @@ pub fn run_figure(name: &str, description: &str, body: impl FnOnce(&Cli) -> Figu
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mav_compute::OperatingPoint;
+    use mav_types::Frequency;
 
     fn parse(args: &[&str]) -> Result<Cli, CliError> {
         Cli::try_parse(args.iter().map(|s| s.to_string()))

@@ -116,6 +116,21 @@ impl mav_types::ToJson for KernelId {
     }
 }
 
+impl mav_types::FromJson for KernelId {
+    /// Parses the [`KernelId::short_name`] spelling (`"MP"`, `"OMG"`, …),
+    /// case-insensitively — the same strings [`mav_types::ToJson`] emits.
+    fn from_json(json: &mav_types::Json) -> Result<Self, String> {
+        let name = json
+            .as_str()
+            .ok_or_else(|| format!("expected a kernel short name string, got {json}"))?;
+        KernelId::all()
+            .iter()
+            .copied()
+            .find(|k| k.short_name().eq_ignore_ascii_case(name.trim()))
+            .ok_or_else(|| format!("unknown kernel `{name}` (expected a Table I short name)"))
+    }
+}
+
 /// The three stages of the MAVBench application pipeline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum PipelineStage {

@@ -70,6 +70,48 @@ impl OperatingPoint {
     pub fn label(&self) -> String {
         format!("{}c@{:.1}GHz", self.cores, self.frequency.as_ghz())
     }
+
+    /// Parses the CLI/wire spelling of an operating point: `big@2.2`
+    /// (4 cores), `little@1.4` (2 cores) or an explicit `3c@1.5`. A trailing
+    /// `GHz` is tolerated so [`OperatingPoint::label`] output round-trips.
+    ///
+    /// This is the single source of truth for the syntax: the harness
+    /// `--node-op` flag and the `mav-server` job spec both route through it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for malformed input (missing `@`,
+    /// non-positive frequency, unknown cluster, zero cores).
+    pub fn parse(value: &str) -> Result<OperatingPoint, String> {
+        let Some((cluster, ghz)) = value.split_once('@') else {
+            return Err(format!(
+                "operating point `{value}` must look like big@2.2, little@1.4 or 3c@1.5"
+            ));
+        };
+        let ghz: f64 = ghz
+            .trim()
+            .trim_end_matches("GHz")
+            .parse()
+            .map_err(|_| format!("invalid frequency `{ghz}`"))?;
+        if !(ghz.is_finite() && ghz > 0.0) {
+            return Err(format!("frequency must be positive, got {ghz} GHz"));
+        }
+        let frequency = Frequency::from_ghz(ghz);
+        match cluster.trim() {
+            "big" => Ok(OperatingPoint::big_cluster(frequency)),
+            "little" => Ok(OperatingPoint::little_cluster(frequency)),
+            cores => {
+                let cores: u32 = cores
+                    .strip_suffix('c')
+                    .and_then(|n| n.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| {
+                        format!("unknown cluster `{cores}` (expected big, little or <cores>c)")
+                    })?;
+                Ok(OperatingPoint::new(cores, frequency))
+            }
+        }
+    }
 }
 
 impl mav_types::ToJson for OperatingPoint {
@@ -77,6 +119,27 @@ impl mav_types::ToJson for OperatingPoint {
         mav_types::Json::object()
             .field("cores", self.cores)
             .field("frequency_ghz", self.frequency.as_ghz())
+    }
+}
+
+impl mav_types::FromJson for OperatingPoint {
+    /// Accepts the structured form `{"cores": 4, "frequency_ghz": 2.2}` (what
+    /// [`mav_types::ToJson`] emits) or the CLI string form `"big@2.2"` /
+    /// `"3c@1.5"` routed through [`OperatingPoint::parse`].
+    fn from_json(json: &mav_types::Json) -> Result<Self, String> {
+        if let Some(s) = json.as_str() {
+            return OperatingPoint::parse(s);
+        }
+        json.check_fields(&["cores", "frequency_ghz"])?;
+        let cores: u32 = json.parse_field("cores")?;
+        if cores == 0 {
+            return Err("cores: an operating point needs at least one core".to_string());
+        }
+        let ghz: f64 = json.parse_field("frequency_ghz")?;
+        if !(ghz.is_finite() && ghz > 0.0) {
+            return Err(format!("frequency_ghz: must be positive, got {ghz}"));
+        }
+        Ok(OperatingPoint::new(cores, Frequency::from_ghz(ghz)))
     }
 }
 

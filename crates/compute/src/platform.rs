@@ -97,6 +97,73 @@ impl CloudConfig {
     }
 }
 
+impl mav_types::ToJson for NetworkLink {
+    fn to_json(&self) -> mav_types::Json {
+        mav_types::Json::object()
+            .field("bandwidth_mbps", self.bandwidth_mbps)
+            .field("latency_ms", self.latency_ms)
+    }
+}
+
+impl mav_types::FromJson for NetworkLink {
+    fn from_json(json: &mav_types::Json) -> Result<Self, String> {
+        json.check_fields(&["bandwidth_mbps", "latency_ms"])?;
+        let link = NetworkLink {
+            bandwidth_mbps: json.parse_field("bandwidth_mbps")?,
+            latency_ms: json.parse_field("latency_ms")?,
+        };
+        if !(link.bandwidth_mbps.is_finite() && link.bandwidth_mbps > 0.0) {
+            return Err(format!(
+                "bandwidth_mbps: must be positive, got {}",
+                link.bandwidth_mbps
+            ));
+        }
+        if !(link.latency_ms.is_finite() && link.latency_ms >= 0.0) {
+            return Err(format!(
+                "latency_ms: must be non-negative, got {}",
+                link.latency_ms
+            ));
+        }
+        Ok(link)
+    }
+}
+
+impl mav_types::ToJson for CloudConfig {
+    fn to_json(&self) -> mav_types::Json {
+        mav_types::Json::object()
+            .field("speedup", self.speedup)
+            .field("link", self.link.to_json())
+            .field("payload_megabytes", self.payload_megabytes)
+            .field(
+                "offloaded",
+                self.offloaded.iter().collect::<Vec<_>>().as_slice(),
+            )
+    }
+}
+
+impl mav_types::FromJson for CloudConfig {
+    fn from_json(json: &mav_types::Json) -> Result<Self, String> {
+        json.check_fields(&["speedup", "link", "payload_megabytes", "offloaded"])?;
+        let speedup: f64 = json.parse_field("speedup")?;
+        if !(speedup.is_finite() && speedup > 0.0) {
+            return Err(format!("speedup: must be positive, got {speedup}"));
+        }
+        let payload_megabytes: f64 = json.parse_field("payload_megabytes")?;
+        if !(payload_megabytes.is_finite() && payload_megabytes >= 0.0) {
+            return Err(format!(
+                "payload_megabytes: must be non-negative, got {payload_megabytes}"
+            ));
+        }
+        let offloaded: Vec<KernelId> = json.parse_field("offloaded")?;
+        Ok(CloudConfig {
+            speedup,
+            link: json.parse_field("link")?,
+            payload_megabytes,
+            offloaded: offloaded.into_iter().collect(),
+        })
+    }
+}
+
 /// The companion-computer model used by the closed-loop simulator.
 ///
 /// # Example

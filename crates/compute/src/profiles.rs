@@ -48,6 +48,37 @@ impl ApplicationId {
             ApplicationId::SearchAndRescue => "Search and Rescue",
         }
     }
+
+    /// Parses an application name, case-insensitively, accepting both the
+    /// human-readable [`ApplicationId::name`] (`"Package Delivery"`) and a
+    /// hyphenated slug (`"package-delivery"`).
+    ///
+    /// # Errors
+    ///
+    /// Lists the valid names when the input matches none of them.
+    pub fn parse(value: &str) -> Result<ApplicationId, String> {
+        let normalized: String = value
+            .trim()
+            .chars()
+            .filter(|c| c.is_ascii_alphanumeric())
+            .collect::<String>()
+            .to_ascii_lowercase();
+        for &app in ApplicationId::all() {
+            let canonical: String = app
+                .name()
+                .chars()
+                .filter(|c| c.is_ascii_alphanumeric())
+                .collect::<String>()
+                .to_ascii_lowercase();
+            if normalized == canonical {
+                return Ok(app);
+            }
+        }
+        Err(format!(
+            "unknown application `{value}` (expected one of: Scanning, Aerial Photography, \
+             Package Delivery, 3D Mapping, Search and Rescue)"
+        ))
+    }
 }
 
 impl fmt::Display for ApplicationId {
@@ -59,6 +90,15 @@ impl fmt::Display for ApplicationId {
 impl mav_types::ToJson for ApplicationId {
     fn to_json(&self) -> mav_types::Json {
         mav_types::Json::String(self.name().to_string())
+    }
+}
+
+impl mav_types::FromJson for ApplicationId {
+    fn from_json(json: &mav_types::Json) -> Result<Self, String> {
+        let name = json
+            .as_str()
+            .ok_or_else(|| format!("expected an application name string, got {json}"))?;
+        ApplicationId::parse(name)
     }
 }
 

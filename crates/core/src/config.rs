@@ -7,7 +7,7 @@ use mav_energy::BatteryConfig;
 use mav_env::EnvironmentConfig;
 use mav_runtime::ExecModel;
 use mav_sensors::DepthCameraConfig;
-use mav_types::{Frequency, SimDuration};
+use mav_types::{Frequency, FromJson, Json, SimDuration, ToJson};
 use serde::{Deserialize, Serialize};
 
 /// Per-node invocation rates of the closed-loop graph (PR 2).
@@ -126,6 +126,73 @@ impl RateConfig {
             }
         }
         Ok(())
+    }
+
+    /// Parses a `cam=15,map=4,plan=2,ctrl=50` rate list (any non-empty subset
+    /// of the four keys) and validates it. This is the single source of truth
+    /// for the syntax: the harness `--rates` flag and the `mav-server` job
+    /// spec both route through it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive message for a malformed clause, an unknown key
+    /// or an invalid rate.
+    pub fn parse(spec: &str) -> Result<RateConfig, String> {
+        let mut rates = RateConfig::legacy();
+        for part in spec.split(',') {
+            let Some((key, value)) = part.split_once('=') else {
+                return Err(format!(
+                    "rate `{part}` must look like key=hz (keys: cam, map, plan, ctrl)"
+                ));
+            };
+            let hz: f64 = value
+                .trim()
+                .parse()
+                .map_err(|_| format!("invalid rate value `{value}`"))?;
+            match key.trim() {
+                "cam" => rates.camera_fps = Some(hz),
+                "map" => rates.mapping_hz = Some(hz),
+                "plan" => rates.replan_hz = Some(hz),
+                "ctrl" => rates.control_hz = Some(hz),
+                other => {
+                    return Err(format!(
+                        "unknown rate key `{other}` (expected cam, map, plan or ctrl)"
+                    ))
+                }
+            }
+        }
+        rates.validate()?;
+        Ok(rates)
+    }
+}
+
+impl ToJson for RateConfig {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .field("camera_fps", self.camera_fps)
+            .field("mapping_hz", self.mapping_hz)
+            .field("replan_hz", self.replan_hz)
+            .field("control_hz", self.control_hz)
+    }
+}
+
+impl FromJson for RateConfig {
+    /// Accepts the structured form (what [`ToJson`] emits; omitted keys stay
+    /// tick-synchronous) or the CLI string form (`"cam=15,map=4"`) routed
+    /// through [`RateConfig::parse`].
+    fn from_json(json: &Json) -> Result<Self, String> {
+        if let Some(s) = json.as_str() {
+            return RateConfig::parse(s);
+        }
+        json.check_fields(&["camera_fps", "mapping_hz", "replan_hz", "control_hz"])?;
+        let rates = RateConfig {
+            camera_fps: json.parse_opt_field("camera_fps")?,
+            mapping_hz: json.parse_opt_field("mapping_hz")?,
+            replan_hz: json.parse_opt_field("replan_hz")?,
+            control_hz: json.parse_opt_field("control_hz")?,
+        };
+        rates.validate()?;
+        Ok(rates)
     }
 }
 
@@ -283,6 +350,71 @@ impl NodeOpConfig {
         }
         Ok(())
     }
+
+    /// Parses a `plan=big@2.2,cam=little@1.4` list (any non-empty subset of
+    /// the cam/map/plan/ctrl keys; point syntax per
+    /// [`OperatingPoint::parse`]) and validates it. The harness `--node-op`
+    /// flag and the `mav-server` job spec both route through here.
+    ///
+    /// # Errors
+    ///
+    /// Returns a descriptive message for a malformed clause, an unknown key
+    /// or an invalid operating point.
+    pub fn parse(spec: &str) -> Result<NodeOpConfig, String> {
+        let mut ops = NodeOpConfig::mission_global();
+        for part in spec.split(',') {
+            let Some((key, value)) = part.split_once('=') else {
+                return Err(format!(
+                    "node op `{part}` must look like key=point (keys: cam, map, plan, ctrl; \
+                     points: big@2.2, little@1.4, 3c@1.5)"
+                ));
+            };
+            let point = OperatingPoint::parse(value.trim())?;
+            match key.trim() {
+                "cam" => ops.camera = Some(point),
+                "map" => ops.mapping = Some(point),
+                "plan" => ops.planning = Some(point),
+                "ctrl" => ops.control = Some(point),
+                other => {
+                    return Err(format!(
+                        "unknown node key `{other}` (expected cam, map, plan or ctrl)"
+                    ))
+                }
+            }
+        }
+        ops.validate()?;
+        Ok(ops)
+    }
+}
+
+impl ToJson for NodeOpConfig {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .field("camera", self.camera.map(|p| p.to_json()))
+            .field("mapping", self.mapping.map(|p| p.to_json()))
+            .field("planning", self.planning.map(|p| p.to_json()))
+            .field("control", self.control.map(|p| p.to_json()))
+    }
+}
+
+impl FromJson for NodeOpConfig {
+    /// Accepts the structured form (what [`ToJson`] emits; omitted nodes stay
+    /// mission-global) or the CLI string form (`"plan=big@2.2"`) routed
+    /// through [`NodeOpConfig::parse`].
+    fn from_json(json: &Json) -> Result<Self, String> {
+        if let Some(s) = json.as_str() {
+            return NodeOpConfig::parse(s);
+        }
+        json.check_fields(&["camera", "mapping", "planning", "control"])?;
+        let ops = NodeOpConfig {
+            camera: json.parse_opt_field("camera")?,
+            mapping: json.parse_opt_field("mapping")?,
+            planning: json.parse_opt_field("planning")?,
+            control: json.parse_opt_field("control")?,
+        };
+        ops.validate()?;
+        Ok(ops)
+    }
 }
 
 /// What the closed loop does when the collision monitor finds the remaining
@@ -316,11 +448,43 @@ impl ReplanMode {
             ReplanMode::PlanInMotion => "plan-in-motion",
         }
     }
+
+    /// Parses the CLI/wire spelling: `hover-to-plan` (alias `hover`) or
+    /// `plan-in-motion` (alias `motion`). Shared by the harness
+    /// `--replan-mode` flag and the `mav-server` job spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the accepted values.
+    pub fn parse(value: &str) -> Result<ReplanMode, String> {
+        match value.trim() {
+            "hover-to-plan" | "hover" => Ok(ReplanMode::HoverToPlan),
+            "plan-in-motion" | "motion" => Ok(ReplanMode::PlanInMotion),
+            other => Err(format!(
+                "unknown replan mode `{other}` (expected hover-to-plan or plan-in-motion)"
+            )),
+        }
+    }
 }
 
 impl std::fmt::Display for ReplanMode {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.label())
+    }
+}
+
+impl ToJson for ReplanMode {
+    fn to_json(&self) -> Json {
+        Json::String(self.label().to_string())
+    }
+}
+
+impl FromJson for ReplanMode {
+    fn from_json(json: &Json) -> Result<Self, String> {
+        let label = json
+            .as_str()
+            .ok_or_else(|| format!("expected a replan-mode string, got {json}"))?;
+        ReplanMode::parse(label)
     }
 }
 
@@ -374,6 +538,38 @@ impl BrakePolicy {
 impl std::fmt::Display for BrakePolicy {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.write_str(self.label())
+    }
+}
+
+impl BrakePolicy {
+    /// Parses the CLI/wire spelling: `binary` or `graded`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the accepted values.
+    pub fn parse(value: &str) -> Result<BrakePolicy, String> {
+        match value.trim() {
+            "binary" => Ok(BrakePolicy::Binary),
+            "graded" => Ok(BrakePolicy::Graded),
+            other => Err(format!(
+                "unknown brake policy `{other}` (expected binary or graded)"
+            )),
+        }
+    }
+}
+
+impl ToJson for BrakePolicy {
+    fn to_json(&self) -> Json {
+        Json::String(self.label().to_string())
+    }
+}
+
+impl FromJson for BrakePolicy {
+    fn from_json(json: &Json) -> Result<Self, String> {
+        let label = json
+            .as_str()
+            .ok_or_else(|| format!("expected a brake-policy string, got {json}"))?;
+        BrakePolicy::parse(label)
     }
 }
 
@@ -507,6 +703,44 @@ impl Default for DegradationConfig {
     }
 }
 
+impl ToJson for DegradationConfig {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .field("perception_watchdog", self.perception_watchdog)
+            .field("stale_grace_factor", self.stale_grace_factor)
+            .field("plan_timeout_secs", self.plan_timeout_secs)
+            .field("brake_policy", self.brake_policy.to_json())
+            .field("plan_splicing", self.plan_splicing)
+    }
+}
+
+impl FromJson for DegradationConfig {
+    /// Reads a degradation description; omitted fields keep the
+    /// [`DegradationConfig::off`] values, so a sparse spec only names the
+    /// responses it enables.
+    fn from_json(json: &Json) -> Result<Self, String> {
+        json.check_fields(&[
+            "perception_watchdog",
+            "stale_grace_factor",
+            "plan_timeout_secs",
+            "brake_policy",
+            "plan_splicing",
+        ])?;
+        let base = DegradationConfig::off();
+        let config = DegradationConfig {
+            perception_watchdog: json
+                .parse_field_or("perception_watchdog", base.perception_watchdog)?,
+            stale_grace_factor: json
+                .parse_field_or("stale_grace_factor", base.stale_grace_factor)?,
+            plan_timeout_secs: json.parse_opt_field("plan_timeout_secs")?,
+            brake_policy: json.parse_field_or("brake_policy", base.brake_policy)?,
+            plan_splicing: json.parse_field_or("plan_splicing", base.plan_splicing)?,
+        };
+        config.validate()?;
+        Ok(config)
+    }
+}
+
 /// How the OctoMap resolution is chosen during the mission (the paper's
 /// energy case study, Fig. 19).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -582,6 +816,71 @@ impl ResolutionPolicy {
     /// (normalised at 0.5 m) reproduces that swing.
     pub fn octomap_cost_multiplier(resolution: f64) -> f64 {
         (0.5 / resolution.max(1e-3)).clamp(0.2, 8.0)
+    }
+}
+
+impl ToJson for ResolutionPolicy {
+    fn to_json(&self) -> Json {
+        match *self {
+            ResolutionPolicy::Static { resolution } => Json::object()
+                .field("kind", "static")
+                .field("resolution", resolution),
+            ResolutionPolicy::Dynamic {
+                outdoor,
+                indoor,
+                density_threshold,
+            } => Json::object()
+                .field("kind", "dynamic")
+                .field("outdoor", outdoor)
+                .field("indoor", indoor)
+                .field("density_threshold", density_threshold),
+        }
+    }
+}
+
+impl FromJson for ResolutionPolicy {
+    /// Accepts the tagged form [`ToJson`] emits (`{"kind": "static", …}` /
+    /// `{"kind": "dynamic", …}`) or a bare number as shorthand for a static
+    /// resolution.
+    fn from_json(json: &Json) -> Result<Self, String> {
+        if let Some(resolution) = json.as_f64() {
+            if !(resolution.is_finite() && resolution > 0.0) {
+                return Err(format!("resolution must be positive, got {resolution}"));
+            }
+            return Ok(ResolutionPolicy::Static { resolution });
+        }
+        let kind: String = json.parse_field("kind")?;
+        match kind.as_str() {
+            "static" => {
+                json.check_fields(&["kind", "resolution"])?;
+                let resolution: f64 = json.parse_field("resolution")?;
+                if !(resolution.is_finite() && resolution > 0.0) {
+                    return Err(format!("resolution: must be positive, got {resolution}"));
+                }
+                Ok(ResolutionPolicy::Static { resolution })
+            }
+            "dynamic" => {
+                json.check_fields(&["kind", "outdoor", "indoor", "density_threshold"])?;
+                let policy = ResolutionPolicy::Dynamic {
+                    outdoor: json.parse_field("outdoor")?,
+                    indoor: json.parse_field("indoor")?,
+                    density_threshold: json.parse_field("density_threshold")?,
+                };
+                if let ResolutionPolicy::Dynamic {
+                    outdoor, indoor, ..
+                } = policy
+                {
+                    if !(outdoor.is_finite() && outdoor > 0.0 && indoor.is_finite() && indoor > 0.0)
+                    {
+                        return Err("outdoor/indoor resolutions must be positive".to_string());
+                    }
+                }
+                Ok(policy)
+            }
+            other => Err(format!(
+                "unknown resolution-policy kind `{other}` (expected static or dynamic)"
+            )),
+        }
     }
 }
 
@@ -809,6 +1108,321 @@ impl MissionConfig {
         self.fault_plan.validate()?;
         self.degradation.validate()?;
         Ok(())
+    }
+
+    /// Starts a [`MissionConfigBuilder`] from this application's default
+    /// configuration (the same baseline as [`MissionConfig::new`]).
+    pub fn builder(application: ApplicationId) -> MissionConfigBuilder {
+        MissionConfigBuilder {
+            config: MissionConfig::new(application),
+        }
+    }
+}
+
+impl ToJson for MissionConfig {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .field("application", self.application.to_json())
+            .field("operating_point", self.operating_point.to_json())
+            .field("cloud", self.cloud.as_ref().map(ToJson::to_json))
+            .field("quadrotor", self.quadrotor.to_json())
+            .field("battery", self.battery.to_json())
+            .field("environment", self.environment.to_json())
+            .field("camera", self.camera.to_json())
+            .field("depth_noise_std", self.depth_noise_std)
+            .field("resolution_policy", self.resolution_policy.to_json())
+            .field("time_budget_secs", self.time_budget_secs)
+            .field("stopping_distance", self.stopping_distance)
+            .field("cruise_velocity", self.cruise_velocity)
+            .field("physics_dt", self.physics_dt)
+            .field("rates", self.rates.to_json())
+            .field("replan_mode", self.replan_mode.to_json())
+            .field("exec_model", self.exec_model.to_json())
+            .field("node_ops", self.node_ops.to_json())
+            .field("map_insert_threads", self.map_insert_threads)
+            .field("fault_plan", self.fault_plan.to_json())
+            .field("degradation", self.degradation.to_json())
+            .field("seed", self.seed)
+    }
+}
+
+impl FromJson for MissionConfig {
+    /// Reads a mission description. Only `application` is required; every
+    /// other field defaults from [`MissionConfig::new`] for that application,
+    /// so a sparse wire spec names exactly the knobs it turns. Unknown fields
+    /// are rejected (a typoed knob must not silently run with defaults), and
+    /// the assembled configuration is [`MissionConfig::validate`]d.
+    fn from_json(json: &Json) -> Result<Self, String> {
+        json.check_fields(&[
+            "application",
+            "operating_point",
+            "cloud",
+            "quadrotor",
+            "battery",
+            "environment",
+            "camera",
+            "depth_noise_std",
+            "resolution_policy",
+            "time_budget_secs",
+            "stopping_distance",
+            "cruise_velocity",
+            "physics_dt",
+            "rates",
+            "replan_mode",
+            "exec_model",
+            "node_ops",
+            "map_insert_threads",
+            "fault_plan",
+            "degradation",
+            "seed",
+        ])?;
+        let application: ApplicationId = json.parse_field("application")?;
+        let base = MissionConfig::new(application);
+        let mut config = MissionConfig {
+            application,
+            operating_point: json.parse_field_or("operating_point", base.operating_point)?,
+            cloud: json.parse_opt_field("cloud")?,
+            quadrotor: json.parse_field_or("quadrotor", base.quadrotor)?,
+            battery: json.parse_field_or("battery", base.battery)?,
+            environment: json.parse_field_or("environment", base.environment)?,
+            camera: json.parse_field_or("camera", base.camera)?,
+            depth_noise_std: json.parse_field_or("depth_noise_std", base.depth_noise_std)?,
+            resolution_policy: json.parse_field_or("resolution_policy", base.resolution_policy)?,
+            time_budget_secs: json.parse_field_or("time_budget_secs", base.time_budget_secs)?,
+            stopping_distance: json.parse_field_or("stopping_distance", base.stopping_distance)?,
+            cruise_velocity: json.parse_field_or("cruise_velocity", base.cruise_velocity)?,
+            physics_dt: json.parse_field_or("physics_dt", base.physics_dt)?,
+            rates: json.parse_field_or("rates", base.rates)?,
+            replan_mode: json.parse_field_or("replan_mode", base.replan_mode)?,
+            exec_model: json.parse_field_or("exec_model", base.exec_model)?,
+            node_ops: json.parse_field_or("node_ops", base.node_ops)?,
+            map_insert_threads: json
+                .parse_field_or("map_insert_threads", base.map_insert_threads)?,
+            fault_plan: json.parse_field_or("fault_plan", base.fault_plan)?,
+            degradation: json.parse_field_or("degradation", base.degradation)?,
+            seed: base.seed,
+        };
+        // `seed` mirrors `with_seed`: the mission seed also drives the
+        // environment generator unless the spec pins `environment.seed`
+        // itself.
+        if let Some(seed) = json.parse_opt_field::<u64>("seed")? {
+            config.seed = seed;
+            if json
+                .get("environment")
+                .map(|e| e.get("seed").is_none())
+                .unwrap_or(true)
+            {
+                config.environment.seed = seed;
+            }
+        }
+        config.validate()?;
+        Ok(config)
+    }
+}
+
+/// Step-by-step construction of a [`MissionConfig`] with shared-parser
+/// setters and a validating [`MissionConfigBuilder::build`].
+///
+/// Typed setters never fail; the `*_spec` setters parse the same CLI
+/// spellings the harness flags use (`--rates`, `--node-op`, `--faults`, …)
+/// and fail fast on bad input. `build()` runs [`MissionConfig::validate`] so
+/// an out-of-range combination cannot escape the builder.
+///
+/// # Example
+///
+/// ```
+/// use mav_compute::ApplicationId;
+/// use mav_core::MissionConfig;
+///
+/// let config = MissionConfig::builder(ApplicationId::PackageDelivery)
+///     .seed(7)
+///     .rates_spec("cam=15,map=4")
+///     .unwrap()
+///     .faults_spec("cam-drop=0.1,plan-timeout=2x")
+///     .unwrap()
+///     .build()
+///     .unwrap();
+/// assert_eq!(config.rates.camera_fps, Some(15.0));
+/// assert_eq!(config.fault_plan.plan_timeout_factor, 2.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MissionConfigBuilder {
+    config: MissionConfig,
+}
+
+impl MissionConfigBuilder {
+    /// Sets the companion-computer operating point.
+    pub fn operating_point(mut self, point: OperatingPoint) -> Self {
+        self.config.operating_point = point;
+        self
+    }
+
+    /// Parses an operating point from the CLI spelling (`big@2.2`, `3c@1.5`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the [`OperatingPoint::parse`] message.
+    pub fn operating_point_spec(mut self, spec: &str) -> Result<Self, String> {
+        self.config.operating_point = OperatingPoint::parse(spec)?;
+        Ok(self)
+    }
+
+    /// Attaches a cloud offload configuration.
+    pub fn cloud(mut self, cloud: CloudConfig) -> Self {
+        self.config.cloud = Some(cloud);
+        self
+    }
+
+    /// Replaces the airframe.
+    pub fn quadrotor(mut self, quadrotor: QuadrotorConfig) -> Self {
+        self.config.quadrotor = quadrotor;
+        self
+    }
+
+    /// Replaces the battery pack.
+    pub fn battery(mut self, battery: BatteryConfig) -> Self {
+        self.config.battery = battery;
+        self
+    }
+
+    /// Replaces the environment generator configuration.
+    pub fn environment(mut self, environment: EnvironmentConfig) -> Self {
+        self.config.environment = environment;
+        self
+    }
+
+    /// Replaces the depth camera configuration.
+    pub fn camera(mut self, camera: DepthCameraConfig) -> Self {
+        self.config.camera = camera;
+        self
+    }
+
+    /// Sets the depth-noise standard deviation, metres.
+    pub fn depth_noise_std(mut self, std_dev: f64) -> Self {
+        self.config.depth_noise_std = std_dev;
+        self
+    }
+
+    /// Sets the OctoMap resolution policy.
+    pub fn resolution_policy(mut self, policy: ResolutionPolicy) -> Self {
+        self.config.resolution_policy = policy;
+        self
+    }
+
+    /// Sets the mission time budget, seconds.
+    pub fn time_budget_secs(mut self, secs: f64) -> Self {
+        self.config.time_budget_secs = secs;
+        self
+    }
+
+    /// Sets the Eq. 2 stopping-distance budget, metres.
+    pub fn stopping_distance(mut self, metres: f64) -> Self {
+        self.config.stopping_distance = metres;
+        self
+    }
+
+    /// Sets the application-level cruise velocity cap, m/s.
+    pub fn cruise_velocity(mut self, mps: f64) -> Self {
+        self.config.cruise_velocity = mps;
+        self
+    }
+
+    /// Sets the physics integration step, seconds.
+    pub fn physics_dt(mut self, dt: f64) -> Self {
+        self.config.physics_dt = dt;
+        self
+    }
+
+    /// Sets the closed-loop node rates.
+    pub fn rates(mut self, rates: RateConfig) -> Self {
+        self.config.rates = rates;
+        self
+    }
+
+    /// Parses node rates from the CLI spelling (`cam=15,map=4`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the [`RateConfig::parse`] message.
+    pub fn rates_spec(mut self, spec: &str) -> Result<Self, String> {
+        self.config.rates = RateConfig::parse(spec)?;
+        Ok(self)
+    }
+
+    /// Sets the collision-alert replanning policy.
+    pub fn replan_mode(mut self, mode: ReplanMode) -> Self {
+        self.config.replan_mode = mode;
+        self
+    }
+
+    /// Sets the executor latency-charging model.
+    pub fn exec_model(mut self, model: ExecModel) -> Self {
+        self.config.exec_model = model;
+        self
+    }
+
+    /// Sets the per-node operating points.
+    pub fn node_ops(mut self, node_ops: NodeOpConfig) -> Self {
+        self.config.node_ops = node_ops;
+        self
+    }
+
+    /// Parses per-node operating points from the CLI spelling
+    /// (`plan=big@2.2,cam=little@1.4`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the [`NodeOpConfig::parse`] message.
+    pub fn node_ops_spec(mut self, spec: &str) -> Result<Self, String> {
+        self.config.node_ops = NodeOpConfig::parse(spec)?;
+        Ok(self)
+    }
+
+    /// Sets the OctoMap insertion worker count.
+    pub fn map_insert_threads(mut self, threads: usize) -> Self {
+        self.config.map_insert_threads = threads;
+        self
+    }
+
+    /// Sets the fault plan.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.config.fault_plan = plan;
+        self
+    }
+
+    /// Parses a fault plan from the CLI spelling
+    /// (`cam-drop=0.1,plan-timeout=2x`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the [`FaultPlan::parse`] message.
+    pub fn faults_spec(mut self, spec: &str) -> Result<Self, String> {
+        self.config.fault_plan = FaultPlan::parse(spec)?;
+        Ok(self)
+    }
+
+    /// Sets the degraded-mode responses.
+    pub fn degradation(mut self, degradation: DegradationConfig) -> Self {
+        self.config.degradation = degradation;
+        self
+    }
+
+    /// Sets the mission seed (also reseeding the environment generator, like
+    /// [`MissionConfig::with_seed`]).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self.config.environment.seed = seed;
+        self
+    }
+
+    /// Finishes the build, running [`MissionConfig::validate`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first validation failure.
+    pub fn build(self) -> Result<MissionConfig, String> {
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 

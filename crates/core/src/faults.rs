@@ -646,6 +646,61 @@ pub struct DegradedSummary {
     pub mean_recover_secs: f64,
 }
 
+impl ToJson for FaultPlan {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .field("camera_dropout", self.camera_dropout)
+            .field("camera_dropout_frames", self.camera_dropout_frames)
+            .field("noise_burst", self.noise_burst)
+            .field("noise_burst_std", self.noise_burst_std)
+            .field("kernel_spike", self.kernel_spike)
+            .field("kernel_spike_factor", self.kernel_spike_factor)
+            .field("plan_timeout_factor", self.plan_timeout_factor)
+            .field("topic_drop", self.topic_drop)
+            .field("battery_fade", self.battery_fade)
+    }
+}
+
+impl mav_types::FromJson for FaultPlan {
+    /// Accepts the structured form (what [`ToJson`] emits; omitted fields
+    /// stay off) or the CLI clause string (`"cam-drop=0.1,plan-timeout=2x"`)
+    /// routed through [`FaultPlan::parse`] — one syntax for `--faults` and
+    /// the `mav-server` job spec.
+    fn from_json(json: &Json) -> Result<Self, String> {
+        if let Some(s) = json.as_str() {
+            return FaultPlan::parse(s);
+        }
+        json.check_fields(&[
+            "camera_dropout",
+            "camera_dropout_frames",
+            "noise_burst",
+            "noise_burst_std",
+            "kernel_spike",
+            "kernel_spike_factor",
+            "plan_timeout_factor",
+            "topic_drop",
+            "battery_fade",
+        ])?;
+        let base = FaultPlan::none();
+        let plan = FaultPlan {
+            camera_dropout: json.parse_field_or("camera_dropout", base.camera_dropout)?,
+            camera_dropout_frames: json
+                .parse_field_or("camera_dropout_frames", base.camera_dropout_frames)?,
+            noise_burst: json.parse_field_or("noise_burst", base.noise_burst)?,
+            noise_burst_std: json.parse_field_or("noise_burst_std", base.noise_burst_std)?,
+            kernel_spike: json.parse_field_or("kernel_spike", base.kernel_spike)?,
+            kernel_spike_factor: json
+                .parse_field_or("kernel_spike_factor", base.kernel_spike_factor)?,
+            plan_timeout_factor: json
+                .parse_field_or("plan_timeout_factor", base.plan_timeout_factor)?,
+            topic_drop: json.parse_field_or("topic_drop", base.topic_drop)?,
+            battery_fade: json.parse_field_or("battery_fade", base.battery_fade)?,
+        };
+        plan.validate()?;
+        Ok(plan)
+    }
+}
+
 impl ToJson for DegradedSummary {
     fn to_json(&self) -> Json {
         Json::object()

@@ -314,7 +314,7 @@ impl ToJson for ReliabilityStats {
 ///
 /// Purity is the determinism contract: episode `i` is the same mission on
 /// every worker, at every thread count, in any execution order.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ScenarioGenerator {
     /// The application every episode runs.
     pub application: ApplicationId,
@@ -482,6 +482,84 @@ impl ScenarioGenerator {
     }
 }
 
+impl ToJson for ScenarioGenerator {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .field("application", self.application.to_json())
+            .field("base_seed", self.base_seed)
+            .field("densities", self.densities.as_slice())
+            .field("extents", self.extents.as_slice())
+            .field("noise_levels", self.noise_levels.as_slice())
+            .field(
+                "rates",
+                Json::Array(self.rates.iter().map(ToJson::to_json).collect()),
+            )
+            .field(
+                "replan_modes",
+                Json::Array(self.replan_modes.iter().map(ToJson::to_json).collect()),
+            )
+            .field(
+                "exec_models",
+                Json::Array(self.exec_models.iter().map(ToJson::to_json).collect()),
+            )
+            .field(
+                "fault_plans",
+                Json::Array(self.fault_plans.iter().map(ToJson::to_json).collect()),
+            )
+            .field("degradation", self.degradation.to_json())
+    }
+}
+
+impl mav_types::FromJson for ScenarioGenerator {
+    /// Reads a scenario-space description. Only `application` is required;
+    /// omitted choice lists keep the [`ScenarioGenerator::new`] defaults.
+    /// Present lists must be non-empty — the per-episode draws have no
+    /// sensible meaning for an empty choice list.
+    fn from_json(json: &Json) -> Result<Self, String> {
+        json.check_fields(&[
+            "application",
+            "base_seed",
+            "densities",
+            "extents",
+            "noise_levels",
+            "rates",
+            "replan_modes",
+            "exec_models",
+            "fault_plans",
+            "degradation",
+        ])?;
+        let application: ApplicationId = json.parse_field("application")?;
+        let base_seed: u64 = json.parse_field_or("base_seed", 42)?;
+        let base = ScenarioGenerator::new(application, base_seed);
+        let generator = ScenarioGenerator {
+            application,
+            base_seed,
+            densities: json.parse_field_or("densities", base.densities)?,
+            extents: json.parse_field_or("extents", base.extents)?,
+            noise_levels: json.parse_field_or("noise_levels", base.noise_levels)?,
+            rates: json.parse_field_or("rates", base.rates)?,
+            replan_modes: json.parse_field_or("replan_modes", base.replan_modes)?,
+            exec_models: json.parse_field_or("exec_models", base.exec_models)?,
+            fault_plans: json.parse_field_or("fault_plans", base.fault_plans)?,
+            degradation: json.parse_field_or("degradation", base.degradation)?,
+        };
+        for (name, len) in [
+            ("densities", generator.densities.len()),
+            ("extents", generator.extents.len()),
+            ("noise_levels", generator.noise_levels.len()),
+            ("rates", generator.rates.len()),
+            ("replan_modes", generator.replan_modes.len()),
+            ("exec_models", generator.exec_models.len()),
+            ("fault_plans", generator.fault_plans.len()),
+        ] {
+            if len == 0 {
+                return Err(format!("{name}: choice list must be non-empty"));
+            }
+        }
+        Ok(generator)
+    }
+}
+
 /// The per-episode choice-list indices drawn by [`ScenarioGenerator::draws`].
 struct EpisodeDraws {
     density: usize,
@@ -582,6 +660,23 @@ pub fn reliability_sweep_classified(
     episodes: u64,
     shard_size: u64,
 ) -> (ReliabilityStats, BTreeMap<String, ClassStats>) {
+    reliability_sweep_classified_observed(runner, generator, episodes, shard_size, &|_| {})
+}
+
+/// [`reliability_sweep_classified`] with an episode-completion observer: the
+/// callback fires once per finished episode, from whichever worker thread ran
+/// it. The observer sees only *that* an episode completed — never its data —
+/// so it cannot perturb the aggregates; `mav-server` uses it to publish job
+/// progress counters while a sweep runs. The plain entry points route through
+/// here with a no-op observer, so there is exactly one sweep loop to keep
+/// bit-identical.
+pub fn reliability_sweep_classified_observed(
+    runner: &SweepRunner,
+    generator: &ScenarioGenerator,
+    episodes: u64,
+    shard_size: u64,
+    observe_episode_done: &(dyn Fn(u64) + Sync),
+) -> (ReliabilityStats, BTreeMap<String, ClassStats>) {
     let shards = runner.run_sharded(episodes, shard_size, |range| {
         with_episode_scratch(|scratch| {
             let mut acc = ReliabilityStats::new();
@@ -593,6 +688,7 @@ pub fn reliability_sweep_classified(
                     .entry(generator.episode_class(index))
                     .or_default()
                     .record(&report);
+                observe_episode_done(index);
             }
             (acc, classes)
         })

@@ -84,6 +84,46 @@ impl Default for QuadrotorConfig {
     }
 }
 
+impl mav_types::ToJson for QuadrotorConfig {
+    fn to_json(&self) -> mav_types::Json {
+        mav_types::Json::object()
+            .field("name", self.name.as_str())
+            .field("mass", self.mass)
+            .field("max_velocity", self.max_velocity)
+            .field("max_vertical_velocity", self.max_vertical_velocity)
+            .field("max_acceleration", self.max_acceleration)
+            .field("radius", self.radius)
+            .field("cruise_altitude", self.cruise_altitude)
+    }
+}
+
+impl mav_types::FromJson for QuadrotorConfig {
+    /// Reads an airframe description; omitted fields keep the default
+    /// (DJI Matrice 100) values.
+    fn from_json(json: &mav_types::Json) -> Result<Self, String> {
+        json.check_fields(&[
+            "name",
+            "mass",
+            "max_velocity",
+            "max_vertical_velocity",
+            "max_acceleration",
+            "radius",
+            "cruise_altitude",
+        ])?;
+        let base = QuadrotorConfig::default();
+        Ok(QuadrotorConfig {
+            name: json.parse_field_or("name", base.name)?,
+            mass: json.parse_field_or("mass", base.mass)?,
+            max_velocity: json.parse_field_or("max_velocity", base.max_velocity)?,
+            max_vertical_velocity: json
+                .parse_field_or("max_vertical_velocity", base.max_vertical_velocity)?,
+            max_acceleration: json.parse_field_or("max_acceleration", base.max_acceleration)?,
+            radius: json.parse_field_or("radius", base.radius)?,
+            cruise_altitude: json.parse_field_or("cruise_altitude", base.cruise_altitude)?,
+        })
+    }
+}
+
 impl fmt::Display for QuadrotorConfig {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(

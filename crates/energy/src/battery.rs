@@ -69,6 +69,41 @@ impl Default for BatteryConfig {
     }
 }
 
+impl mav_types::ToJson for BatteryConfig {
+    fn to_json(&self) -> mav_types::Json {
+        mav_types::Json::object()
+            .field("capacity_mah", self.capacity_mah)
+            .field("cells", self.cells)
+            .field("cell_full_voltage", self.cell_full_voltage)
+            .field("cell_empty_voltage", self.cell_empty_voltage)
+            .field("cell_nominal_voltage", self.cell_nominal_voltage)
+    }
+}
+
+impl mav_types::FromJson for BatteryConfig {
+    /// Reads a battery description; omitted fields keep the default
+    /// (Matrice TB47D) values.
+    fn from_json(json: &mav_types::Json) -> Result<Self, String> {
+        json.check_fields(&[
+            "capacity_mah",
+            "cells",
+            "cell_full_voltage",
+            "cell_empty_voltage",
+            "cell_nominal_voltage",
+        ])?;
+        let base = BatteryConfig::default();
+        Ok(BatteryConfig {
+            capacity_mah: json.parse_field_or("capacity_mah", base.capacity_mah)?,
+            cells: json.parse_field_or("cells", base.cells)?,
+            cell_full_voltage: json.parse_field_or("cell_full_voltage", base.cell_full_voltage)?,
+            cell_empty_voltage: json
+                .parse_field_or("cell_empty_voltage", base.cell_empty_voltage)?,
+            cell_nominal_voltage: json
+                .parse_field_or("cell_nominal_voltage", base.cell_nominal_voltage)?,
+        })
+    }
+}
+
 /// A battery being discharged by the mission.
 ///
 /// # Example

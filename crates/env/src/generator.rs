@@ -84,6 +84,67 @@ impl Default for EnvironmentConfig {
     }
 }
 
+impl mav_types::ToJson for EnvironmentConfig {
+    fn to_json(&self) -> mav_types::Json {
+        mav_types::Json::object()
+            .field("name", self.name.as_str())
+            .field("extent", self.extent)
+            .field("height", self.height)
+            .field("obstacle_density", self.obstacle_density)
+            .field("obstacle_size", self.obstacle_size)
+            .field("obstacle_height", self.obstacle_height)
+            .field("dynamic_obstacles", self.dynamic_obstacles)
+            .field("dynamic_speed", self.dynamic_speed)
+            .field("people", self.people)
+            .field("indoor_structure", self.indoor_structure)
+            .field("door_width", self.door_width)
+            .field("photography_subject", self.photography_subject)
+            .field("seed", self.seed)
+            .field("spawn_clearance", self.spawn_clearance)
+    }
+}
+
+impl mav_types::FromJson for EnvironmentConfig {
+    /// Reads an environment description; omitted fields keep the
+    /// [`Default`] values, so sparse wire specs only name what they change.
+    fn from_json(json: &mav_types::Json) -> Result<Self, String> {
+        json.check_fields(&[
+            "name",
+            "extent",
+            "height",
+            "obstacle_density",
+            "obstacle_size",
+            "obstacle_height",
+            "dynamic_obstacles",
+            "dynamic_speed",
+            "people",
+            "indoor_structure",
+            "door_width",
+            "photography_subject",
+            "seed",
+            "spawn_clearance",
+        ])?;
+        let base = EnvironmentConfig::default();
+        Ok(EnvironmentConfig {
+            name: json.parse_field_or("name", base.name)?,
+            extent: json.parse_field_or("extent", base.extent)?,
+            height: json.parse_field_or("height", base.height)?,
+            obstacle_density: json.parse_field_or("obstacle_density", base.obstacle_density)?,
+            obstacle_size: json.parse_field_or("obstacle_size", base.obstacle_size)?,
+            obstacle_height: json.parse_field_or("obstacle_height", base.obstacle_height)?,
+            dynamic_obstacles: json.parse_field_or("dynamic_obstacles", base.dynamic_obstacles)?,
+            dynamic_speed: json.parse_field_or("dynamic_speed", base.dynamic_speed)?,
+            people: json.parse_field_or("people", base.people)?,
+            indoor_structure: json.parse_field_or("indoor_structure", base.indoor_structure)?,
+            door_width: json.parse_field_or("door_width", base.door_width)?,
+            photography_subject: json
+                .parse_field_or("photography_subject", base.photography_subject)?,
+            seed: json.parse_field_or("seed", base.seed)?,
+            spawn_clearance: json.parse_field_or("spawn_clearance", base.spawn_clearance)?,
+        })
+    }
+}
+
 impl EnvironmentConfig {
     /// Open farmland: essentially obstacle-free, large area. Used by the
     /// Scanning workload.

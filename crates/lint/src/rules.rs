@@ -22,7 +22,7 @@
 //! it, and carries its justification inline.
 
 use crate::lexer::{lex, Token, TokenKind};
-use crate::scope::{wallclock_allowed, FileScope};
+use crate::scope::{spawn_allowed, wallclock_allowed, FileScope};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Identifies one audit rule.
@@ -130,14 +130,25 @@ impl Finding {
 /// this is consulted, so "outside tests" falls out of the table.
 fn rule_applies(rule: RuleId, scope: &FileScope, rel_path: &str) -> bool {
     match rule {
-        RuleId::DetWallclock => *scope == FileScope::SimLib && !wallclock_allowed(rel_path),
+        // The server's job results are byte-pinned like simulation output,
+        // so its service code is held to the SimLib wall-clock rule; only
+        // the documented boundary files (sweep wall_secs, the load client)
+        // are exempt.
+        RuleId::DetWallclock => {
+            matches!(scope, FileScope::SimLib | FileScope::Server) && !wallclock_allowed(rel_path)
+        }
         RuleId::DetHashIter => *scope == FileScope::SimLib,
         // NaN-unsafe comparators are banned everywhere, tests and shims
         // included: a comparator that panics on NaN is wrong in any scope.
         RuleId::DetPartialCmp => true,
         RuleId::DetThreadRng => *scope != FileScope::Test,
         RuleId::PanicLib => *scope == FileScope::SimLib,
-        RuleId::RawSpawn => matches!(scope, FileScope::SimLib | FileScope::Harness),
+        RuleId::RawSpawn => {
+            matches!(
+                scope,
+                FileScope::SimLib | FileScope::Harness | FileScope::Server
+            ) && !spawn_allowed(rel_path)
+        }
     }
 }
 
@@ -772,6 +783,27 @@ mod tests {
         let findings = sim(dirty);
         assert_eq!(findings.len(), 1, "{findings:?}");
         assert_eq!(findings[0].rule, RuleId::DetHashIter);
+    }
+
+    #[test]
+    fn server_scope_enforces_wallclock_and_spawn_boundaries() {
+        let clock = "fn t() { let s = std::time::Instant::now(); }";
+        let in_service = check_file("crates/server/src/service.rs", clock, &FileScope::Server);
+        assert_eq!(in_service.len(), 1, "{in_service:?}");
+        assert_eq!(in_service[0].rule, RuleId::DetWallclock);
+        let in_load = check_file(
+            "crates/server/src/bin/server_load.rs",
+            clock,
+            &FileScope::Server,
+        );
+        assert!(in_load.is_empty(), "{in_load:?}");
+
+        let spawn = "fn t() { std::thread::spawn(|| {}); }";
+        let in_spec = check_file("crates/server/src/spec.rs", spawn, &FileScope::Server);
+        assert_eq!(in_spec.len(), 1, "{in_spec:?}");
+        assert_eq!(in_spec[0].rule, RuleId::RawSpawn);
+        let in_pool = check_file("crates/server/src/server.rs", spawn, &FileScope::Server);
+        assert!(in_pool.is_empty(), "{in_pool:?}");
     }
 
     #[test]

@@ -18,6 +18,13 @@ pub enum FileScope {
     /// driver), the facade crate `src/`, and this lint tool itself. Allowed
     /// to measure wall time; still must not break determinism of *results*.
     Harness,
+    /// The job server (`crates/server`): service code wrapping the
+    /// simulation. Its *results* carry the full determinism contract (the
+    /// cache-hit byte-identity test pins them), so wall-clock reads are
+    /// banned as in `SimLib`; its listener/dispatcher/worker threads are
+    /// documented allowlist entries ([`SPAWN_ALLOWED_FILES`]) rather than
+    /// baseline budget, because threading is the crate's purpose.
+    Server,
     /// Offline stand-ins for external crates (`shims/*`). They mirror
     /// foreign APIs (criterion reads the wall clock because criterion does),
     /// so only universally-safe rules apply.
@@ -40,6 +47,7 @@ pub fn classify(rel_path: &str) -> FileScope {
         Some("shims") => FileScope::Shim,
         Some("crates") => match components.get(1).copied() {
             Some("bench") | Some("lint") => FileScope::Harness,
+            Some("server") => FileScope::Server,
             _ => FileScope::SimLib,
         },
         // The facade crate `src/` plus any stray root-level file.
@@ -57,11 +65,40 @@ pub fn classify(rel_path: &str) -> FileScope {
 ///   inside that report come from `run_mission`, which runs entirely on the
 ///   simulated clock; the audit comment at the `Instant::now()` site
 ///   documents the boundary.
-pub const WALLCLOCK_ALLOWED_FILES: &[&str] = &["crates/core/src/sweep.rs"];
+/// - `crates/server/src/bin/server_load.rs`: the load client measures host
+///   jobs/sec for `mav-server`. Job *results* are pure functions of the job
+///   spec (pinned by the cache-hit byte-identity test); the wall clock only
+///   times the client's own request loop.
+pub const WALLCLOCK_ALLOWED_FILES: &[&str] = &[
+    "crates/core/src/sweep.rs",
+    "crates/server/src/bin/server_load.rs",
+];
 
 /// Whether `rel_path` is one of the documented wall-clock boundary files.
 pub fn wallclock_allowed(rel_path: &str) -> bool {
     WALLCLOCK_ALLOWED_FILES.contains(&rel_path)
+}
+
+/// Files allowed to call `std::thread::spawn` directly: the job server's
+/// threading boundary. Everywhere else parallelism goes through the rayon
+/// shim / `SweepRunner`, whose schedules are proven bit-deterministic; these
+/// files *are* the service plumbing around that machinery.
+///
+/// - `crates/server/src/service.rs`: the dispatcher thread and the worker
+///   pool. Workers run jobs through `run_mission_with_scratch` and the
+///   sharded sweep, so scheduling order cannot reach result bytes — the
+///   cache-hit byte-identity test would catch it if it did.
+/// - `crates/server/src/server.rs`: the TCP accept loop and the
+///   per-connection handler threads. Connections only shuttle bytes between
+///   sockets and the service; no simulation state lives here.
+pub const SPAWN_ALLOWED_FILES: &[&str] = &[
+    "crates/server/src/service.rs",
+    "crates/server/src/server.rs",
+];
+
+/// Whether `rel_path` is one of the documented raw-spawn boundary files.
+pub fn spawn_allowed(rel_path: &str) -> bool {
+    SPAWN_ALLOWED_FILES.contains(&rel_path)
 }
 
 #[cfg(test)]
@@ -81,6 +118,15 @@ mod tests {
         assert_eq!(classify("crates/core/src/faults.rs"), FileScope::SimLib);
         assert_eq!(classify("crates/bench/src/figures.rs"), FileScope::Harness);
         assert_eq!(classify("crates/lint/src/rules.rs"), FileScope::Harness);
+        assert_eq!(classify("crates/server/src/service.rs"), FileScope::Server);
+        assert_eq!(
+            classify("crates/server/src/bin/server_load.rs"),
+            FileScope::Server
+        );
+        assert_eq!(
+            classify("crates/server/tests/server_api.rs"),
+            FileScope::Test
+        );
         assert_eq!(classify("src/lib.rs"), FileScope::Harness);
         assert_eq!(classify("shims/rayon/src/lib.rs"), FileScope::Shim);
         assert_eq!(classify("tests/golden_legacy.rs"), FileScope::Test);
@@ -95,7 +141,23 @@ mod tests {
     #[test]
     fn wallclock_allowlist() {
         assert!(wallclock_allowed("crates/core/src/sweep.rs"));
+        assert!(wallclock_allowed("crates/server/src/bin/server_load.rs"));
         assert!(!wallclock_allowed("crates/core/src/flight.rs"));
         assert!(!wallclock_allowed("crates/core/src/faults.rs"));
+        // The server's service/routing code must NOT read the wall clock:
+        // only the load client is a documented timing boundary.
+        assert!(!wallclock_allowed("crates/server/src/service.rs"));
+        assert!(!wallclock_allowed("crates/server/src/server.rs"));
+    }
+
+    #[test]
+    fn spawn_allowlist() {
+        assert!(spawn_allowed("crates/server/src/service.rs"));
+        assert!(spawn_allowed("crates/server/src/server.rs"));
+        // The spec layer and everything outside the server keep going
+        // through the rayon shim / SweepRunner.
+        assert!(!spawn_allowed("crates/server/src/spec.rs"));
+        assert!(!spawn_allowed("crates/core/src/sweep.rs"));
+        assert!(!spawn_allowed("crates/bench/src/figures.rs"));
     }
 }

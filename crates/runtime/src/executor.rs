@@ -118,11 +118,43 @@ impl ExecModel {
             ExecModel::Pipelined => "pipelined",
         }
     }
+
+    /// Parses the CLI/wire spelling: `serial`, or `pipelined` (alias
+    /// `pipeline`). Shared by the harness `--exec-model` flag and the
+    /// `mav-server` job spec.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the accepted values.
+    pub fn parse(value: &str) -> std::result::Result<ExecModel, String> {
+        match value.trim() {
+            "serial" => Ok(ExecModel::Serial),
+            "pipelined" | "pipeline" => Ok(ExecModel::Pipelined),
+            other => Err(format!(
+                "unknown exec model `{other}` (expected serial or pipelined)"
+            )),
+        }
+    }
 }
 
 impl fmt::Display for ExecModel {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.label())
+    }
+}
+
+impl mav_types::ToJson for ExecModel {
+    fn to_json(&self) -> mav_types::Json {
+        mav_types::Json::String(self.label().to_string())
+    }
+}
+
+impl mav_types::FromJson for ExecModel {
+    fn from_json(json: &mav_types::Json) -> std::result::Result<Self, String> {
+        let label = json
+            .as_str()
+            .ok_or_else(|| format!("expected an exec-model string, got {json}"))?;
+        ExecModel::parse(label)
     }
 }
 

@@ -42,6 +42,43 @@ impl Default for DepthCameraConfig {
     }
 }
 
+impl mav_types::ToJson for DepthCameraConfig {
+    fn to_json(&self) -> mav_types::Json {
+        mav_types::Json::object()
+            .field("width", self.width)
+            .field("height", self.height)
+            .field("fov_horizontal", self.fov_horizontal)
+            .field("fov_vertical", self.fov_vertical)
+            .field("max_range", self.max_range)
+    }
+}
+
+impl mav_types::FromJson for DepthCameraConfig {
+    /// Reads a depth-camera description; omitted fields keep the default
+    /// (32×24, 90°×60°, 25 m) values.
+    fn from_json(json: &mav_types::Json) -> Result<Self, String> {
+        json.check_fields(&[
+            "width",
+            "height",
+            "fov_horizontal",
+            "fov_vertical",
+            "max_range",
+        ])?;
+        let base = DepthCameraConfig::default();
+        let config = DepthCameraConfig {
+            width: json.parse_field_or("width", base.width)?,
+            height: json.parse_field_or("height", base.height)?,
+            fov_horizontal: json.parse_field_or("fov_horizontal", base.fov_horizontal)?,
+            fov_vertical: json.parse_field_or("fov_vertical", base.fov_vertical)?,
+            max_range: json.parse_field_or("max_range", base.max_range)?,
+        };
+        if config.width == 0 || config.height == 0 {
+            return Err("width/height: resolution must be non-zero".to_string());
+        }
+        Ok(config)
+    }
+}
+
 impl DepthCameraConfig {
     /// A higher-resolution configuration used by the perception benchmarks.
     pub fn high_resolution() -> Self {

@@ -1,0 +1,28 @@
+//! Mission-simulation-as-a-service for MAVBench-RS.
+//!
+//! `mav-server` exposes the closed-loop simulator over a small HTTP/1.1 job
+//! API — submit a mission or reliability-sweep spec, poll its progress,
+//! fetch its result — built entirely on `std::net` (the build environment is
+//! offline, so there is no HTTP framework underneath; see [`http`]).
+//!
+//! The moving parts:
+//!
+//! * [`spec`] — the wire job spec. It parses through the same typed
+//!   `FromJson`/`parse` functions the CLI flags use, so every mission knob a
+//!   `fig*` binary accepts is reachable from a job document, and defines the
+//!   content-addressed cache key (SHA-256 of the canonical compact JSON).
+//! * [`service`] — the bounded job queue (429 backpressure), the dispatcher
+//!   thread, the worker pool (one episode scratch per worker), and the
+//!   result cache whose hits are byte-identical to fresh runs.
+//! * [`server`] — request routing and the TCP accept loop.
+
+#![warn(missing_docs)]
+
+pub mod http;
+pub mod server;
+pub mod service;
+pub mod spec;
+
+pub use server::{handle, Server};
+pub use service::{DeleteOutcome, JobService, JobState, ResultFetch, ServiceOptions, SubmitError};
+pub use spec::{parse_spec, JobSpec};

@@ -1,0 +1,76 @@
+//! `mav-server` — the MAVBench-RS mission-simulation job server.
+
+use mav_server::{Server, ServiceOptions};
+
+const USAGE: &str = "mav-server — mission-simulation-as-a-service for MAVBench-RS
+
+USAGE:
+    mav-server [--addr HOST:PORT] [--workers N] [--queue-capacity N]
+
+OPTIONS:
+    --addr HOST:PORT    Listen address (default: 127.0.0.1:8088; port 0 picks
+                        an ephemeral port, printed on startup)
+    --workers N         Worker threads running jobs (default: 2; 0 accepts
+                        jobs but never runs them — a backpressure test hook)
+    --queue-capacity N  Queued jobs before POST /jobs returns 429 (default: 64)
+    -h, --help          This help
+
+API:
+    POST   /jobs            submit {\"type\":\"mission\"|\"sweep\", …} (see README)
+    GET    /jobs            all job statuses
+    GET    /jobs/:id        one job's status and progress
+    GET    /jobs/:id/result the result document (409 until done)
+    DELETE /jobs/:id        remove a queued or finished job";
+
+fn main() {
+    let mut addr = "127.0.0.1:8088".to_string();
+    let mut options = ServiceOptions::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value_for = |flag: &str| {
+            args.next().unwrap_or_else(|| {
+                eprintln!("error: {flag} needs a value\n\n{USAGE}");
+                std::process::exit(2);
+            })
+        };
+        match arg.as_str() {
+            "--addr" => addr = value_for("--addr"),
+            "--workers" => {
+                options.workers = parse_count(&value_for("--workers"), "--workers");
+            }
+            "--queue-capacity" => {
+                options.queue_capacity =
+                    parse_count(&value_for("--queue-capacity"), "--queue-capacity").max(1);
+            }
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return;
+            }
+            other => {
+                eprintln!("error: unknown argument `{other}`\n\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+    }
+    let server = match Server::start(&addr, options.clone()) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("error: binding {addr}: {e}");
+            std::process::exit(2);
+        }
+    };
+    println!(
+        "mav-server listening on http://{} ({} workers, queue capacity {})",
+        server.addr(),
+        options.workers,
+        options.queue_capacity
+    );
+    server.run();
+}
+
+fn parse_count(value: &str, flag: &str) -> usize {
+    value.parse().unwrap_or_else(|_| {
+        eprintln!("error: invalid {flag} value `{value}`\n\n{USAGE}");
+        std::process::exit(2);
+    })
+}

@@ -92,6 +92,74 @@ impl Json {
         }
     }
 
+    /// The value as a bool, when it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Parses a required object field into `T`, prefixing any error with the
+    /// field name so nested failures read as a path (`rates: camera_fps: …`).
+    ///
+    /// # Errors
+    ///
+    /// Fails when `self` is not an object, the field is missing, or the
+    /// field's [`FromJson`] conversion fails.
+    pub fn parse_field<T: FromJson>(&self, key: &str) -> Result<T, String> {
+        match self.get(key) {
+            Some(value) => T::from_json(value).map_err(|e| format!("{key}: {e}")),
+            None => Err(format!("missing field `{key}`")),
+        }
+    }
+
+    /// Parses an optional object field: a missing field or an explicit `null`
+    /// both yield `None`, any other value goes through `T`'s [`FromJson`].
+    ///
+    /// # Errors
+    ///
+    /// Fails when the field is present, non-null, and fails to convert.
+    pub fn parse_opt_field<T: FromJson>(&self, key: &str) -> Result<Option<T>, String> {
+        match self.get(key) {
+            None | Some(Json::Null) => Ok(None),
+            Some(value) => T::from_json(value)
+                .map(Some)
+                .map_err(|e| format!("{key}: {e}")),
+        }
+    }
+
+    /// Parses an object field, falling back to `default` when the field is
+    /// missing or `null` — the workhorse for sparse wire specs where every
+    /// omitted knob keeps its configured default.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the field is present, non-null, and fails to convert.
+    pub fn parse_field_or<T: FromJson>(&self, key: &str, default: T) -> Result<T, String> {
+        Ok(self.parse_opt_field(key)?.unwrap_or(default))
+    }
+
+    /// Rejects unknown object keys so a typoed knob in a wire spec fails
+    /// loudly (HTTP 400) instead of silently running with defaults.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `self` is not an object or contains a key not in `allowed`.
+    pub fn check_fields(&self, allowed: &[&str]) -> Result<(), String> {
+        match self {
+            Json::Object(fields) => {
+                for (key, _) in fields {
+                    if !allowed.contains(&key.as_str()) {
+                        return Err(format!("unknown field `{key}`"));
+                    }
+                }
+                Ok(())
+            }
+            _ => Err("expected an object".to_string()),
+        }
+    }
+
     /// The value as an array slice, when it is an array.
     pub fn as_array(&self) -> Option<&[Json]> {
         match self {
@@ -640,6 +708,138 @@ impl ToJson for crate::Vec3 {
             Json::Number(self.y),
             Json::Number(self.z),
         ])
+    }
+}
+
+impl ToJson for (f64, f64) {
+    fn to_json(&self) -> Json {
+        Json::Array(vec![Json::Number(self.0), Json::Number(self.1)])
+    }
+}
+
+/// Types that can reconstruct themselves from a [`Json`] value — the reverse
+/// of [`ToJson`], and the foundation of the wire API: every config type that
+/// implements both must satisfy `from_json(&to_json(&c)) == Ok(c)`.
+///
+/// Errors are plain strings; callers layer field names on via
+/// [`Json::parse_field`] so a deep failure reads as a path.
+pub trait FromJson: Sized {
+    /// Reconstructs a value from JSON.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message when the value has the wrong shape.
+    fn from_json(json: &Json) -> Result<Self, String>;
+}
+
+impl FromJson for Json {
+    fn from_json(json: &Json) -> Result<Self, String> {
+        Ok(json.clone())
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(json: &Json) -> Result<Self, String> {
+        json.as_bool()
+            .ok_or_else(|| format!("expected a bool, got {json}"))
+    }
+}
+
+impl FromJson for String {
+    fn from_json(json: &Json) -> Result<Self, String> {
+        json.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| format!("expected a string, got {json}"))
+    }
+}
+
+macro_rules! float_from_json {
+    ($($t:ty),*) => {$(
+        impl FromJson for $t {
+            fn from_json(json: &Json) -> Result<Self, String> {
+                json.as_f64()
+                    .map(|x| x as $t)
+                    .ok_or_else(|| format!("expected a number, got {json}"))
+            }
+        }
+    )*};
+}
+float_from_json!(f32, f64);
+
+macro_rules! integer_from_json {
+    ($($t:ty),*) => {$(
+        impl FromJson for $t {
+            fn from_json(json: &Json) -> Result<Self, String> {
+                let raw = json
+                    .as_i128()
+                    .ok_or_else(|| format!("expected an integer, got {json}"))?;
+                <$t>::try_from(raw)
+                    .map_err(|_| format!("integer {raw} out of range for {}", stringify!($t)))
+            }
+        }
+    )*};
+}
+integer_from_json!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(json: &Json) -> Result<Self, String> {
+        match json {
+            Json::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(json: &Json) -> Result<Self, String> {
+        let items = json
+            .as_array()
+            .ok_or_else(|| format!("expected an array, got {json}"))?;
+        items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| T::from_json(item).map_err(|e| format!("[{i}]: {e}")))
+            .collect()
+    }
+}
+
+impl FromJson for (f64, f64) {
+    fn from_json(json: &Json) -> Result<Self, String> {
+        match json.as_array() {
+            Some([a, b]) => Ok((f64::from_json(a)?, f64::from_json(b)?)),
+            _ => Err(format!("expected a two-element array, got {json}")),
+        }
+    }
+}
+
+impl FromJson for crate::Energy {
+    fn from_json(json: &Json) -> Result<Self, String> {
+        f64::from_json(json).map(crate::Energy::from_joules)
+    }
+}
+
+impl FromJson for crate::SimDuration {
+    fn from_json(json: &Json) -> Result<Self, String> {
+        f64::from_json(json).map(crate::SimDuration::from_secs)
+    }
+}
+
+impl FromJson for crate::Frequency {
+    fn from_json(json: &Json) -> Result<Self, String> {
+        f64::from_json(json).map(crate::Frequency::from_ghz)
+    }
+}
+
+impl FromJson for crate::Vec3 {
+    fn from_json(json: &Json) -> Result<Self, String> {
+        match json.as_array() {
+            Some([x, y, z]) => Ok(crate::Vec3::new(
+                f64::from_json(x)?,
+                f64::from_json(y)?,
+                f64::from_json(z)?,
+            )),
+            _ => Err(format!("expected a three-element array, got {json}")),
+        }
     }
 }
 

@@ -24,6 +24,7 @@
 pub mod aabb;
 pub mod error;
 pub mod grid;
+pub mod hash;
 pub mod json;
 pub mod pose;
 pub mod spatial;
@@ -35,7 +36,8 @@ pub mod vector;
 pub use aabb::Aabb;
 pub use error::{MavError, Result};
 pub use grid::{GridIndex, GridSpec};
-pub use json::{Json, ToJson};
+pub use hash::sha256_hex;
+pub use json::{FromJson, Json, ToJson};
 pub use pose::{Pose, Twist};
 pub use spatial::PointGrid;
 pub use time::{SimDuration, SimTime};
